@@ -1,0 +1,34 @@
+//! Network capacity and delay overhead analysis (Section V of the HIDE
+//! paper).
+//!
+//! HIDE touches the network in two ways. First, UDP Port Messages are
+//! extra management traffic: they consume transmission opportunities and
+//! shrink the maximum achievable throughput ([`capacity`], Eqs. 20–24,
+//! built on the Bianchi DCF model in [`hide_wifi::dcf`]). Second, the AP
+//! spends CPU time maintaining the Client UDP Port Table and looking up
+//! ports at every DTIM, which lengthens packet round-trip times
+//! ([`delay`], Eqs. 25–27).
+//!
+//! The paper measured hash-table operation times on a 1 GHz ARM
+//! smartphone standing in for AP hardware. Without that hardware, this
+//! crate ships a calibrated [`delay::ArmCostModel`] plus the same
+//! measurement *procedure* runnable against the real
+//! [`hide_core::ap::ClientPortTable`] on the host
+//! ([`delay::measure_host_costs`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
+//!
+//! let analysis = CapacityAnalysis::new(NetworkConfig::default());
+//! let drop = analysis.capacity_decrease(50, 0.75)?;
+//! assert!(drop < 0.005, "capacity loss stays under 0.5%: {drop}");
+//! # Ok::<(), hide_wifi::WifiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod delay;

@@ -1,0 +1,531 @@
+//! The HIDE-enabled access point.
+
+use crate::ap::{calculate_broadcast_flags, BroadcastBuffer, ClientPortTable};
+use crate::error::CoreError;
+use hide_wifi::assoc::{self, AssociationRequest, AssociationResponse, Disassociation};
+use hide_wifi::bitmap::PartialVirtualBitmap;
+use hide_wifi::frame::{Ack, Beacon, BroadcastDataFrame, UdpPortMessage};
+use hide_wifi::ie::{Btim, InformationElement, Tim};
+use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
+use std::collections::BTreeMap;
+
+/// Record the AP keeps per associated client.
+#[derive(Debug, Clone)]
+struct ClientRecord {
+    aid: Aid,
+    /// Set once the client has sent a UDP Port Message; legacy clients
+    /// never do.
+    hide_enabled: bool,
+    /// Unicast frames buffered while the client is power-saving (we
+    /// track only counts/lengths, enough for TIM signalling).
+    unicast_buffered: u32,
+}
+
+/// A HIDE-enabled 802.11 access point.
+///
+/// Owns the association table, the [`ClientPortTable`], the broadcast
+/// buffer, and builds beacons with both the standard TIM and the HIDE
+/// BTIM so legacy and HIDE clients coexist (Section III.D).
+#[derive(Debug, Clone)]
+pub struct AccessPoint {
+    bssid: MacAddr,
+    clients: BTreeMap<MacAddr, ClientRecord>,
+    by_aid: BTreeMap<Aid, MacAddr>,
+    port_table: ClientPortTable,
+    buffer: BroadcastBuffer,
+    dtim_period: u8,
+    port_messages_received: u64,
+    /// Partially received fragmented port reports, keyed by sender.
+    pending_fragments: BTreeMap<MacAddr, Vec<u16>>,
+    ssid: String,
+}
+
+impl AccessPoint {
+    /// Creates an AP with the given BSSID and DTIM period 1.
+    pub fn new(bssid: MacAddr) -> Self {
+        AccessPoint {
+            bssid,
+            clients: BTreeMap::new(),
+            by_aid: BTreeMap::new(),
+            port_table: ClientPortTable::new(),
+            buffer: BroadcastBuffer::new(),
+            dtim_period: 1,
+            port_messages_received: 0,
+            pending_fragments: BTreeMap::new(),
+            ssid: "hide-net".to_string(),
+        }
+    }
+
+    /// Sets the SSID advertised in beacons.
+    pub fn set_ssid(&mut self, ssid: impl Into<String>) {
+        self.ssid = ssid.into();
+    }
+
+    /// The SSID advertised in beacons.
+    pub fn ssid(&self) -> &str {
+        &self.ssid
+    }
+
+    /// Sets the DTIM period announced in beacons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_dtim_period(&mut self, period: u8) {
+        assert!(period > 0, "DTIM period must be positive");
+        self.dtim_period = period;
+    }
+
+    /// The AP's BSSID.
+    pub fn bssid(&self) -> MacAddr {
+        self.bssid
+    }
+
+    /// Associates a client, assigning the lowest free AID.
+    ///
+    /// Re-associating an already-associated client returns its existing
+    /// AID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFreeAid`] when all 2007 AIDs are taken.
+    pub fn associate(&mut self, mac: MacAddr) -> Result<Aid, CoreError> {
+        if let Some(record) = self.clients.get(&mac) {
+            return Ok(record.aid);
+        }
+        let aid = (1..=MAX_AID)
+            .map(|v| Aid::new(v).expect("range is valid"))
+            .find(|aid| !self.by_aid.contains_key(aid))
+            .ok_or(CoreError::NoFreeAid)?;
+        self.clients.insert(
+            mac,
+            ClientRecord {
+                aid,
+                hide_enabled: false,
+                unicast_buffered: 0,
+            },
+        );
+        self.by_aid.insert(aid, mac);
+        Ok(aid)
+    }
+
+    /// Processes an over-the-air association request, assigning an AID
+    /// (or denying when none are free). A request carrying the HIDE
+    /// capability (an Open UDP Ports element) pre-marks the client as
+    /// HIDE-enabled.
+    pub fn handle_association_request(
+        &mut self,
+        request: &AssociationRequest,
+    ) -> AssociationResponse {
+        match self.associate(request.client()) {
+            Ok(aid) => {
+                if request.supports_hide() {
+                    if let Some(record) = self.clients.get_mut(&request.client()) {
+                        record.hide_enabled = true;
+                    }
+                }
+                AssociationResponse::success(self.bssid, request.client(), aid)
+            }
+            Err(_) => AssociationResponse::denied(
+                self.bssid,
+                request.client(),
+                assoc::STATUS_DENIED_NO_RESOURCES,
+            ),
+        }
+    }
+
+    /// Processes an over-the-air disassociation notice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when the sender is not
+    /// associated.
+    pub fn handle_disassociation(&mut self, notice: &Disassociation) -> Result<(), CoreError> {
+        self.disassociate(notice.from())
+    }
+
+    /// Disassociates a client, releasing its AID and port-table entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when `mac` is not associated.
+    pub fn disassociate(&mut self, mac: MacAddr) -> Result<(), CoreError> {
+        let record = self
+            .clients
+            .remove(&mac)
+            .ok_or(CoreError::UnknownClient(mac))?;
+        self.by_aid.remove(&record.aid);
+        self.port_table.remove_client(record.aid);
+        self.pending_fragments.remove(&mac);
+        Ok(())
+    }
+
+    /// The AID of an associated client.
+    pub fn aid_of(&self, mac: MacAddr) -> Option<Aid> {
+        self.clients.get(&mac).map(|r| r.aid)
+    }
+
+    /// Number of associated clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether a client has HIDE enabled (has ever sent a port message).
+    pub fn is_hide_enabled(&self, mac: MacAddr) -> bool {
+        self.clients.get(&mac).is_some_and(|r| r.hide_enabled)
+    }
+
+    /// Processes a UDP Port Message: refreshes the Client UDP Port Table
+    /// and returns the ACK to transmit (Fig. 2, steps 1-2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when the sender is not
+    /// associated.
+    pub fn handle_udp_port_message(&mut self, msg: &UdpPortMessage) -> Result<Ack, CoreError> {
+        let record = self
+            .clients
+            .get_mut(&msg.client())
+            .ok_or(CoreError::UnknownClient(msg.client()))?;
+        record.hide_enabled = true;
+        let aid = record.aid;
+        self.port_messages_received += 1;
+
+        if msg.more_fragments() {
+            // Accumulate; the table refresh happens on the final
+            // fragment so a half-received report never goes live.
+            self.pending_fragments
+                .entry(msg.client())
+                .or_default()
+                .extend_from_slice(msg.ports());
+        } else if let Some(mut ports) = self.pending_fragments.remove(&msg.client()) {
+            ports.extend_from_slice(msg.ports());
+            self.port_table.update_client(aid, &ports);
+        } else {
+            self.port_table.update_client(aid, msg.ports());
+        }
+        Ok(Ack::new(msg.client()))
+    }
+
+    /// Buffers a broadcast frame for delivery after the next DTIM.
+    pub fn enqueue_broadcast(&mut self, frame: BroadcastDataFrame) {
+        self.buffer.push(frame);
+    }
+
+    /// Records a buffered unicast frame for `mac` (sets its TIM bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when `mac` is not associated.
+    pub fn buffer_unicast(&mut self, mac: MacAddr) -> Result<(), CoreError> {
+        let record = self
+            .clients
+            .get_mut(&mac)
+            .ok_or(CoreError::UnknownClient(mac))?;
+        record.unicast_buffered += 1;
+        Ok(())
+    }
+
+    /// Delivers one buffered unicast frame to `mac` in response to a
+    /// PS-Poll, clearing the TIM bit when the queue empties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when `mac` is not associated.
+    pub fn ps_poll(&mut self, mac: MacAddr) -> Result<u32, CoreError> {
+        let record = self
+            .clients
+            .get_mut(&mac)
+            .ok_or(CoreError::UnknownClient(mac))?;
+        record.unicast_buffered = record.unicast_buffered.saturating_sub(1);
+        Ok(record.unicast_buffered)
+    }
+
+    /// Whether the given frame is useful to the client with `aid`, i.e.
+    /// whether the client listens on the frame's UDP destination port.
+    /// Non-UDP frames are "useful" to everyone (delivered via the
+    /// legacy path).
+    pub fn is_useful_for(&self, aid: Aid, frame: &BroadcastDataFrame) -> bool {
+        match frame.udp_dst_port() {
+            Ok(port) => self.port_table.client_listens_on(aid, port),
+            Err(_) => true,
+        }
+    }
+
+    /// Builds the DTIM beacon for beacon index `index`: runs Algorithm 1
+    /// over the buffered frames and attaches both the standard TIM (with
+    /// the one-bit broadcast indication for legacy clients) and the HIDE
+    /// BTIM.
+    pub fn dtim_beacon(&mut self, index: u64) -> Beacon {
+        let flags = calculate_broadcast_flags(&self.buffer, &self.port_table);
+        self.build_beacon(index, 0, flags)
+    }
+
+    /// Builds a non-DTIM beacon (`dtim_count > 0`): no broadcast flags,
+    /// unicast TIM bits only.
+    pub fn beacon(&mut self, index: u64, dtim_count: u8) -> Beacon {
+        self.build_beacon(index, dtim_count, PartialVirtualBitmap::new())
+    }
+
+    fn build_beacon(&self, index: u64, dtim_count: u8, flags: PartialVirtualBitmap) -> Beacon {
+        let mut unicast = PartialVirtualBitmap::new();
+        for record in self.clients.values() {
+            if record.unicast_buffered > 0 {
+                unicast.set(record.aid);
+            }
+        }
+        let tim = Tim::new(
+            dtim_count,
+            self.dtim_period,
+            dtim_count == 0 && !self.buffer.is_empty(),
+            unicast,
+        );
+        Beacon::builder(self.bssid)
+            .ssid(self.ssid.clone())
+            .supported_rates_11b()
+            .timestamp_us(index.wrapping_mul(102_400))
+            .beacon_interval_tu(100)
+            .tim(tim)
+            .element(InformationElement::Btim(Btim::new(flags)))
+            .build()
+    }
+
+    /// Drains the broadcast buffer for post-DTIM delivery (More Data
+    /// bits set on all but the last frame).
+    pub fn deliver_broadcasts(&mut self) -> Vec<BroadcastDataFrame> {
+        self.buffer.drain_for_delivery()
+    }
+
+    /// Number of frames currently buffered (`n_f` at the next DTIM).
+    pub fn buffered_broadcasts(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The Client UDP Port Table (for inspection and benches).
+    pub fn port_table(&self) -> &ClientPortTable {
+        &self.port_table
+    }
+
+    /// Total UDP Port Messages processed.
+    pub fn port_messages_received(&self) -> u64 {
+        self.port_messages_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_wifi::udp::UdpDatagram;
+
+    fn frame(port: u16) -> BroadcastDataFrame {
+        let d = UdpDatagram::new([10, 0, 0, 1], [255; 4], 4000, port, vec![]);
+        BroadcastDataFrame::new(MacAddr::station(0), d, false)
+    }
+
+    fn port_msg(client: MacAddr, ap: MacAddr, ports: &[u16]) -> UdpPortMessage {
+        UdpPortMessage::new(client, ap, ports.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn associate_assigns_sequential_aids() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let a = ap.associate(MacAddr::station(1)).unwrap();
+        let b = ap.associate(MacAddr::station(2)).unwrap();
+        assert_eq!(a.value(), 1);
+        assert_eq!(b.value(), 2);
+        assert_eq!(ap.client_count(), 2);
+    }
+
+    #[test]
+    fn reassociation_is_idempotent() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let a = ap.associate(MacAddr::station(1)).unwrap();
+        let b = ap.associate(MacAddr::station(1)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ap.client_count(), 1);
+    }
+
+    #[test]
+    fn disassociate_frees_aid_for_reuse() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let a = ap.associate(MacAddr::station(1)).unwrap();
+        ap.disassociate(MacAddr::station(1)).unwrap();
+        let b = ap.associate(MacAddr::station(2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disassociate_unknown_fails() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        assert!(matches!(
+            ap.disassociate(MacAddr::station(9)),
+            Err(CoreError::UnknownClient(_))
+        ));
+    }
+
+    #[test]
+    fn port_message_marks_hide_enabled_and_acks() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        ap.associate(mac).unwrap();
+        assert!(!ap.is_hide_enabled(mac));
+        let ack = ap
+            .handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+            .unwrap();
+        assert_eq!(ack.receiver(), mac);
+        assert!(ap.is_hide_enabled(mac));
+        assert_eq!(ap.port_messages_received(), 1);
+    }
+
+    #[test]
+    fn fragmented_port_report_reassembles() {
+        use hide_wifi::frame::UdpPortMessage as Msg;
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        let ports: Vec<u16> = (1000..1300).collect();
+        let msgs = Msg::paginate(mac, ap.bssid(), ports.clone());
+        assert!(msgs.len() > 1);
+        for (i, m) in msgs.iter().enumerate() {
+            // Nothing goes live until the final fragment.
+            if i + 1 < msgs.len() {
+                ap.handle_udp_port_message(m).unwrap();
+                assert!(ap.port_table().ports_of(aid).len() < ports.len());
+            } else {
+                ap.handle_udp_port_message(m).unwrap();
+            }
+        }
+        assert_eq!(ap.port_table().ports_of(aid).len(), ports.len());
+        assert!(ap.port_table().client_listens_on(aid, 1299));
+    }
+
+    #[test]
+    fn unfragmented_message_after_partial_train_discards_nothing_stale() {
+        use hide_wifi::frame::UdpPortMessage as Msg;
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        // A dangling first fragment...
+        let train = Msg::paginate(mac, ap.bssid(), (0..200u16).collect::<Vec<_>>());
+        ap.handle_udp_port_message(&train[0]).unwrap();
+        // ...followed by a fresh complete (unfragmented-final) report:
+        // the final fragment semantics merge the pending half, so the
+        // table reflects the union of that train; a subsequent clean
+        // report replaces everything.
+        ap.handle_udp_port_message(&train[1]).unwrap();
+        let msg = Msg::new(mac, ap.bssid(), [9999u16]).unwrap();
+        ap.handle_udp_port_message(&msg).unwrap();
+        assert_eq!(ap.port_table().ports_of(aid), &[9999]);
+    }
+
+    #[test]
+    fn port_message_from_stranger_rejected() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let err = ap
+            .handle_udp_port_message(&port_msg(MacAddr::station(9), ap.bssid(), &[80]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownClient(_)));
+    }
+
+    #[test]
+    fn dtim_beacon_flags_match_algorithm_one() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac1 = MacAddr::station(1);
+        let mac2 = MacAddr::station(2);
+        let aid1 = ap.associate(mac1).unwrap();
+        let aid2 = ap.associate(mac2).unwrap();
+        ap.handle_udp_port_message(&port_msg(mac1, ap.bssid(), &[1900]))
+            .unwrap();
+        ap.handle_udp_port_message(&port_msg(mac2, ap.bssid(), &[5353]))
+            .unwrap();
+        ap.enqueue_broadcast(frame(1900));
+
+        let beacon = ap.dtim_beacon(0);
+        let btim = beacon.btim().unwrap();
+        assert!(btim.is_set(aid1));
+        assert!(!btim.is_set(aid2));
+        // Legacy path: the TIM broadcast bit is set because frames are
+        // buffered, regardless of usefulness.
+        assert!(beacon.tim().unwrap().broadcast_buffered());
+    }
+
+    #[test]
+    fn non_dtim_beacon_has_empty_btim_and_count() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        ap.set_dtim_period(3);
+        ap.enqueue_broadcast(frame(1900));
+        let beacon = ap.beacon(1, 2);
+        assert_eq!(beacon.tim().unwrap().dtim_count(), 2);
+        assert!(!beacon.tim().unwrap().broadcast_buffered());
+        assert!(beacon.btim().unwrap().is_empty());
+    }
+
+    #[test]
+    fn beacons_advertise_ssid_and_rates() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        ap.set_ssid("corp-wifi");
+        let beacon = Beacon::parse(&ap.dtim_beacon(0).to_bytes()).unwrap();
+        assert_eq!(beacon.ssid().as_deref(), Some("corp-wifi"));
+        assert!(beacon.tim().is_some());
+        assert!(beacon.btim().is_some());
+    }
+
+    #[test]
+    fn delivery_drains_buffer() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        ap.enqueue_broadcast(frame(1));
+        ap.enqueue_broadcast(frame(2));
+        assert_eq!(ap.buffered_broadcasts(), 2);
+        let burst = ap.deliver_broadcasts();
+        assert_eq!(burst.len(), 2);
+        assert!(burst[0].more_data());
+        assert_eq!(ap.buffered_broadcasts(), 0);
+    }
+
+    #[test]
+    fn usefulness_follows_port_table() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+            .unwrap();
+        assert!(ap.is_useful_for(aid, &frame(5353)));
+        assert!(!ap.is_useful_for(aid, &frame(1900)));
+    }
+
+    #[test]
+    fn non_udp_frame_is_useful_to_everyone() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let aid = ap.associate(MacAddr::station(1)).unwrap();
+        let raw = BroadcastDataFrame::from_raw_body(MacAddr::station(0), vec![0; 40], false);
+        assert!(ap.is_useful_for(aid, &raw));
+    }
+
+    #[test]
+    fn unicast_tim_bit_set_and_cleared() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        ap.buffer_unicast(mac).unwrap();
+        let beacon = ap.dtim_beacon(0);
+        assert!(beacon.tim().unwrap().traffic_for(aid));
+        assert_eq!(ap.ps_poll(mac).unwrap(), 0);
+        let beacon = ap.dtim_beacon(1);
+        assert!(!beacon.tim().unwrap().traffic_for(aid));
+    }
+
+    #[test]
+    fn disassociation_clears_port_table() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[1900]))
+            .unwrap();
+        ap.disassociate(mac).unwrap();
+        assert!(ap.port_table().clients_for_port(1900).is_empty());
+        // A frame for the departed client flags nobody.
+        ap.enqueue_broadcast(frame(1900));
+        let beacon = ap.dtim_beacon(0);
+        assert!(!beacon.btim().unwrap().is_set(aid));
+    }
+}

@@ -1,0 +1,178 @@
+//! Broadcast frame buffering at the AP.
+//!
+//! The AP buffers all broadcast frames while at least one client is in
+//! power-saving mode and delivers them right after the next DTIM beacon
+//! (Background section of the paper). During delivery, every frame but
+//! the last carries the MAC *More Data* bit so listening radios know
+//! whether the burst continues.
+
+use hide_wifi::frame::BroadcastDataFrame;
+use std::collections::VecDeque;
+
+/// FIFO buffer of broadcast frames awaiting the next DTIM.
+///
+/// # Example
+///
+/// ```
+/// use hide_core::ap::BroadcastBuffer;
+/// use hide_wifi::frame::BroadcastDataFrame;
+/// use hide_wifi::mac::MacAddr;
+/// use hide_wifi::udp::UdpDatagram;
+///
+/// let mut buf = BroadcastBuffer::new();
+/// for port in [1900u16, 5353] {
+///     let d = UdpDatagram::new([10, 0, 0, 1], [255; 4], 4000, port, vec![]);
+///     buf.push(BroadcastDataFrame::new(MacAddr::station(0), d, false));
+/// }
+/// let burst = buf.drain_for_delivery();
+/// assert_eq!(burst.len(), 2);
+/// assert!(burst[0].more_data());
+/// assert!(!burst[1].more_data());
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastBuffer {
+    frames: VecDeque<BroadcastDataFrame>,
+    dropped: u64,
+    capacity: Option<usize>,
+}
+
+impl BroadcastBuffer {
+    /// Creates an unbounded buffer.
+    pub fn new() -> Self {
+        BroadcastBuffer::default()
+    }
+
+    /// Creates a buffer that drops the oldest frame beyond `capacity`
+    /// (real APs have finite PS buffers).
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        BroadcastBuffer {
+            frames: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Buffers a frame.
+    pub fn push(&mut self, frame: BroadcastDataFrame) {
+        if let Some(cap) = self.capacity {
+            if self.frames.len() >= cap {
+                self.frames.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// Number of buffered frames (the `n_f` of Eq. 26 at a DTIM).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frames dropped to the capacity limit so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the buffered frames in arrival order without draining —
+    /// what Algorithm 1 scans at the DTIM boundary.
+    pub fn iter(&self) -> impl Iterator<Item = &BroadcastDataFrame> {
+        self.frames.iter()
+    }
+
+    /// Drains the buffer for post-DTIM delivery, setting the *More
+    /// Data* bit on every frame except the last.
+    pub fn drain_for_delivery(&mut self) -> Vec<BroadcastDataFrame> {
+        let mut burst: Vec<BroadcastDataFrame> = self.frames.drain(..).collect();
+        let n = burst.len();
+        for (i, frame) in burst.iter_mut().enumerate() {
+            frame.set_more_data(i + 1 < n);
+        }
+        burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_wifi::mac::MacAddr;
+    use hide_wifi::udp::UdpDatagram;
+
+    fn frame(port: u16) -> BroadcastDataFrame {
+        let d = UdpDatagram::new([10, 0, 0, 1], [255; 4], 4000, port, vec![]);
+        BroadcastDataFrame::new(MacAddr::station(0), d, false)
+    }
+
+    #[test]
+    fn starts_empty() {
+        let buf = BroadcastBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_sets_more_data_on_all_but_last() {
+        let mut buf = BroadcastBuffer::new();
+        for p in [1u16, 2, 3] {
+            buf.push(frame(p));
+        }
+        let burst = buf.drain_for_delivery();
+        assert_eq!(
+            burst.iter().map(|f| f.more_data()).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn single_frame_has_no_more_data() {
+        let mut buf = BroadcastBuffer::new();
+        buf.push(frame(1));
+        let burst = buf.drain_for_delivery();
+        assert!(!burst[0].more_data());
+    }
+
+    #[test]
+    fn drain_preserves_arrival_order() {
+        let mut buf = BroadcastBuffer::new();
+        for p in [10u16, 20, 30] {
+            buf.push(frame(p));
+        }
+        let ports: Vec<u16> = buf
+            .drain_for_delivery()
+            .iter()
+            .map(|f| f.udp_dst_port().unwrap())
+            .collect();
+        assert_eq!(ports, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn capacity_limit_drops_oldest() {
+        let mut buf = BroadcastBuffer::with_capacity_limit(2);
+        for p in [1u16, 2, 3] {
+            buf.push(frame(p));
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        let ports: Vec<u16> = buf
+            .drain_for_delivery()
+            .iter()
+            .map(|f| f.udp_dst_port().unwrap())
+            .collect();
+        assert_eq!(ports, vec![2, 3]);
+    }
+
+    #[test]
+    fn iter_does_not_drain() {
+        let mut buf = BroadcastBuffer::new();
+        buf.push(frame(1));
+        assert_eq!(buf.iter().count(), 1);
+        assert_eq!(buf.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Algorithm 1: calculating per-client broadcast flags.
+//!
+//! Right before a DTIM beacon, the AP resets all broadcast flags, then
+//! walks every buffered broadcast frame: it extracts the UDP destination
+//! port, looks up the clients listening on that port in the Client UDP
+//! Port Table, and sets those clients' flags to 1.
+//!
+//! Frames that are not UDP-padded are skipped here — HIDE only manages
+//! UDP-padded broadcast frames; anything else is announced through the
+//! standard TIM broadcast bit and delivered to everyone.
+
+use crate::ap::{BroadcastBuffer, ClientPortTable};
+use hide_wifi::bitmap::PartialVirtualBitmap;
+
+/// Runs Algorithm 1 over the buffered frames, returning the broadcast
+/// flags bitmap carried by the BTIM element.
+///
+/// # Example
+///
+/// ```
+/// use hide_core::ap::{calculate_broadcast_flags, BroadcastBuffer, ClientPortTable};
+/// use hide_wifi::frame::BroadcastDataFrame;
+/// use hide_wifi::mac::{Aid, MacAddr};
+/// use hide_wifi::udp::UdpDatagram;
+///
+/// let mut table = ClientPortTable::new();
+/// table.update_client(Aid::new(1)?, &[5353]);
+///
+/// let mut buffer = BroadcastBuffer::new();
+/// let d = UdpDatagram::new([10, 0, 0, 1], [255; 4], 4000, 5353, vec![]);
+/// buffer.push(BroadcastDataFrame::new(MacAddr::station(0), d, false));
+///
+/// let flags = calculate_broadcast_flags(&buffer, &table);
+/// assert!(flags.is_set(Aid::new(1)?));
+/// assert!(!flags.is_set(Aid::new(2)?));
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+pub fn calculate_broadcast_flags(
+    buffer: &BroadcastBuffer,
+    table: &ClientPortTable,
+) -> PartialVirtualBitmap {
+    // Line 1: initialize the array of broadcast flags to all 0.
+    let mut flags = PartialVirtualBitmap::new();
+    // Lines 2-11: for every buffered frame, set the flag of every client
+    // listening on its UDP destination port.
+    for frame in buffer.iter() {
+        let Ok(port) = frame.udp_dst_port() else {
+            continue; // not UDP-padded: outside HIDE's scope
+        };
+        for client in table.clients_for_port(port) {
+            flags.set(client);
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_wifi::frame::BroadcastDataFrame;
+    use hide_wifi::mac::{Aid, MacAddr};
+    use hide_wifi::udp::UdpDatagram;
+
+    fn aid(v: u16) -> Aid {
+        Aid::new(v).unwrap()
+    }
+
+    fn frame(port: u16) -> BroadcastDataFrame {
+        let d = UdpDatagram::new([10, 0, 0, 1], [255; 4], 4000, port, vec![]);
+        BroadcastDataFrame::new(MacAddr::station(0), d, false)
+    }
+
+    #[test]
+    fn empty_buffer_yields_empty_flags() {
+        let table = ClientPortTable::new();
+        let buffer = BroadcastBuffer::new();
+        assert!(calculate_broadcast_flags(&buffer, &table).is_empty());
+    }
+
+    #[test]
+    fn flag_set_only_for_listening_clients() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1900]);
+        table.update_client(aid(2), &[5353]);
+        let mut buffer = BroadcastBuffer::new();
+        buffer.push(frame(1900));
+        let flags = calculate_broadcast_flags(&buffer, &table);
+        assert!(flags.is_set(aid(1)));
+        assert!(!flags.is_set(aid(2)));
+    }
+
+    #[test]
+    fn one_frame_can_flag_many_clients() {
+        let mut table = ClientPortTable::new();
+        for v in 1..=5 {
+            table.update_client(aid(v), &[5353]);
+        }
+        let mut buffer = BroadcastBuffer::new();
+        buffer.push(frame(5353));
+        let flags = calculate_broadcast_flags(&buffer, &table);
+        assert_eq!(flags.count(), 5);
+    }
+
+    #[test]
+    fn multiple_frames_union_their_flags() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1900]);
+        table.update_client(aid(2), &[5353]);
+        let mut buffer = BroadcastBuffer::new();
+        buffer.push(frame(1900));
+        buffer.push(frame(5353));
+        let flags = calculate_broadcast_flags(&buffer, &table);
+        assert!(flags.is_set(aid(1)));
+        assert!(flags.is_set(aid(2)));
+    }
+
+    #[test]
+    fn non_udp_frames_are_skipped() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1900]);
+        let mut buffer = BroadcastBuffer::new();
+        buffer.push(BroadcastDataFrame::from_raw_body(
+            MacAddr::station(0),
+            vec![0u8; 64], // not LLC/SNAP+IP+UDP
+            false,
+        ));
+        let flags = calculate_broadcast_flags(&buffer, &table);
+        assert!(flags.is_empty());
+    }
+
+    #[test]
+    fn one_lookup_per_buffered_frame() {
+        // Eq. (26) charges n_f lookups per DTIM; verify the algorithm
+        // performs exactly that many.
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1900]);
+        let mut buffer = BroadcastBuffer::new();
+        for _ in 0..7 {
+            buffer.push(frame(1900));
+        }
+        table.reset_op_counts();
+        let _ = calculate_broadcast_flags(&buffer, &table);
+        assert_eq!(table.op_counts().lookups, 7);
+    }
+}

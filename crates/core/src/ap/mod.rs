@@ -1,0 +1,12 @@
+//! AP-side HIDE: the Client UDP Port Table, broadcast buffering,
+//! Algorithm 1 flag calculation and beacon construction.
+
+mod access_point;
+mod buffer;
+mod flags;
+mod port_table;
+
+pub use access_point::AccessPoint;
+pub use buffer::BroadcastBuffer;
+pub use flags::calculate_broadcast_flags;
+pub use port_table::{ClientPortTable, TableOpCounts};

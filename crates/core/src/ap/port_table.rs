@@ -1,0 +1,267 @@
+//! The Client UDP Port Table (Section III.C).
+//!
+//! A hash table keyed by UDP port, mapping to the set of clients (AIDs)
+//! that listen on that port. Refreshed whenever a UDP Port Message
+//! arrives: the client's old ports are deleted and the new ones
+//! inserted — exactly the `τ_del`/`τ_ins` operations the paper's delay
+//! analysis (Eq. 25) charges for. Lookup (`τ_lp`) happens once per
+//! buffered broadcast frame at each DTIM boundary (Eq. 26).
+//!
+//! Operation counts are tracked so the delay analysis and the benches
+//! can report them.
+
+use hide_wifi::mac::Aid;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of hash-table operations performed, matching the
+/// `τ_ins` / `τ_del` / `τ_lp` cost terms of Eqs. (25)–(26).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableOpCounts {
+    /// Number of port insertions.
+    pub inserts: u64,
+    /// Number of port deletions.
+    pub deletes: u64,
+    /// Number of port lookups.
+    pub lookups: u64,
+}
+
+/// The AP's table of open UDP ports per client.
+///
+/// # Example
+///
+/// ```
+/// use hide_core::ap::ClientPortTable;
+/// use hide_wifi::mac::Aid;
+///
+/// let mut table = ClientPortTable::new();
+/// let a = Aid::new(1)?;
+/// let b = Aid::new(2)?;
+/// table.update_client(a, &[5353, 1900]);
+/// table.update_client(b, &[5353]);
+/// assert_eq!(table.clients_for_port(5353), vec![a, b]);
+/// assert_eq!(table.clients_for_port(1900), vec![a]);
+/// assert!(table.clients_for_port(9999).is_empty());
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ClientPortTable {
+    by_port: BTreeMap<u16, BTreeSet<Aid>>,
+    by_client: BTreeMap<Aid, Vec<u16>>,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl ClientPortTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ClientPortTable::default()
+    }
+
+    /// Replaces `client`'s port set with `ports`: deletes every old
+    /// entry, then inserts every new one (the refresh procedure of
+    /// Section V.B). Duplicate ports in the input are inserted once.
+    pub fn update_client(&mut self, client: Aid, ports: &[u16]) {
+        self.remove_client(client);
+        let mut stored: Vec<u16> = ports.to_vec();
+        stored.sort_unstable();
+        stored.dedup();
+        for &port in &stored {
+            self.by_port.entry(port).or_default().insert(client);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        if !stored.is_empty() {
+            self.by_client.insert(client, stored);
+        }
+    }
+
+    /// Removes every entry for `client` (disassociation, or the delete
+    /// half of a refresh).
+    pub fn remove_client(&mut self, client: Aid) {
+        let Some(old_ports) = self.by_client.remove(&client) else {
+            return;
+        };
+        for port in old_ports {
+            if let Entry::Occupied(mut entry) = self.by_port.entry(port) {
+                entry.get_mut().remove(&client);
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+                self.deletes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Looks up the clients listening on `port` (Algorithm 1, line 4).
+    pub fn clients_for_port(&self, port: u16) -> Vec<Aid> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.by_port
+            .get(&port)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `client` listens on `port`.
+    pub fn client_listens_on(&self, client: Aid, port: u16) -> bool {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.by_port
+            .get(&port)
+            .is_some_and(|set| set.contains(&client))
+    }
+
+    /// The ports currently stored for `client`, sorted.
+    pub fn ports_of(&self, client: Aid) -> &[u16] {
+        self.by_client
+            .get(&client)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of clients with at least one stored port.
+    pub fn client_count(&self) -> usize {
+        self.by_client.len()
+    }
+
+    /// Number of distinct ports with at least one listener.
+    pub fn port_count(&self) -> usize {
+        self.by_port.len()
+    }
+
+    /// Total stored (port, client) pairs.
+    pub fn entry_count(&self) -> usize {
+        self.by_client.values().map(Vec::len).sum()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn op_counts(&self) -> TableOpCounts {
+        TableOpCounts {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_op_counts(&self) {
+        self.inserts.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for ClientPortTable {
+    fn clone(&self) -> Self {
+        ClientPortTable {
+            by_port: self.by_port.clone(),
+            by_client: self.by_client.clone(),
+            inserts: AtomicU64::new(self.inserts.load(Ordering::Relaxed)),
+            deletes: AtomicU64::new(self.deletes.load(Ordering::Relaxed)),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(v: u16) -> Aid {
+        Aid::new(v).unwrap()
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = ClientPortTable::new();
+        assert_eq!(table.client_count(), 0);
+        assert_eq!(table.port_count(), 0);
+        assert!(table.clients_for_port(80).is_empty());
+    }
+
+    #[test]
+    fn update_then_lookup() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80, 443]);
+        assert_eq!(table.clients_for_port(80), vec![aid(1)]);
+        assert_eq!(table.ports_of(aid(1)), &[80, 443]);
+        assert!(table.client_listens_on(aid(1), 443));
+        assert!(!table.client_listens_on(aid(1), 8080));
+    }
+
+    #[test]
+    fn refresh_replaces_old_ports() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80, 443]);
+        table.update_client(aid(1), &[443, 8080]);
+        assert!(table.clients_for_port(80).is_empty());
+        assert_eq!(table.clients_for_port(8080), vec![aid(1)]);
+        assert_eq!(table.entry_count(), 2);
+    }
+
+    #[test]
+    fn refresh_counts_deletes_and_inserts() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1, 2, 3]);
+        table.update_client(aid(1), &[4, 5]);
+        let counts = table.op_counts();
+        assert_eq!(counts.inserts, 5);
+        assert_eq!(counts.deletes, 3);
+    }
+
+    #[test]
+    fn multiple_clients_share_a_port() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(2), &[5353]);
+        table.update_client(aid(1), &[5353]);
+        // Sorted by AID regardless of insertion order.
+        assert_eq!(table.clients_for_port(5353), vec![aid(1), aid(2)]);
+    }
+
+    #[test]
+    fn remove_client_clears_entries() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[5353]);
+        table.update_client(aid(2), &[5353]);
+        table.remove_client(aid(1));
+        assert_eq!(table.clients_for_port(5353), vec![aid(2)]);
+        table.remove_client(aid(2));
+        assert_eq!(table.port_count(), 0);
+        // Removing an absent client is a no-op.
+        table.remove_client(aid(7));
+    }
+
+    #[test]
+    fn duplicate_ports_deduplicated() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80, 80, 80]);
+        assert_eq!(table.entry_count(), 1);
+        assert_eq!(table.op_counts().inserts, 1);
+    }
+
+    #[test]
+    fn empty_port_list_clears_client() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80]);
+        table.update_client(aid(1), &[]);
+        assert_eq!(table.client_count(), 0);
+        assert!(table.ports_of(aid(1)).is_empty());
+    }
+
+    #[test]
+    fn lookup_counter_increments() {
+        let table = ClientPortTable::new();
+        table.reset_op_counts();
+        let _ = table.clients_for_port(1);
+        let _ = table.client_listens_on(aid(1), 2);
+        assert_eq!(table.op_counts().lookups, 2);
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80]);
+        let copy = table.clone();
+        assert_eq!(copy.clients_for_port(80), vec![aid(1)]);
+    }
+}

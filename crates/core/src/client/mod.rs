@@ -1,0 +1,11 @@
+//! Client-side HIDE: the open-port registry, the HIDE agent that syncs
+//! ports before suspending and interprets BTIM bits, and a legacy
+//! (non-HIDE) client for coexistence testing.
+
+mod agent;
+mod legacy;
+mod ports;
+
+pub use agent::{HideClient, WakeDecision};
+pub use legacy::LegacyClient;
+pub use ports::OpenPortRegistry;

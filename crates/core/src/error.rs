@@ -1,0 +1,82 @@
+//! Error types for the HIDE protocol core.
+
+use hide_wifi::mac::MacAddr;
+use hide_wifi::WifiError;
+use std::fmt;
+
+/// Errors produced by the HIDE AP and client implementations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The AP has exhausted its 2007 association IDs.
+    NoFreeAid,
+    /// A frame referenced a client the AP does not know.
+    UnknownClient(MacAddr),
+    /// The client tried a HIDE operation before being associated.
+    NotAssociated,
+    /// An ACK arrived from an unexpected peer.
+    UnexpectedAck {
+        /// Who the ACK was addressed to.
+        receiver: MacAddr,
+        /// Who we are.
+        expected: MacAddr,
+    },
+    /// A port bind collided with an existing binding.
+    PortInUse(u16),
+    /// The underlying 802.11 layer failed.
+    Wifi(WifiError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoFreeAid => write!(f, "no free association id"),
+            CoreError::UnknownClient(mac) => write!(f, "unknown client {mac}"),
+            CoreError::NotAssociated => write!(f, "client is not associated"),
+            CoreError::UnexpectedAck { receiver, expected } => {
+                write!(f, "ack addressed to {receiver}, expected {expected}")
+            }
+            CoreError::PortInUse(port) => write!(f, "udp port {port} already bound"),
+            CoreError::Wifi(e) => write!(f, "wifi layer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Wifi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WifiError> for CoreError {
+    fn from(e: WifiError) -> Self {
+        CoreError::Wifi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CoreError::NoFreeAid.to_string(), "no free association id");
+        assert!(CoreError::PortInUse(80).to_string().contains("80"));
+    }
+
+    #[test]
+    fn wifi_error_is_source() {
+        use std::error::Error;
+        let e = CoreError::from(WifiError::InvalidAid(0));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

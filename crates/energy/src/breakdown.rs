@@ -1,0 +1,215 @@
+//! Energy accounting: the five-component breakdown of Eq. (2) and the
+//! derived metrics the paper's figures report.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// The five components of Eq. (2), in joules.
+///
+/// # Example
+///
+/// ```
+/// use hide_energy::breakdown::EnergyBreakdown;
+///
+/// let b = EnergyBreakdown {
+///     beacon: 1.0,
+///     frames: 2.0,
+///     wakelock: 3.0,
+///     state_transfer: 4.0,
+///     overhead: 0.5,
+/// };
+/// assert_eq!(b.total(), 10.5);
+/// assert_eq!(b.average_power(21.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// `Eb` — beacon reception.
+    pub beacon: f64,
+    /// `Ef` — broadcast data frame reception (incl. idle listening).
+    pub frames: f64,
+    /// `Ewl` — system active-idle under wakelocks.
+    pub wakelock: f64,
+    /// `Est` — suspend/resume state transfers.
+    pub state_transfer: f64,
+    /// `Eo` — HIDE protocol overhead.
+    pub overhead: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy `E` of Eq. (2), joules.
+    pub fn total(&self) -> f64 {
+        self.beacon + self.frames + self.wakelock + self.state_transfer + self.overhead
+    }
+
+    /// Average power over `duration` seconds, in watts — the metric
+    /// Figs. 7 and 8 plot (they use milliwatts).
+    pub fn average_power(&self, duration: f64) -> f64 {
+        self.total() / duration
+    }
+
+    /// Each component as average power in milliwatts, in the order the
+    /// figures stack them: `[Eb, Ef, Est, Ewl, Eo] / T`.
+    pub fn stacked_milliwatts(&self, duration: f64) -> [f64; 5] {
+        let to_mw = |e: f64| e / duration * 1e3;
+        [
+            to_mw(self.beacon),
+            to_mw(self.frames),
+            to_mw(self.state_transfer),
+            to_mw(self.wakelock),
+            to_mw(self.overhead),
+        ]
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            beacon: self.beacon + rhs.beacon,
+            frames: self.frames + rhs.frames,
+            wakelock: self.wakelock + rhs.wakelock,
+            state_transfer: self.state_transfer + rhs.state_transfer,
+            overhead: self.overhead + rhs.overhead,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Eb={:.3}J Ef={:.3}J Est={:.3}J Ewl={:.3}J Eo={:.3}J (total {:.3}J)",
+            self.beacon,
+            self.frames,
+            self.state_transfer,
+            self.wakelock,
+            self.overhead,
+            self.total()
+        )
+    }
+}
+
+/// Full evaluation result: energy plus the state statistics behind
+/// Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// The five-component energy breakdown.
+    pub breakdown: EnergyBreakdown,
+    /// Trace duration, seconds.
+    pub duration: f64,
+    /// Time spent fully suspended, seconds.
+    pub suspend_time: f64,
+    /// Number of resume operations.
+    pub resume_count: u64,
+    /// Number of aborted suspend operations.
+    pub aborted_suspends: u64,
+    /// Baseline energy of sitting in suspend mode (`P_ss ·
+    /// suspend_time`), reported separately because Eq. (2) excludes it.
+    pub suspend_floor_energy: f64,
+}
+
+impl EnergyReport {
+    /// Fraction of the trace spent in suspend mode — the y-axis of
+    /// Fig. 9.
+    pub fn suspend_fraction(&self) -> f64 {
+        self.suspend_time / self.duration
+    }
+
+    /// Average power in watts (Eq. 2 total over duration).
+    pub fn average_power(&self) -> f64 {
+        self.breakdown.average_power(self.duration)
+    }
+
+    /// Average power in milliwatts — the unit of Figs. 7 and 8.
+    pub fn average_power_mw(&self) -> f64 {
+        self.average_power() * 1e3
+    }
+
+    /// Energy saving of this report relative to `baseline`, as a
+    /// fraction in `[−∞, 1]`: `1 − E_self / E_baseline`.
+    pub fn saving_vs(&self, baseline: &EnergyReport) -> f64 {
+        1.0 - self.breakdown.total() / baseline.breakdown.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total_each: f64) -> EnergyReport {
+        EnergyReport {
+            breakdown: EnergyBreakdown {
+                beacon: total_each,
+                frames: total_each,
+                wakelock: total_each,
+                state_transfer: total_each,
+                overhead: total_each,
+            },
+            duration: 10.0,
+            suspend_time: 8.0,
+            resume_count: 3,
+            aborted_suspends: 1,
+            suspend_floor_energy: 0.1,
+        }
+    }
+
+    #[test]
+    fn total_sums_components() {
+        assert_eq!(report(1.0).breakdown.total(), 5.0);
+    }
+
+    #[test]
+    fn average_power_divides_by_duration() {
+        let r = report(2.0);
+        assert_eq!(r.average_power(), 1.0);
+        assert_eq!(r.average_power_mw(), 1000.0);
+    }
+
+    #[test]
+    fn suspend_fraction() {
+        assert!((report(1.0).suspend_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saving_vs_baseline() {
+        let cheap = report(1.0);
+        let expensive = report(4.0);
+        assert!((cheap.saving_vs(&expensive) - 0.75).abs() < 1e-12);
+        assert_eq!(expensive.saving_vs(&expensive), 0.0);
+    }
+
+    #[test]
+    fn stacked_order_matches_figures() {
+        let b = EnergyBreakdown {
+            beacon: 1.0,
+            frames: 2.0,
+            wakelock: 4.0,
+            state_transfer: 3.0,
+            overhead: 5.0,
+        };
+        // Fig. 7 legend order: Eb, Ef, Est, Ewl, Eo.
+        assert_eq!(b.stacked_milliwatts(1.0), [1e3, 2e3, 3e3, 4e3, 5e3]);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let b = EnergyBreakdown {
+            beacon: 1.0,
+            frames: 2.0,
+            wakelock: 3.0,
+            state_transfer: 4.0,
+            overhead: 5.0,
+        };
+        let sum = b + b;
+        assert_eq!(sum.total(), 30.0);
+        assert_eq!(sum.overhead, 10.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = report(1.0).breakdown.to_string();
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Device power profiles (Table I of the HIDE paper).
+//!
+//! The authors measured two phones with a Monsoon power monitor; since we
+//! have no hardware, the constants of Table I are reproduced verbatim.
+//! Energies are in joules, powers in watts, durations in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Power/energy constants of one smartphone model (one row of Table I).
+///
+/// # Example
+///
+/// ```
+/// use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
+///
+/// assert_eq!(NEXUS_ONE.wakelock_secs, 1.0);
+/// let wake_cost = NEXUS_ONE.resume_energy + NEXUS_ONE.suspend_energy;
+/// assert!((wake_cost - 35.92e-3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// WiFi-driver wakelock duration `τ` acquired per received broadcast
+    /// frame (1 s on both measured phones, following the paper's reference \[6\]).
+    pub wakelock_secs: f64,
+    /// Duration of a system resume operation `T_rm`.
+    pub resume_secs: f64,
+    /// Duration of a system suspend operation `T_sp`.
+    pub suspend_secs: f64,
+    /// Energy of one complete resume operation `E_rm` (J).
+    pub resume_energy: f64,
+    /// Energy of one complete suspend operation `E_sp` (J).
+    pub suspend_energy: f64,
+    /// Energy to receive one beacon frame `E^u_b` (J). Table I lists
+    /// this per beacon at the nominal beacon length
+    /// [`DeviceProfile::NOMINAL_BEACON_BYTES`]; per-byte costs (used for
+    /// the BTIM overhead of Eq. 16) are derived from it.
+    pub beacon_energy: f64,
+    /// WiFi radio receive power `P_r` (W).
+    pub rx_power: f64,
+    /// WiFi radio transmit power `P_t` (W).
+    pub tx_power: f64,
+    /// WiFi radio idle-listening power `P_idle` (W).
+    pub idle_power: f64,
+    /// Whole-system suspend-mode power `P_ss` (W).
+    pub suspend_power: f64,
+    /// Whole-system active-idle power `P_sa` (W) — what a wakelock burns.
+    pub active_idle_power: f64,
+}
+
+impl DeviceProfile {
+    /// Nominal beacon length used to convert the per-beacon energy
+    /// `E^u_b` into a per-byte cost for the BTIM overhead term.
+    pub const NOMINAL_BEACON_BYTES: f64 = 100.0;
+
+    /// Energy to receive one extra byte inside a beacon (J/byte),
+    /// derived from [`DeviceProfile::beacon_energy`].
+    pub fn beacon_energy_per_byte(&self) -> f64 {
+        self.beacon_energy / Self::NOMINAL_BEACON_BYTES
+    }
+
+    /// Energy of one full suspend-to-active round trip
+    /// (`E_rm + E_sp`), the per-wake cost charged by Eq. (13).
+    pub fn wake_cycle_energy(&self) -> f64 {
+        self.resume_energy + self.suspend_energy
+    }
+
+    /// Validates that every constant is physically sensible (positive
+    /// durations and powers, suspend power below active power).
+    pub fn is_consistent(&self) -> bool {
+        self.wakelock_secs > 0.0
+            && self.resume_secs > 0.0
+            && self.suspend_secs > 0.0
+            && self.resume_energy > 0.0
+            && self.suspend_energy > 0.0
+            && self.beacon_energy > 0.0
+            && self.rx_power > 0.0
+            && self.tx_power > 0.0
+            && self.idle_power > 0.0
+            && self.suspend_power > 0.0
+            && self.active_idle_power > 0.0
+            && self.suspend_power < self.active_idle_power
+            && self.idle_power < self.rx_power
+    }
+}
+
+/// Table I row for the HTC/Google Nexus One.
+pub const NEXUS_ONE: DeviceProfile = DeviceProfile {
+    name: "Nexus One",
+    wakelock_secs: 1.0,
+    resume_secs: 0.046,
+    suspend_secs: 0.086,
+    resume_energy: 18.26e-3,
+    suspend_energy: 17.66e-3,
+    beacon_energy: 1.25e-3,
+    rx_power: 0.530,
+    tx_power: 1.200,
+    idle_power: 0.245,
+    suspend_power: 0.011,
+    active_idle_power: 0.125,
+};
+
+/// Table I row for the Samsung Galaxy S4.
+pub const GALAXY_S4: DeviceProfile = DeviceProfile {
+    name: "Galaxy S4",
+    wakelock_secs: 1.0,
+    resume_secs: 0.044,
+    suspend_secs: 0.165,
+    resume_energy: 58.3e-3,
+    suspend_energy: 85.8e-3,
+    beacon_energy: 1.71e-3,
+    rx_power: 0.538,
+    tx_power: 1.500,
+    idle_power: 0.275,
+    suspend_power: 0.015,
+    active_idle_power: 0.130,
+};
+
+/// Both Table I profiles, in paper order.
+pub const ALL_PROFILES: [DeviceProfile; 2] = [NEXUS_ONE, GALAXY_S4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_profiles_are_consistent() {
+        for p in ALL_PROFILES {
+            assert!(p.is_consistent(), "{} profile inconsistent", p.name);
+        }
+    }
+
+    #[test]
+    fn s4_state_transfers_cost_more() {
+        // The paper observes state-transfer overhead is much higher on
+        // the Galaxy S4, which is why "client-side" barely helps there.
+        assert!(GALAXY_S4.wake_cycle_energy() > 3.0 * NEXUS_ONE.wake_cycle_energy());
+    }
+
+    #[test]
+    fn wake_cycle_energy_matches_table() {
+        assert!((NEXUS_ONE.wake_cycle_energy() - 35.92e-3).abs() < 1e-9);
+        assert!((GALAXY_S4.wake_cycle_energy() - 144.1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_byte_beacon_energy_is_small() {
+        assert!(NEXUS_ONE.beacon_energy_per_byte() < NEXUS_ONE.beacon_energy);
+        assert!((NEXUS_ONE.beacon_energy_per_byte() - 12.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_profile_detected() {
+        let mut p = NEXUS_ONE;
+        p.suspend_power = 1.0; // above active power
+        assert!(!p.is_consistent());
+        let mut p = NEXUS_ONE;
+        p.rx_power = -1.0;
+        assert!(!p.is_consistent());
+    }
+
+    #[test]
+    fn table_i_exact_values() {
+        assert_eq!(NEXUS_ONE.resume_secs, 0.046);
+        assert_eq!(NEXUS_ONE.suspend_secs, 0.086);
+        assert_eq!(GALAXY_S4.resume_secs, 0.044);
+        assert_eq!(GALAXY_S4.suspend_secs, 0.165);
+        assert_eq!(NEXUS_ONE.tx_power, 1.2);
+        assert_eq!(GALAXY_S4.tx_power, 1.5);
+        assert_eq!(NEXUS_ONE.suspend_power, 0.011);
+        assert_eq!(GALAXY_S4.suspend_power, 0.015);
+    }
+}

@@ -1,0 +1,201 @@
+//! WiFi radio energy: beacon reception (Eq. 6) and broadcast data
+//! reception with idle listening (Eqs. 7–11).
+
+use crate::profile::DeviceProfile;
+use crate::timeline::Timeline;
+
+/// Radio energy components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioResult {
+    /// `Eb` — beacon reception energy (Eq. 6), J.
+    pub beacon_energy: f64,
+    /// `Ef` — broadcast-frame reception energy (Eq. 7), J.
+    pub frame_energy: f64,
+    /// Total receive airtime `Σ t_t(i)`, seconds.
+    pub receive_time: f64,
+    /// Total idle-listening time `Σ t_d(i) + Σ t_f(i)`, seconds.
+    pub idle_listen_time: f64,
+}
+
+/// Evaluates Eqs. (6)–(11) on a timeline.
+///
+/// * `Eb = E^u_b · (number of beacons)` — every client wakes its radio
+///   for every beacon regardless of traffic.
+/// * For each beacon interval containing received frames, the radio
+///   idle-listens from the beacon to the first frame (`t_f`, Eq. 9).
+/// * After a frame with the *More Data* bit set, the radio idle-listens
+///   until the next frame or the end of the beacon interval
+///   (`t_d`, Eq. 10).
+pub fn evaluate_radio(profile: &DeviceProfile, timeline: &Timeline) -> RadioResult {
+    let beacon_energy = profile.beacon_energy * timeline.beacon_count() as f64;
+
+    let frames = timeline.frames();
+    let mut receive_time = 0.0f64;
+    let mut idle = 0.0f64;
+    let mut current_interval: Option<u64> = None;
+
+    for (i, f) in frames.iter().enumerate() {
+        receive_time += f.airtime;
+
+        // t_f: idle listening from the beacon to the first frame of each
+        // interval that has frames (Eq. 9).
+        let interval = timeline.interval_of(f.start);
+        if current_interval != Some(interval) {
+            current_interval = Some(interval);
+            idle += (f.start - timeline.interval_start(interval)).max(0.0);
+        }
+
+        // t_d: post-frame listening when More Data is set (Eq. 10).
+        if f.more_data {
+            let interval_end = timeline.interval_start(interval + 1);
+            let next_bound = match frames.get(i + 1) {
+                Some(next) => next.start.min(interval_end),
+                None => interval_end.min(timeline.duration()),
+            };
+            idle += (next_bound - f.end()).max(0.0);
+        }
+    }
+
+    RadioResult {
+        beacon_energy,
+        frame_energy: profile.rx_power * receive_time + profile.idle_power * idle,
+        receive_time,
+        idle_listen_time: idle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::NEXUS_ONE;
+    use crate::timeline::{Timeline, TimelineFrame};
+
+    const BI: f64 = 0.1024;
+
+    fn frame(start: f64, airtime: f64, more_data: bool) -> TimelineFrame {
+        TimelineFrame {
+            start,
+            airtime,
+            more_data,
+            hold: 1.0,
+        }
+    }
+
+    #[test]
+    fn beacon_energy_scales_with_duration() {
+        let short = Timeline::new(10.0, BI, vec![]).unwrap();
+        let long = Timeline::new(100.0, BI, vec![]).unwrap();
+        let rs = evaluate_radio(&NEXUS_ONE, &short);
+        let rl = evaluate_radio(&NEXUS_ONE, &long);
+        assert!(rl.beacon_energy > 9.0 * rs.beacon_energy);
+        assert_eq!(rs.frame_energy, 0.0);
+    }
+
+    #[test]
+    fn receive_time_is_sum_of_airtimes() {
+        let t = Timeline::new(
+            10.0,
+            BI,
+            vec![frame(1.0, 0.002, false), frame(2.0, 0.003, false)],
+        )
+        .unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        assert!((r.receive_time - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_counts_beacon_to_first_frame_per_interval() {
+        // Two frames in the same interval: t_f only once, from the
+        // interval start to the first frame.
+        let start = 10.0 * BI;
+        let t = Timeline::new(
+            10.0,
+            BI,
+            vec![
+                frame(start + 0.010, 0.0, false),
+                frame(start + 0.050, 0.0, false),
+            ],
+        )
+        .unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        assert!((r.idle_listen_time - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_data_listens_until_next_frame() {
+        let start = 10.0 * BI;
+        let t = Timeline::new(
+            10.0,
+            BI,
+            vec![
+                frame(start + 0.010, 0.001, true),
+                frame(start + 0.030, 0.001, false),
+            ],
+        )
+        .unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        // t_f = 0.010; t_d = 0.030 - 0.011 = 0.019.
+        assert!((r.idle_listen_time - 0.029).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_data_on_last_frame_listens_to_interval_end() {
+        let start = 10.0 * BI;
+        let t = Timeline::new(10.0, BI, vec![frame(start + 0.010, 0.001, true)]).unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        let td = (11.0 * BI) - (start + 0.011);
+        assert!((r.idle_listen_time - (0.010 + td)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_data_clipped_at_interval_boundary() {
+        // Next frame is in a later interval: listening stops at the
+        // interval end, not the next frame.
+        let start = 10.0 * BI;
+        let second = start + 2.5 * BI; // middle of interval 12
+        let t = Timeline::new(
+            10.0,
+            BI,
+            vec![
+                frame(start + 0.010, 0.001, true),
+                frame(second, 0.001, false),
+            ],
+        )
+        .unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        let td = (11.0 * BI) - (start + 0.011);
+        let tf_second = 0.5 * BI;
+        assert!((r.idle_listen_time - (0.010 + td + tf_second)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_more_data_means_no_post_frame_listening() {
+        let start = 10.0 * BI;
+        let t = Timeline::new(10.0, BI, vec![frame(start, 0.001, false)]).unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        assert_eq!(r.idle_listen_time, 0.0);
+    }
+
+    #[test]
+    fn frame_energy_combines_rx_and_idle_powers() {
+        let start = 10.0 * BI;
+        let t = Timeline::new(10.0, BI, vec![frame(start + 0.01, 0.002, false)]).unwrap();
+        let r = evaluate_radio(&NEXUS_ONE, &t);
+        let expected = 0.530 * 0.002 + 0.245 * 0.01;
+        assert!((r.frame_energy - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_received_frames_means_less_energy() {
+        let all: Vec<TimelineFrame> = (0..100)
+            .map(|i| frame(i as f64 * 0.3, 0.002, false))
+            .collect();
+        let some: Vec<TimelineFrame> = all.iter().step_by(10).copied().collect();
+        let t_all = Timeline::new(60.0, BI, all).unwrap();
+        let t_some = Timeline::new(60.0, BI, some).unwrap();
+        let r_all = evaluate_radio(&NEXUS_ONE, &t_all);
+        let r_some = evaluate_radio(&NEXUS_ONE, &t_some);
+        assert!(r_some.frame_energy < r_all.frame_energy);
+        assert_eq!(r_some.beacon_energy, r_all.beacon_energy);
+    }
+}

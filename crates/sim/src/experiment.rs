@@ -1,0 +1,347 @@
+//! Experiment runners for the paper's figures.
+//!
+//! Each function reproduces the data behind one figure:
+//!
+//! * [`trace_volumes`] — Fig. 6 (CDFs of broadcast frames/second),
+//! * [`energy_comparison`] — Figs. 7 and 8 (stacked average power per
+//!   solution per trace),
+//! * [`suspend_fractions`] — Fig. 9 (fraction of time in suspend mode),
+//! * [`savings_summary`] — the headline savings ranges quoted in the
+//!   abstract and conclusion.
+
+use crate::simulation::SimulationBuilder;
+use crate::solution::Solution;
+use hide_energy::profile::DeviceProfile;
+use hide_traces::record::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The useful-frame percentages Figs. 7 and 8 sweep, in figure order.
+pub const PAPER_FRACTIONS: [f64; 5] = [0.10, 0.08, 0.06, 0.04, 0.02];
+
+/// One bar of Figs. 7/8: a solution's stacked average power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBar {
+    /// Solution label (`receive-all`, `client-side`, `HIDE:10%`, …).
+    pub label: String,
+    /// `[Eb, Ef, Est, Ewl, Eo] / T` in milliwatts, figure stacking order.
+    pub stacked_mw: [f64; 5],
+    /// Total average power in milliwatts.
+    pub total_mw: f64,
+    /// Fraction of time in suspend mode (Fig. 9's metric).
+    pub suspend_fraction: f64,
+    /// Energy saving vs. the receive-all bar of the same scenario.
+    pub saving_vs_receive_all: f64,
+}
+
+/// All bars for one trace (one sub-figure of Figs. 7/8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioComparison {
+    /// Scenario label.
+    pub scenario: String,
+    /// Device name.
+    pub device: String,
+    /// Bars in figure order: receive-all, client-side, HIDE at each
+    /// fraction.
+    pub bars: Vec<EnergyBar>,
+}
+
+impl ScenarioComparison {
+    /// The bar with the given label, if present.
+    pub fn bar(&self, label: &str) -> Option<&EnergyBar> {
+        self.bars.iter().find(|b| b.label == label)
+    }
+}
+
+/// Runs the Figs. 7/8 experiment: for every trace, simulate
+/// receive-all, the client-side lower bound, and HIDE at each fraction.
+pub fn energy_comparison(
+    profile: DeviceProfile,
+    traces: &[Trace],
+    fractions: &[f64],
+) -> Vec<ScenarioComparison> {
+    traces
+        .iter()
+        .map(|trace| {
+            let mut bars = Vec::new();
+            let baseline = SimulationBuilder::new(trace, profile)
+                .solution(Solution::ReceiveAll)
+                .run();
+            let baseline_total = baseline.energy.breakdown.total();
+
+            let mut push = |result: crate::simulation::SimulationResult| {
+                let d = result.energy.duration;
+                bars.push(EnergyBar {
+                    label: result.solution.label(),
+                    stacked_mw: result.energy.breakdown.stacked_milliwatts(d),
+                    total_mw: result.energy.average_power_mw(),
+                    suspend_fraction: result.energy.suspend_fraction(),
+                    saving_vs_receive_all: 1.0 - result.energy.breakdown.total() / baseline_total,
+                });
+            };
+
+            push(baseline.clone());
+            push(
+                SimulationBuilder::new(trace, profile)
+                    .solution(Solution::client_side_lower_bound())
+                    .run(),
+            );
+            for &f in fractions {
+                push(
+                    SimulationBuilder::new(trace, profile)
+                        .solution(Solution::hide(f))
+                        .run(),
+                );
+            }
+            ScenarioComparison {
+                scenario: trace.scenario.clone(),
+                device: profile.name.to_string(),
+                bars,
+            }
+        })
+        .collect()
+}
+
+/// One scenario's suspend-time fractions (Fig. 9): receive-all,
+/// client-side, HIDE:10%, HIDE:2%.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspendFractionRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// `(solution label, fraction of time suspended)` in figure order.
+    pub fractions: Vec<(String, f64)>,
+}
+
+/// Runs the Fig. 9 experiment.
+pub fn suspend_fractions(profile: DeviceProfile, traces: &[Trace]) -> Vec<SuspendFractionRow> {
+    let solutions = [
+        Solution::ReceiveAll,
+        Solution::client_side_lower_bound(),
+        Solution::hide(0.10),
+        Solution::hide(0.02),
+    ];
+    traces
+        .iter()
+        .map(|trace| SuspendFractionRow {
+            scenario: trace.scenario.clone(),
+            fractions: solutions
+                .iter()
+                .map(|&s| {
+                    let r = SimulationBuilder::new(trace, profile).solution(s).run();
+                    (s.label(), r.energy.suspend_fraction())
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Per-trace volume statistics behind Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceVolume {
+    /// Scenario label.
+    pub scenario: String,
+    /// Mean broadcast frames per second (the black square).
+    pub mean_fps: f64,
+    /// Frame count in the trace.
+    pub frames: usize,
+    /// Selected CDF points `(frames/sec, P)`.
+    pub cdf_points: Vec<(f64, f64)>,
+}
+
+/// Computes the Fig. 6 data for each trace.
+pub fn trace_volumes(traces: &[Trace]) -> Vec<TraceVolume> {
+    traces
+        .iter()
+        .map(|t| {
+            let cdf = t.fps_cdf();
+            TraceVolume {
+                scenario: t.scenario.clone(),
+                mean_fps: t.mean_fps(),
+                frames: t.len(),
+                cdf_points: cdf.plot_points(25),
+            }
+        })
+        .collect()
+}
+
+/// One row of the unicast-sensitivity extension experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnicastSensitivityRow {
+    /// Unicast arrival rate, frames/second.
+    pub unicast_rate: f64,
+    /// receive-all average power, mW.
+    pub receive_all_mw: f64,
+    /// HIDE:10% average power, mW.
+    pub hide_mw: f64,
+    /// HIDE:10% saving vs. receive-all at this unicast load.
+    pub saving: f64,
+}
+
+/// Extension experiment: how background unicast traffic (which wakes
+/// the client under every solution) dilutes HIDE's savings.
+pub fn unicast_sensitivity(
+    profile: DeviceProfile,
+    trace: &Trace,
+    rates: &[f64],
+) -> Vec<UnicastSensitivityRow> {
+    use hide_traces::unicast::UnicastTrace;
+    rates
+        .iter()
+        .map(|&rate| {
+            let unicast = UnicastTrace::poisson(trace.duration, rate, 99);
+            let all = SimulationBuilder::new(trace, profile)
+                .unicast(&unicast)
+                .run();
+            let hide = SimulationBuilder::new(trace, profile)
+                .solution(Solution::hide(0.10))
+                .unicast(&unicast)
+                .run();
+            UnicastSensitivityRow {
+                unicast_rate: rate,
+                receive_all_mw: all.energy.average_power_mw(),
+                hide_mw: hide.energy.average_power_mw(),
+                saving: hide.energy.saving_vs(&all.energy),
+            }
+        })
+        .collect()
+}
+
+/// The headline savings ranges quoted in the paper's abstract: min/max
+/// HIDE saving vs. receive-all across traces, and the average extra
+/// saving over the client-side solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavingsSummary {
+    /// Device name.
+    pub device: String,
+    /// Useful fraction the summary is for.
+    pub fraction: f64,
+    /// Minimum saving vs. receive-all across traces.
+    pub min_saving: f64,
+    /// Maximum saving vs. receive-all across traces.
+    pub max_saving: f64,
+    /// Mean of (HIDE saving − client-side saving) across traces.
+    pub mean_extra_vs_client_side: f64,
+}
+
+/// Summarizes a set of [`ScenarioComparison`]s at one HIDE fraction.
+///
+/// # Panics
+///
+/// Panics if `comparisons` lack the `receive-all`, `client-side` or
+/// requested HIDE bars (they always exist when produced by
+/// [`energy_comparison`] with that fraction included).
+pub fn savings_summary(comparisons: &[ScenarioComparison], fraction: f64) -> SavingsSummary {
+    let label = Solution::hide(fraction).label();
+    let mut min_saving = f64::INFINITY;
+    let mut max_saving = f64::NEG_INFINITY;
+    let mut extra_sum = 0.0;
+    for c in comparisons {
+        let hide = c.bar(&label).expect("HIDE bar present");
+        let cs = c.bar("client-side").expect("client-side bar present");
+        min_saving = min_saving.min(hide.saving_vs_receive_all);
+        max_saving = max_saving.max(hide.saving_vs_receive_all);
+        extra_sum += hide.saving_vs_receive_all - cs.saving_vs_receive_all;
+    }
+    SavingsSummary {
+        device: comparisons
+            .first()
+            .map(|c| c.device.clone())
+            .unwrap_or_default(),
+        fraction,
+        min_saving,
+        max_saving,
+        mean_extra_vs_client_side: extra_sum / comparisons.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_energy::profile::NEXUS_ONE;
+    use hide_traces::scenario::Scenario;
+
+    fn traces() -> Vec<Trace> {
+        Scenario::generate_all(600.0, 31)
+    }
+
+    #[test]
+    fn energy_comparison_has_expected_bars() {
+        let traces = traces();
+        let comparisons = energy_comparison(NEXUS_ONE, &traces, &PAPER_FRACTIONS);
+        assert_eq!(comparisons.len(), 5);
+        for c in &comparisons {
+            assert_eq!(c.bars.len(), 7);
+            assert_eq!(c.bars[0].label, "receive-all");
+            assert_eq!(c.bars[1].label, "client-side");
+            assert_eq!(c.bars[2].label, "HIDE:10%");
+            assert_eq!(c.bars[6].label, "HIDE:2%");
+            // Every HIDE bar must beat receive-all.
+            for bar in &c.bars[2..] {
+                assert!(
+                    bar.saving_vs_receive_all > 0.0,
+                    "{} {} saved nothing",
+                    c.scenario,
+                    bar.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_components_sum_to_total() {
+        let traces = traces();
+        let comparisons = energy_comparison(NEXUS_ONE, &traces[..1], &[0.10]);
+        for bar in &comparisons[0].bars {
+            let sum: f64 = bar.stacked_mw.iter().sum();
+            assert!((sum - bar.total_mw).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn suspend_fractions_ordered_by_solution() {
+        let traces = traces();
+        let rows = suspend_fractions(NEXUS_ONE, &traces);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.fractions.len(), 4);
+            let get = |label: &str| {
+                row.fractions
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            // HIDE:2% suspends at least as much as HIDE:10%, which beats
+            // receive-all.
+            assert!(get("HIDE:2%") >= get("HIDE:10%") - 1e-9, "{}", row.scenario);
+            assert!(get("HIDE:10%") > get("receive-all"), "{}", row.scenario);
+            for (_, v) in &row.fractions {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_volumes_report_means() {
+        let traces = traces();
+        let vols = trace_volumes(&traces);
+        assert_eq!(vols.len(), 5);
+        for v in &vols {
+            assert!(v.mean_fps > 0.0);
+            assert!(!v.cdf_points.is_empty());
+            let last = v.cdf_points.last().unwrap();
+            assert!((last.1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn savings_summary_ranges() {
+        let traces = traces();
+        let comparisons = energy_comparison(NEXUS_ONE, &traces, &[0.10, 0.02]);
+        let s10 = savings_summary(&comparisons, 0.10);
+        let s2 = savings_summary(&comparisons, 0.02);
+        assert!(s10.min_saving <= s10.max_saving);
+        assert!(s10.min_saving > 0.0);
+        assert!(s2.min_saving >= s10.min_saving - 0.05);
+        assert!(s2.max_saving > s10.max_saving - 0.05);
+    }
+}

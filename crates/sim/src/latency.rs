@@ -1,0 +1,143 @@
+//! Broadcast delivery latency.
+//!
+//! HIDE itself never delays a frame — the AP still delivers at the next
+//! DTIM exactly as a standard AP would — but the knobs around it do:
+//! a longer DTIM period batches delivery (saving energy, see the DTIM
+//! ablation) at the cost of staleness, and service-discovery protocols
+//! care about that staleness. This module measures the buffering
+//! latency distribution: the time from a frame's arrival at the AP to
+//! its transmission after the following DTIM beacon.
+
+use hide_traces::record::Trace;
+use hide_traces::stats::Cdf;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a delivery-latency distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// DTIM period the report was computed for.
+    pub dtim_period: u8,
+    /// Beacon interval in seconds.
+    pub beacon_interval: f64,
+    /// Mean buffering latency, seconds.
+    pub mean_secs: f64,
+    /// Median buffering latency, seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile buffering latency, seconds.
+    pub p99_secs: f64,
+    /// Worst observed latency, seconds.
+    pub max_secs: f64,
+    /// Full latency CDF for plotting.
+    pub cdf: Cdf,
+}
+
+/// Computes the buffering-latency distribution of delivering `trace`
+/// through an AP with the given beacon interval and DTIM period,
+/// modelling queueing within each delivery burst (frames go out back
+/// to back at their airtimes).
+///
+/// # Panics
+///
+/// Panics if `beacon_interval` is not positive or `dtim_period` is
+/// zero.
+pub fn delivery_latency(trace: &Trace, beacon_interval: f64, dtim_period: u8) -> LatencyReport {
+    assert!(beacon_interval > 0.0, "beacon interval must be positive");
+    assert!(dtim_period > 0, "DTIM period must be positive");
+    let dtim_interval = beacon_interval * dtim_period as f64;
+
+    let mut cursor = 0.0f64;
+    let mut latencies = Vec::with_capacity(trace.len());
+    for f in &trace.frames {
+        // First DTIM strictly after arrival, then queue behind earlier
+        // deliveries still on air.
+        let next_dtim = ((f.time / dtim_interval).floor() + 1.0) * dtim_interval;
+        let tx_start = next_dtim.max(cursor);
+        let tx_end = tx_start + f.airtime();
+        latencies.push(tx_end - f.time);
+        cursor = tx_end;
+    }
+
+    let cdf = Cdf::from_samples(latencies);
+    LatencyReport {
+        dtim_period,
+        beacon_interval,
+        mean_secs: cdf.mean(),
+        p50_secs: cdf.quantile(0.5),
+        p99_secs: cdf.quantile(0.99),
+        max_secs: cdf.max(),
+        cdf,
+    }
+}
+
+/// Sweeps DTIM periods, producing one report per period.
+pub fn latency_sweep(trace: &Trace, beacon_interval: f64, periods: &[u8]) -> Vec<LatencyReport> {
+    periods
+        .iter()
+        .map(|&p| delivery_latency(trace, beacon_interval, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_traces::scenario::Scenario;
+
+    const BI: f64 = 0.1024;
+
+    #[test]
+    fn latency_bounded_by_dtim_interval_when_uncongested() {
+        // Light traffic: every frame waits at most one DTIM interval
+        // plus its own airtime.
+        let trace = Scenario::Starbucks.generate(600.0, 91);
+        let report = delivery_latency(&trace, BI, 1);
+        assert!(report.max_secs <= BI + 0.02, "max {}", report.max_secs);
+        assert!(report.mean_secs > 0.0);
+        assert!(report.p50_secs <= report.p99_secs);
+        assert!(report.p99_secs <= report.max_secs);
+    }
+
+    #[test]
+    fn latency_grows_with_dtim_period() {
+        let trace = Scenario::CsDept.generate(600.0, 92);
+        let sweep = latency_sweep(&trace, BI, &[1, 2, 3, 5]);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].mean_secs > w[0].mean_secs,
+                "period {} mean {} vs period {} mean {}",
+                w[1].dtim_period,
+                w[1].mean_secs,
+                w[0].dtim_period,
+                w[0].mean_secs
+            );
+        }
+    }
+
+    #[test]
+    fn mean_latency_roughly_half_interval() {
+        // Under DTIM=1 with Poisson-ish arrivals, mean buffering
+        // latency is near half a beacon interval (plus airtime).
+        let trace = Scenario::Wrl.generate(1800.0, 93);
+        let report = delivery_latency(&trace, BI, 1);
+        assert!(
+            (report.mean_secs - BI / 2.0).abs() < BI / 2.0,
+            "mean {}",
+            report.mean_secs
+        );
+    }
+
+    #[test]
+    fn heavy_bursts_queue_behind_each_other() {
+        // WML's densest bursts exceed one frame per beacon interval, so
+        // queueing pushes p99 beyond the no-queue bound.
+        let trace = Scenario::Wml.generate(900.0, 94);
+        let report = delivery_latency(&trace, BI, 1);
+        assert!(report.max_secs > BI, "max {}", report.max_secs);
+    }
+
+    #[test]
+    #[should_panic(expected = "DTIM period")]
+    fn zero_period_panics() {
+        let trace = Scenario::Wrl.generate(10.0, 95);
+        let _ = delivery_latency(&trace, BI, 0);
+    }
+}

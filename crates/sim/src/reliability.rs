@@ -1,0 +1,292 @@
+//! Robustness of HIDE under port-set churn and UDP Port Message loss.
+//!
+//! The paper assumes the AP's Client UDP Port Table is always current:
+//! the client re-syncs before every suspend and 802.11 retransmission
+//! recovers lost messages. This module quantifies what happens when
+//! that assumption frays — messages lost beyond the retry limit, apps
+//! opening and closing ports between syncs — which is the practical
+//! risk of moving filtering *away* from the client:
+//!
+//! * a frame to a **newly-opened** port is not flagged by the stale AP
+//!   table → the suspended client misses useful data;
+//! * a frame to a **recently-closed** port is still flagged → the
+//!   client wakes spuriously, paying the full wake-cycle energy HIDE
+//!   was supposed to avoid.
+
+use hide_traces::record::Trace;
+use hide_traces::useful::Usefulness;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the reliability simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Per-transmission loss probability of a UDP Port Message.
+    pub loss_probability: f64,
+    /// 802.11 retransmission attempts after the initial transmission
+    /// (a sync fails only if all attempts are lost).
+    pub retries: u32,
+    /// Interval between the client's sync attempts, seconds.
+    pub sync_interval_secs: f64,
+    /// Mean time between port-set changes (one port swapped per
+    /// change), seconds; exponential inter-change times.
+    pub churn_interval_secs: f64,
+    /// Target useful fraction of the client's port set.
+    pub useful_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            loss_probability: 0.1,
+            retries: 3,
+            sync_interval_secs: 10.0,
+            churn_interval_secs: 120.0,
+            useful_fraction: 0.10,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a reliability simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityResult {
+    /// Sync attempts made.
+    pub syncs_attempted: u64,
+    /// Syncs lost even after all retries.
+    pub syncs_failed: u64,
+    /// Port-set changes that occurred.
+    pub churn_events: u64,
+    /// Fraction of frames that were useful but not flagged (missed
+    /// while suspended).
+    pub missed_useful_fraction: f64,
+    /// Fraction of frames that were useless but still flagged
+    /// (spurious wake-ups).
+    pub spurious_wake_fraction: f64,
+    /// Fraction of trace time the AP's table was out of date.
+    pub stale_time_fraction: f64,
+}
+
+impl ReliabilityResult {
+    /// Fraction of *useful* frames the client actually received.
+    pub fn useful_delivery_rate(&self, useful_fraction: f64) -> f64 {
+        if useful_fraction <= 0.0 {
+            return 1.0;
+        }
+        1.0 - self.missed_useful_fraction / useful_fraction
+    }
+}
+
+/// Runs the churn/loss simulation over a trace.
+///
+/// The client's true useful-port set starts as a seeded port-based
+/// marking and swaps one port (closing a current one, opening a port
+/// of similar traffic share) at each churn event. The AP's view updates
+/// only at successful syncs.
+pub fn run(trace: &Trace, config: &ReliabilityConfig) -> ReliabilityResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let hist = trace.port_histogram();
+    let all_ports: Vec<u16> = hist.iter().map(|&(p, _)| p).collect();
+
+    // True client port set over time, as a sequence of (time, set).
+    let initial = Usefulness::port_based_seeded(trace, config.useful_fraction, config.seed)
+        .useful_ports()
+        .to_vec();
+    let mut true_sets: Vec<(f64, Vec<u16>)> = vec![(0.0, initial)];
+    let mut t = 0.0;
+    let mut churn_events = 0u64;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -config.churn_interval_secs * u.ln();
+        if t >= trace.duration {
+            break;
+        }
+        let mut set = true_sets.last().expect("non-empty").1.clone();
+        if !set.is_empty() {
+            let drop_idx = rng.gen_range(0..set.len());
+            set.remove(drop_idx);
+        }
+        // Open a different port not currently in the set.
+        let candidates: Vec<u16> = all_ports
+            .iter()
+            .copied()
+            .filter(|p| !set.contains(p))
+            .collect();
+        if !candidates.is_empty() {
+            set.push(candidates[rng.gen_range(0..candidates.len())]);
+            set.sort_unstable();
+        }
+        true_sets.push((t, set));
+        churn_events += 1;
+    }
+
+    // Sync schedule: attempt every sync_interval; success unless every
+    // transmission (1 + retries) is lost.
+    let fail_prob = config
+        .loss_probability
+        .clamp(0.0, 1.0)
+        .powi(config.retries as i32 + 1);
+    let mut ap_views: Vec<(f64, Vec<u16>)> = vec![(0.0, true_sets[0].1.clone())];
+    let mut syncs_attempted = 0u64;
+    let mut syncs_failed = 0u64;
+    let mut sync_t = config.sync_interval_secs;
+    while sync_t < trace.duration {
+        syncs_attempted += 1;
+        if rng.gen_range(0.0..1.0) < fail_prob {
+            syncs_failed += 1;
+        } else {
+            let current = current_set(&true_sets, sync_t).to_vec();
+            ap_views.push((sync_t, current));
+        }
+        sync_t += config.sync_interval_secs;
+    }
+
+    // Classify every frame.
+    let total = trace.len().max(1) as f64;
+    let mut missed = 0u64;
+    let mut spurious = 0u64;
+    for f in &trace.frames {
+        let truth = current_set(&true_sets, f.time).contains(&f.dst_port);
+        let flagged = current_set(&ap_views, f.time).contains(&f.dst_port);
+        match (truth, flagged) {
+            (true, false) => missed += 1,
+            (false, true) => spurious += 1,
+            _ => {}
+        }
+    }
+
+    // Stale time: intervals where the AP view lags the true set.
+    let mut stale = 0.0f64;
+    let step = 1.0f64;
+    let mut probe = 0.0;
+    while probe < trace.duration {
+        if current_set(&true_sets, probe) != current_set(&ap_views, probe) {
+            stale += step.min(trace.duration - probe);
+        }
+        probe += step;
+    }
+
+    ReliabilityResult {
+        syncs_attempted,
+        syncs_failed,
+        churn_events,
+        missed_useful_fraction: missed as f64 / total,
+        spurious_wake_fraction: spurious as f64 / total,
+        stale_time_fraction: stale / trace.duration,
+    }
+}
+
+/// The set in force at time `t` (sets are time-sorted).
+fn current_set(sets: &[(f64, Vec<u16>)], t: f64) -> &[u16] {
+    let idx = sets.partition_point(|(start, _)| *start <= t);
+    &sets[idx.saturating_sub(1)].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hide_traces::scenario::Scenario;
+
+    fn trace() -> Trace {
+        Scenario::CsDept.generate(1200.0, 71)
+    }
+
+    #[test]
+    fn no_loss_no_churn_is_perfect() {
+        let t = trace();
+        let cfg = ReliabilityConfig {
+            loss_probability: 0.0,
+            churn_interval_secs: 1e12, // effectively never
+            ..ReliabilityConfig::default()
+        };
+        let r = run(&t, &cfg);
+        assert_eq!(r.syncs_failed, 0);
+        assert_eq!(r.churn_events, 0);
+        assert_eq!(r.missed_useful_fraction, 0.0);
+        assert_eq!(r.spurious_wake_fraction, 0.0);
+        assert_eq!(r.stale_time_fraction, 0.0);
+        assert_eq!(r.useful_delivery_rate(0.10), 1.0);
+    }
+
+    #[test]
+    fn churn_without_loss_recovers_within_a_sync_interval() {
+        let t = trace();
+        let cfg = ReliabilityConfig {
+            loss_probability: 0.0,
+            churn_interval_secs: 60.0,
+            ..ReliabilityConfig::default()
+        };
+        let r = run(&t, &cfg);
+        assert!(r.churn_events > 0);
+        // Staleness bounded by churn_rate * sync_interval.
+        let expected_bound = cfg.sync_interval_secs / cfg.churn_interval_secs * 2.0;
+        assert!(
+            r.stale_time_fraction < expected_bound,
+            "stale {} vs bound {expected_bound}",
+            r.stale_time_fraction
+        );
+        assert!(r.missed_useful_fraction < 0.05);
+    }
+
+    #[test]
+    fn retries_mask_moderate_loss() {
+        let t = trace();
+        let lossy_no_retry = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 0.5,
+                retries: 0,
+                churn_interval_secs: 60.0,
+                ..ReliabilityConfig::default()
+            },
+        );
+        let lossy_retries = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 0.5,
+                retries: 4,
+                churn_interval_secs: 60.0,
+                ..ReliabilityConfig::default()
+            },
+        );
+        assert!(lossy_no_retry.syncs_failed > lossy_retries.syncs_failed);
+        assert!(lossy_no_retry.stale_time_fraction >= lossy_retries.stale_time_fraction);
+    }
+
+    #[test]
+    fn extreme_loss_degrades_delivery() {
+        let t = trace();
+        let r = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 1.0,
+                retries: 3,
+                churn_interval_secs: 60.0,
+                ..ReliabilityConfig::default()
+            },
+        );
+        assert_eq!(r.syncs_failed, r.syncs_attempted);
+        assert!(r.churn_events > 0);
+        // With the AP frozen at the initial view and the port set
+        // churning, misses or spurious wakes must appear.
+        assert!(r.missed_useful_fraction + r.spurious_wake_fraction > 0.0);
+        assert!(r.stale_time_fraction > 0.3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace();
+        let cfg = ReliabilityConfig::default();
+        assert_eq!(run(&t, &cfg), run(&t, &cfg));
+        let other = ReliabilityConfig {
+            seed: 9,
+            ..ReliabilityConfig::default()
+        };
+        // Different seed, very likely different churn timing.
+        assert_ne!(run(&t, &cfg).churn_events, 0);
+        let _ = run(&t, &other);
+    }
+}

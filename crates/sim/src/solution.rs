@@ -1,0 +1,191 @@
+//! The three broadcast-handling solutions the evaluation compares.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A broadcast-traffic handling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Solution {
+    /// Receive and process every broadcast frame (stock behaviour).
+    ReceiveAll,
+    /// Receive every frame; drop useless ones in the WiFi driver and
+    /// re-suspend immediately (the paper's reference \[6\]). `useful_fraction` is the
+    /// share of frames that are useful; the paper compares against this
+    /// solution's *lower bound*, `useful_fraction = 0`, where no frame
+    /// ever holds a wakelock.
+    ClientSide {
+        /// Fraction of broadcast frames useful to the client, in `[0, 1]`.
+        useful_fraction: f64,
+    },
+    /// The HIDE system: the AP hides useless frames; the client receives
+    /// only useful ones.
+    Hide {
+        /// Fraction of broadcast frames useful to the client, in `[0, 1]`.
+        useful_fraction: f64,
+    },
+    /// HIDE combined with client-side filtering — the paper's stated
+    /// future-work direction. The AP's port-level filter is coarse: a
+    /// port can be open while the app only wants some of its traffic
+    /// (e.g. mDNS queries for *other* services). The AP delivers the
+    /// port-matching share; the client's driver drops the rest without
+    /// holding a wakelock.
+    Hybrid {
+        /// Fraction of frames whose port the client listens on (what
+        /// the AP delivers), in `[0, 1]`.
+        delivered_fraction: f64,
+        /// Fraction of frames an app actually consumes (wakes the
+        /// system), in `[0, delivered_fraction]`.
+        useful_fraction: f64,
+    },
+}
+
+impl Solution {
+    /// HIDE at the given useful fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `useful_fraction` is outside `[0, 1]`.
+    pub fn hide(useful_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&useful_fraction),
+            "useful fraction must be in [0, 1]"
+        );
+        Solution::Hide { useful_fraction }
+    }
+
+    /// The client-side solution at the given useful fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `useful_fraction` is outside `[0, 1]`.
+    pub fn client_side(useful_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&useful_fraction),
+            "useful fraction must be in [0, 1]"
+        );
+        Solution::ClientSide { useful_fraction }
+    }
+
+    /// The client-side solution's lower bound, the comparison point the
+    /// paper uses: every frame is useless and holds no wakelock.
+    pub fn client_side_lower_bound() -> Self {
+        Solution::ClientSide {
+            useful_fraction: 0.0,
+        }
+    }
+
+    /// HIDE plus client-side filtering of the residual useless frames
+    /// that share ports with useful traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= useful_fraction <= delivered_fraction <= 1`.
+    pub fn hybrid(delivered_fraction: f64, useful_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&delivered_fraction)
+                && (0.0..=delivered_fraction).contains(&useful_fraction),
+            "need 0 <= useful <= delivered <= 1"
+        );
+        Solution::Hybrid {
+            delivered_fraction,
+            useful_fraction,
+        }
+    }
+
+    /// The useful fraction this solution is parameterized on, if any.
+    pub fn useful_fraction(&self) -> Option<f64> {
+        match self {
+            Solution::ReceiveAll => None,
+            Solution::ClientSide { useful_fraction }
+            | Solution::Hide { useful_fraction }
+            | Solution::Hybrid {
+                useful_fraction, ..
+            } => Some(*useful_fraction),
+        }
+    }
+
+    /// Whether this solution incurs HIDE protocol overhead.
+    pub fn has_hide_overhead(&self) -> bool {
+        matches!(self, Solution::Hide { .. } | Solution::Hybrid { .. })
+    }
+
+    /// Figure-style label, e.g. `HIDE:10%`.
+    pub fn label(&self) -> String {
+        match self {
+            Solution::ReceiveAll => "receive-all".to_string(),
+            Solution::ClientSide { useful_fraction } if *useful_fraction == 0.0 => {
+                "client-side".to_string()
+            }
+            Solution::ClientSide { useful_fraction } => {
+                format!("client-side:{:.0}%", useful_fraction * 100.0)
+            }
+            Solution::Hide { useful_fraction } => {
+                format!("HIDE:{:.0}%", useful_fraction * 100.0)
+            }
+            Solution::Hybrid {
+                delivered_fraction,
+                useful_fraction,
+            } => format!(
+                "hybrid:{:.0}/{:.0}%",
+                delivered_fraction * 100.0,
+                useful_fraction * 100.0
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Solution::ReceiveAll.label(), "receive-all");
+        assert_eq!(Solution::client_side_lower_bound().label(), "client-side");
+        assert_eq!(Solution::hide(0.10).label(), "HIDE:10%");
+        assert_eq!(Solution::hide(0.02).label(), "HIDE:2%");
+    }
+
+    #[test]
+    fn useful_fraction_accessor() {
+        assert_eq!(Solution::ReceiveAll.useful_fraction(), None);
+        assert_eq!(Solution::hide(0.06).useful_fraction(), Some(0.06));
+        assert_eq!(
+            Solution::client_side_lower_bound().useful_fraction(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn only_hide_has_overhead() {
+        assert!(Solution::hide(0.1).has_hide_overhead());
+        assert!(!Solution::ReceiveAll.has_hide_overhead());
+        assert!(!Solution::client_side(0.1).has_hide_overhead());
+    }
+
+    #[test]
+    #[should_panic(expected = "useful fraction")]
+    fn out_of_range_fraction_panics() {
+        let _ = Solution::hide(1.5);
+    }
+
+    #[test]
+    fn hybrid_constructor_and_label() {
+        let h = Solution::hybrid(0.10, 0.04);
+        assert_eq!(h.label(), "hybrid:10/4%");
+        assert_eq!(h.useful_fraction(), Some(0.04));
+        assert!(h.has_hide_overhead());
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered")]
+    fn hybrid_rejects_useful_above_delivered() {
+        let _ = Solution::hybrid(0.05, 0.10);
+    }
+}

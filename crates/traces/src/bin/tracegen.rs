@@ -1,0 +1,117 @@
+//! Trace generation and inspection CLI.
+//!
+//! ```text
+//! tracegen gen <scenario> <duration_s> <seed> [out.json]   generate (prints stats)
+//! tracegen stats <trace.json>                              inspect a saved trace
+//! tracegen cdf <scenario> <duration_s> <seed>              print the Fig.6 CDF points
+//! tracegen list                                            list scenarios
+//! ```
+
+use hide_traces::io;
+use hide_traces::record::Trace;
+use hide_traces::scenario::Scenario;
+use std::process::ExitCode;
+
+fn parse_scenario(name: &str) -> Option<Scenario> {
+    Scenario::ALL
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(name))
+}
+
+fn print_stats(trace: &Trace) {
+    println!("scenario:  {}", trace.scenario);
+    println!("duration:  {:.0} s", trace.duration);
+    println!("frames:    {}", trace.len());
+    println!("mean rate: {:.2} frames/s", trace.mean_fps());
+    let cdf = trace.fps_cdf();
+    println!(
+        "fps p25/p50/p75/max: {:.0}/{:.0}/{:.0}/{:.0}",
+        cdf.quantile(0.25),
+        cdf.quantile(0.50),
+        cdf.quantile(0.75),
+        cdf.max()
+    );
+    println!("top ports:");
+    for (port, count) in trace.port_histogram().into_iter().take(8) {
+        println!(
+            "  {:>5}  {:>6} frames ({:.1}%)",
+            port,
+            count,
+            count as f64 / trace.len().max(1) as f64 * 100.0
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: tracegen gen <scenario> <duration_s> <seed> [out.json]\n\
+             \x20      tracegen stats <trace.json>\n\
+             \x20      tracegen cdf <scenario> <duration_s> <seed>\n\
+             \x20      tracegen list"
+        );
+        ExitCode::from(2)
+    };
+
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for s in Scenario::ALL {
+                let p = s.params();
+                println!(
+                    "{:<10} idle {:>4.1} fps / burst {:>4.1} fps, long-run mean {:.1} fps",
+                    s.label(),
+                    p.idle_rate_fps,
+                    p.burst_rate_fps,
+                    p.mean_fps()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") if args.len() >= 4 => {
+            let Some(scenario) = parse_scenario(&args[1]) else {
+                eprintln!("unknown scenario '{}'; try `tracegen list`", args[1]);
+                return ExitCode::from(2);
+            };
+            let (Ok(duration), Ok(seed)) = (args[2].parse::<f64>(), args[3].parse::<u64>()) else {
+                return usage();
+            };
+            let trace = scenario.generate(duration, seed);
+            print_stats(&trace);
+            if let Some(path) = args.get(4) {
+                if let Err(e) = io::save(&trace, path) {
+                    eprintln!("failed to save: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("saved to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("stats") if args.len() >= 2 => match io::load(&args[1]) {
+            Ok(trace) => {
+                print_stats(&trace);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to load {}: {e}", args[1]);
+                ExitCode::FAILURE
+            }
+        },
+        Some("cdf") if args.len() >= 4 => {
+            let Some(scenario) = parse_scenario(&args[1]) else {
+                eprintln!("unknown scenario '{}'", args[1]);
+                return ExitCode::from(2);
+            };
+            let (Ok(duration), Ok(seed)) = (args[2].parse::<f64>(), args[3].parse::<u64>()) else {
+                return usage();
+            };
+            let trace = scenario.generate(duration, seed);
+            println!("frames_per_sec,cumulative_probability");
+            for (x, p) in trace.fps_cdf().plot_points(50) {
+                println!("{x:.2},{p:.4}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

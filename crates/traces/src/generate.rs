@@ -1,0 +1,434 @@
+//! The trace generator: a two-state Markov-modulated Poisson process
+//! with a realistic broadcast service-port mix.
+//!
+//! Real venue broadcast traffic is bursty: quiet stretches punctuated by
+//! discovery storms (a laptop waking, a Chromecast announcing, Dropbox
+//! LAN-sync beacons). A two-state MMPP — an *idle* state with a low
+//! Poisson rate and a *burst* state with a high rate, exponential dwell
+//! times — captures exactly the burstiness the energy model is
+//! sensitive to (wakelock renewals vs. fresh suspend cycles).
+
+use crate::record::{Trace, TraceFrame};
+use hide_wifi::phy::DataRate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Well-known UDP ports that dominate real broadcast traffic.
+pub mod ports {
+    /// NetBIOS name service.
+    pub const NETBIOS_NS: u16 = 137;
+    /// NetBIOS datagram service.
+    pub const NETBIOS_DGM: u16 = 138;
+    /// DHCP server port.
+    pub const DHCP_SERVER: u16 = 67;
+    /// SSDP / UPnP discovery (the paper's printer-discovery example).
+    pub const SSDP: u16 = 1900;
+    /// Multicast DNS (Bonjour).
+    pub const MDNS: u16 = 5353;
+    /// Dropbox LAN sync discovery.
+    pub const DROPBOX_LANSYNC: u16 = 17500;
+    /// Spotify Connect discovery.
+    pub const SPOTIFY: u16 = 57621;
+    /// Steam in-home streaming discovery.
+    pub const STEAM: u16 = 27036;
+}
+
+/// A weighted UDP destination-port distribution with per-port typical
+/// frame sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortMix {
+    /// `(port, weight, typical_body_bytes)` entries; weights need not
+    /// be normalized.
+    entries: Vec<(u16, f64, u16)>,
+    total_weight: f64,
+}
+
+impl PortMix {
+    /// Builds a mix from `(port, weight, typical_len_bytes)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is empty or total weight is non-positive —
+    /// mixes are compile-time scenario constants.
+    pub fn new(entries: Vec<(u16, f64, u16)>) -> Self {
+        assert!(!entries.is_empty(), "port mix must have entries");
+        let total_weight: f64 = entries.iter().map(|e| e.1).sum();
+        assert!(total_weight > 0.0, "port mix weights must be positive");
+        PortMix {
+            entries,
+            total_weight,
+        }
+    }
+
+    /// Appends a long tail of `count` minor application ports sharing
+    /// `total_weight`, with individually varied weights. Real captures
+    /// show dozens of rare discovery ports (per-app game/sync/IoT
+    /// protocols); the tail is also what lets a useful-port set
+    /// approximate any small traffic fraction closely.
+    fn with_minor_tail(mut self, count: usize, total_weight: f64, base_port: u16) -> Self {
+        // Weights proportional to 1, 2, .., count so the tail offers
+        // fine-grained traffic shares.
+        let denom: f64 = (1..=count).map(|i| i as f64).sum();
+        for i in 0..count {
+            let port = base_port.wrapping_add((i as u16).wrapping_mul(137));
+            let weight = total_weight * (i + 1) as f64 / denom;
+            let len = 140 + ((i * 23) % 160) as u16;
+            self.entries.push((port, weight, len));
+            self.total_weight += weight;
+        }
+        self
+    }
+
+    /// Campus mix: Windows laptops (NetBIOS heavy), SSDP projectors,
+    /// plenty of mDNS, plus a long tail of minor app ports.
+    pub fn campus() -> Self {
+        PortMix::new(vec![
+            (ports::SSDP, 0.25, 380),
+            (ports::MDNS, 0.20, 220),
+            (ports::NETBIOS_NS, 0.14, 110),
+            (ports::NETBIOS_DGM, 0.09, 250),
+            (ports::DROPBOX_LANSYNC, 0.08, 180),
+            (ports::DHCP_SERVER, 0.05, 350),
+            (ports::SPOTIFY, 0.04, 120),
+            (ports::STEAM, 0.03, 150),
+        ])
+        .with_minor_tail(24, 0.12, 40000)
+    }
+
+    /// Office mix: fewer phones, more workstations and printers.
+    pub fn office() -> Self {
+        PortMix::new(vec![
+            (ports::SSDP, 0.29, 400),
+            (ports::NETBIOS_NS, 0.18, 110),
+            (ports::NETBIOS_DGM, 0.13, 250),
+            (ports::MDNS, 0.13, 200),
+            (ports::DHCP_SERVER, 0.07, 350),
+            (ports::DROPBOX_LANSYNC, 0.08, 180),
+        ])
+        .with_minor_tail(24, 0.12, 41000)
+    }
+
+    /// Café mix: Apple-device heavy (mDNS), Spotify, light NetBIOS.
+    pub fn cafe() -> Self {
+        PortMix::new(vec![
+            (ports::MDNS, 0.34, 240),
+            (ports::SSDP, 0.18, 360),
+            (ports::SPOTIFY, 0.11, 120),
+            (ports::DROPBOX_LANSYNC, 0.09, 180),
+            (ports::NETBIOS_NS, 0.08, 110),
+            (ports::DHCP_SERVER, 0.06, 350),
+        ])
+        .with_minor_tail(24, 0.14, 42000)
+    }
+
+    /// Samples a `(port, body_len)` pair.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> (u16, u16) {
+        let mut x = rng.gen_range(0.0..self.total_weight);
+        for &(port, w, len) in &self.entries {
+            if x < w {
+                return (port, len);
+            }
+            x -= w;
+        }
+        let &(port, _, len) = self.entries.last().expect("non-empty");
+        (port, len)
+    }
+
+    /// The distinct ports in the mix.
+    pub fn ports(&self) -> Vec<u16> {
+        self.entries.iter().map(|e| e.0).collect()
+    }
+}
+
+/// MMPP calibration for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Poisson rate in the idle state, frames/second.
+    pub idle_rate_fps: f64,
+    /// Poisson rate in the burst state, frames/second.
+    pub burst_rate_fps: f64,
+    /// Mean dwell time in the idle state, seconds.
+    pub mean_idle_secs: f64,
+    /// Mean dwell time in the burst state, seconds.
+    pub mean_burst_secs: f64,
+    /// Destination-port distribution.
+    pub port_mix: PortMix,
+}
+
+impl GeneratorParams {
+    /// The long-run mean frame rate of the MMPP.
+    pub fn mean_fps(&self) -> f64 {
+        (self.idle_rate_fps * self.mean_idle_secs + self.burst_rate_fps * self.mean_burst_secs)
+            / (self.mean_idle_secs + self.mean_burst_secs)
+    }
+
+    /// Scales both Poisson rates by `factor` (dwell times and port mix
+    /// unchanged) — used to modulate activity over a day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        GeneratorParams {
+            idle_rate_fps: self.idle_rate_fps * factor,
+            burst_rate_fps: self.burst_rate_fps * factor,
+            mean_idle_secs: self.mean_idle_secs,
+            mean_burst_secs: self.mean_burst_secs,
+            port_mix: self.port_mix.clone(),
+        }
+    }
+}
+
+/// Hour-by-hour activity multipliers for a venue that opens in the
+/// morning, peaks midday and afternoon, and empties at night — the
+/// diurnal pattern of a campus building or café.
+pub const DIURNAL_ACTIVITY: [f64; 24] = [
+    0.02, 0.02, 0.02, 0.02, 0.02, 0.05, // 00-05: closed/overnight gear only
+    0.15, 0.40, 0.80, 1.00, 1.00, 0.90, // 06-11: opening through morning peak
+    1.00, 1.00, 0.95, 0.90, 0.80, 0.70, // 12-17: midday/afternoon
+    0.50, 0.35, 0.25, 0.15, 0.08, 0.04, // 18-23: evening wind-down
+];
+
+/// Generates a full-day trace: 24 hourly segments whose MMPP rates are
+/// `params` scaled by [`DIURNAL_ACTIVITY`], concatenated.
+///
+/// # Example
+///
+/// ```
+/// use hide_traces::generate::{diurnal, PortMix, GeneratorParams};
+///
+/// let params = GeneratorParams {
+///     idle_rate_fps: 2.0,
+///     burst_rate_fps: 15.0,
+///     mean_idle_secs: 15.0,
+///     mean_burst_secs: 6.0,
+///     port_mix: PortMix::cafe(),
+/// };
+/// let day = diurnal("cafe-day", &params, 42);
+/// assert_eq!(day.duration, 86_400.0);
+/// ```
+pub fn diurnal(scenario: &str, params: &GeneratorParams, seed: u64) -> Trace {
+    const HOUR: f64 = 3600.0;
+    let mut frames = Vec::new();
+    for (hour, &activity) in DIURNAL_ACTIVITY.iter().enumerate() {
+        let segment = generate(
+            scenario,
+            &params.scaled(activity),
+            HOUR,
+            seed.wrapping_add(hour as u64).wrapping_mul(0x9e3779b9),
+        );
+        let offset = hour as f64 * HOUR;
+        frames.extend(segment.frames.into_iter().map(|f| TraceFrame {
+            time: f.time + offset,
+            ..f
+        }));
+    }
+    let mut trace = Trace::new(scenario, 24.0 * HOUR, frames);
+    trace.assign_more_data(hide_wifi::timing::TIME_UNIT_SECS * 100.0);
+    trace
+}
+
+/// Draws an exponential variate with the given mean.
+fn exp<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Generates a trace with the MMPP model.
+///
+/// Frames get a data rate of 1 Mbit/s (80%) or 2 Mbit/s (20%) — the
+/// basic rates real APs use for broadcast — a body length jittered
+/// ±25% around the port's typical size, and *More Data* bits assigned
+/// with the same-beacon-interval rule at the default 102.4 ms interval.
+pub fn generate(scenario: &str, params: &GeneratorParams, duration: f64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut frames = Vec::new();
+    let mut t = 0.0f64;
+    let mut in_burst = false;
+    // Start each state machine with a random phase into an idle dwell.
+    let mut state_end = exp(&mut rng, params.mean_idle_secs) * rng.gen_range(0.1..1.0);
+
+    while t < duration {
+        if t >= state_end {
+            in_burst = !in_burst;
+            let mean = if in_burst {
+                params.mean_burst_secs
+            } else {
+                params.mean_idle_secs
+            };
+            state_end = t + exp(&mut rng, mean);
+            continue;
+        }
+        let rate = if in_burst {
+            params.burst_rate_fps
+        } else {
+            params.idle_rate_fps
+        };
+        let gap = if rate > 0.0 {
+            exp(&mut rng, 1.0 / rate)
+        } else {
+            state_end - t + 1e-9
+        };
+        t += gap;
+        if t >= duration {
+            break;
+        }
+        if t >= state_end {
+            // The gap crossed a state boundary; re-draw from the new
+            // state next iteration (thinning approximation).
+            continue;
+        }
+        let (port, typical) = params.port_mix.sample(&mut rng);
+        let jitter = rng.gen_range(0.75..1.25);
+        let body = ((typical as f64 * jitter) as u16).max(40);
+        let rate = if rng.gen_bool(0.8) {
+            DataRate::R1M
+        } else {
+            DataRate::R2M
+        };
+        frames.push(TraceFrame {
+            time: t,
+            len_bytes: body.saturating_add(36 + 24), // + UDP stack + MAC header
+            rate,
+            dst_port: port,
+            more_data: false,
+        });
+    }
+
+    let mut trace = Trace::new(scenario, duration, frames);
+    trace.assign_more_data(hide_wifi::timing::TIME_UNIT_SECS * 100.0);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GeneratorParams {
+        GeneratorParams {
+            idle_rate_fps: 2.0,
+            burst_rate_fps: 20.0,
+            mean_idle_secs: 10.0,
+            mean_burst_secs: 5.0,
+            port_mix: PortMix::campus(),
+        }
+    }
+
+    #[test]
+    fn mean_fps_formula() {
+        let p = params();
+        assert!((p.mean_fps() - (2.0 * 10.0 + 20.0 * 5.0) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_times_sorted_and_in_range() {
+        let t = generate("test", &params(), 300.0, 1);
+        assert!(!t.is_empty());
+        for w in t.frames.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(t.frames.iter().all(|f| f.time >= 0.0 && f.time < 300.0));
+    }
+
+    #[test]
+    fn long_run_rate_near_mmpp_mean() {
+        let p = params();
+        let t = generate("test", &p, 7200.0, 5);
+        let mean = t.mean_fps();
+        let expected = p.mean_fps();
+        assert!(
+            (mean - expected).abs() / expected < 0.25,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ports_come_from_mix() {
+        let p = params();
+        let t = generate("test", &p, 120.0, 2);
+        let allowed = p.port_mix.ports();
+        assert!(t.frames.iter().all(|f| allowed.contains(&f.dst_port)));
+    }
+
+    #[test]
+    fn lengths_cover_stack_overhead() {
+        let t = generate("test", &params(), 120.0, 3);
+        // Minimum: 40-byte body + 36 UDP stack + 24 MAC header.
+        assert!(t.frames.iter().all(|f| f.len_bytes >= 100));
+    }
+
+    #[test]
+    fn burstiness_visible_in_variance() {
+        // An MMPP's per-second counts must be overdispersed relative to
+        // a plain Poisson process of the same mean.
+        let t = generate("test", &params(), 3600.0, 7);
+        let counts = t.per_second_counts();
+        let n = counts.len() as f64;
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(var > 1.5 * mean, "variance {var} vs mean {mean}");
+    }
+
+    #[test]
+    fn port_mix_sampling_respects_weights() {
+        let mix = PortMix::new(vec![(1, 9.0, 100), (2, 1.0, 100)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            if mix.sample(&mut rng).0 == 1 {
+                ones += 1;
+            }
+        }
+        assert!((8500..9500).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn empty_mix_panics() {
+        let _ = PortMix::new(vec![]);
+    }
+
+    #[test]
+    fn scaled_params_scale_rates_only() {
+        let p = params();
+        let s = p.scaled(0.5);
+        assert_eq!(s.idle_rate_fps, 1.0);
+        assert_eq!(s.burst_rate_fps, 10.0);
+        assert_eq!(s.mean_idle_secs, p.mean_idle_secs);
+        assert!((s.mean_fps() - p.mean_fps() * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_day_has_quiet_nights_and_busy_noons() {
+        let day = diurnal("day", &params(), 5);
+        assert_eq!(day.duration, 86_400.0);
+        let hour_count = |h: usize| {
+            day.frames
+                .iter()
+                .filter(|f| f.time >= h as f64 * 3600.0 && f.time < (h + 1) as f64 * 3600.0)
+                .count()
+        };
+        let night = hour_count(3);
+        let noon = hour_count(12);
+        assert!(
+            noon > 10 * night.max(1),
+            "noon {noon} should dwarf night {night}"
+        );
+        // Frames stay sorted across segment boundaries.
+        assert!(day.frames.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn diurnal_is_deterministic() {
+        let a = diurnal("day", &params(), 5);
+        let b = diurnal("day", &params(), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace serialization: JSON save/load so generated traces can be
+//! inspected, archived and replayed byte-identically.
+
+use crate::record::Trace;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// JSON encoding/decoding error.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file i/o error: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Serializes a trace to JSON.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Json`] on encoding failure.
+pub fn to_json(trace: &Trace) -> Result<String, TraceIoError> {
+    Ok(serde_json::to_string(trace)?)
+}
+
+/// Deserializes a trace from JSON.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Json`] on malformed input.
+pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on filesystem or encoding failure.
+pub fn save<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), TraceIoError> {
+    fs::write(path, to_json(trace)?)?;
+    Ok(())
+}
+
+/// Reads a trace from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on filesystem or decoding failure.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceIoError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn json_round_trip() {
+        let trace = Scenario::Starbucks.generate(60.0, 21);
+        let json = to_json(&trace).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = Scenario::Wrl.generate(30.0, 22);
+        let dir = std::env::temp_dir().join("hide_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrl.json");
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(matches!(from_json("{not json"), Err(TraceIoError::Json(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load("/nonexistent/path/trace.json"),
+            Err(TraceIoError::Io(_))
+        ));
+    }
+}

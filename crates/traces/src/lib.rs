@@ -1,0 +1,43 @@
+//! Synthetic WiFi broadcast-traffic traces.
+//!
+//! The HIDE paper evaluates on five traces captured in real venues: a
+//! classroom building, a CS department, a college library (WML), a
+//! Starbucks store and a city public library (WRL), each 30–60 minutes
+//! of peak-hour UDP-padded broadcast traffic (Fig. 6). The captures are
+//! not public, so this crate generates *synthetic equivalents*: seeded
+//! two-state Markov-modulated Poisson processes calibrated so the
+//! per-second frame-count CDFs match Fig. 6's qualitative shapes and
+//! averages, with a realistic service-discovery port mix
+//! (SSDP, mDNS, NetBIOS, Dropbox LAN-sync, Spotify, DHCP, …).
+//!
+//! The energy model only consumes frame arrival times, lengths, data
+//! rates, *More Data* bits and UDP destination ports — exactly what the
+//! generator controls — so matching volume and burstiness preserves the
+//! quantities the evaluation is sensitive to (see DESIGN.md §4).
+//!
+//! # Example
+//!
+//! ```
+//! use hide_traces::scenario::Scenario;
+//!
+//! let trace = Scenario::Classroom.generate(120.0, 7);
+//! assert!(trace.mean_fps() > Scenario::Starbucks.generate(120.0, 7).mean_fps());
+//! let cdf = trace.fps_cdf();
+//! assert!(cdf.quantile(0.5) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod io;
+pub mod record;
+pub mod scenario;
+pub mod stats;
+pub mod unicast;
+pub mod useful;
+
+pub use record::{Trace, TraceFrame};
+pub use scenario::Scenario;
+pub use stats::Cdf;
+pub use useful::Usefulness;

@@ -1,0 +1,180 @@
+//! The five capture scenarios of the HIDE evaluation and their
+//! generator calibrations.
+
+use crate::generate::{self, GeneratorParams, PortMix};
+use crate::record::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five real-world scenarios the paper collected traces in
+/// (Section VI.A.2), ordered as the figures list them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// A classroom building during lectures — heavy traffic.
+    Classroom,
+    /// A CS department — moderate traffic.
+    CsDept,
+    /// The college library (WML) — heavy traffic.
+    Wml,
+    /// An off-campus Starbucks store — light traffic.
+    Starbucks,
+    /// The city public library (WRL) — light traffic.
+    Wrl,
+}
+
+impl Scenario {
+    /// All scenarios in the paper's presentation order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Classroom,
+        Scenario::CsDept,
+        Scenario::Wml,
+        Scenario::Starbucks,
+        Scenario::Wrl,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Classroom => "Classroom",
+            Scenario::CsDept => "CS_Dept",
+            Scenario::Wml => "WML",
+            Scenario::Starbucks => "Starbucks",
+            Scenario::Wrl => "WRL",
+        }
+    }
+
+    /// Generator calibration for this scenario. Burst/idle rates and
+    /// dwell times are chosen so the per-second frame-count CDF matches
+    /// Fig. 6's shape: Starbucks and WRL light (mean ≈ 2 and ≈ 4 fps),
+    /// CS Dept moderate (≈ 8 fps), Classroom and WML heavy (≈ 17 and
+    /// ≈ 25 fps).
+    pub fn params(&self) -> GeneratorParams {
+        match self {
+            Scenario::Classroom => GeneratorParams {
+                idle_rate_fps: 7.0,
+                burst_rate_fps: 32.0,
+                mean_idle_secs: 10.0,
+                mean_burst_secs: 7.0,
+                port_mix: PortMix::campus(),
+            },
+            Scenario::CsDept => GeneratorParams {
+                idle_rate_fps: 3.0,
+                burst_rate_fps: 20.0,
+                mean_idle_secs: 15.0,
+                mean_burst_secs: 6.0,
+                port_mix: PortMix::office(),
+            },
+            Scenario::Wml => GeneratorParams {
+                idle_rate_fps: 10.0,
+                burst_rate_fps: 40.0,
+                mean_idle_secs: 8.0,
+                mean_burst_secs: 8.0,
+                port_mix: PortMix::campus(),
+            },
+            Scenario::Starbucks => GeneratorParams {
+                idle_rate_fps: 0.5,
+                burst_rate_fps: 8.0,
+                mean_idle_secs: 30.0,
+                mean_burst_secs: 5.0,
+                port_mix: PortMix::cafe(),
+            },
+            Scenario::Wrl => GeneratorParams {
+                idle_rate_fps: 1.0,
+                burst_rate_fps: 12.0,
+                mean_idle_secs: 20.0,
+                mean_burst_secs: 6.0,
+                port_mix: PortMix::cafe(),
+            },
+        }
+    }
+
+    /// Generates a trace of the given duration with a deterministic
+    /// seed. The paper's traces are 30–60 minutes; any duration works.
+    pub fn generate(&self, duration_secs: f64, seed: u64) -> Trace {
+        generate::generate(self.label(), &self.params(), duration_secs, seed)
+    }
+
+    /// Generates all five traces at the paper's nominal 45-minute
+    /// midpoint duration, seeds derived from `base_seed`.
+    pub fn generate_all(duration_secs: f64, base_seed: u64) -> Vec<Trace> {
+        Scenario::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.generate(duration_secs, base_seed.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = Scenario::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Classroom", "CS_Dept", "WML", "Starbucks", "WRL"]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::Wml.generate(60.0, 42);
+        let b = Scenario::Wml.generate(60.0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::Wml.generate(60.0, 1);
+        let b = Scenario::Wml.generate(60.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn volume_ordering_matches_fig6() {
+        // Long traces so MMPP averages converge: WML > Classroom >
+        // CS Dept > WRL > Starbucks.
+        let d = 1800.0;
+        let wml = Scenario::Wml.generate(d, 3).mean_fps();
+        let classroom = Scenario::Classroom.generate(d, 3).mean_fps();
+        let cs = Scenario::CsDept.generate(d, 3).mean_fps();
+        let wrl = Scenario::Wrl.generate(d, 3).mean_fps();
+        let sb = Scenario::Starbucks.generate(d, 3).mean_fps();
+        assert!(wml > classroom, "WML {wml} vs Classroom {classroom}");
+        assert!(classroom > cs, "Classroom {classroom} vs CS {cs}");
+        assert!(cs > wrl, "CS {cs} vs WRL {wrl}");
+        assert!(wrl > sb, "WRL {wrl} vs Starbucks {sb}");
+    }
+
+    #[test]
+    fn averages_near_calibration_targets() {
+        let d = 3600.0;
+        let mean = |s: Scenario| s.generate(d, 11).mean_fps();
+        assert!((1.0..4.0).contains(&mean(Scenario::Starbucks)));
+        assert!((2.0..7.0).contains(&mean(Scenario::Wrl)));
+        assert!((5.0..12.0).contains(&mean(Scenario::CsDept)));
+        assert!((12.0..24.0).contains(&mean(Scenario::Classroom)));
+        assert!((18.0..32.0).contains(&mean(Scenario::Wml)));
+    }
+
+    #[test]
+    fn generate_all_produces_five() {
+        let traces = Scenario::generate_all(30.0, 9);
+        assert_eq!(traces.len(), 5);
+        assert_eq!(traces[0].scenario, "Classroom");
+        assert_eq!(traces[4].scenario, "WRL");
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Scenario::CsDept.to_string(), "CS_Dept");
+    }
+}

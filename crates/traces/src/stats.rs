@@ -1,0 +1,161 @@
+//! Empirical distribution statistics for traces (Fig. 6's CDFs).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over f64 samples.
+///
+/// # Example
+///
+/// ```
+/// use hide_traces::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// assert!((cdf.mean() - 3.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`); returns 0 for an
+    /// empty CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Sample mean (0 for an empty CDF).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Evenly-spaced `(x, P(X <= x))` points for plotting, at the given
+    /// number of steps across `[min, max]`.
+    pub fn plot_points(&self, steps: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || steps == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = (self.min(), self.max());
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..=steps)
+            .map(|i| {
+                let x = lo + span * i as f64 / steps as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples([]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert_eq!(cdf.mean(), 0.0);
+        assert!(cdf.plot_points(10).is_empty());
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let cdf = Cdf::from_samples([1.0, f64::NAN, 3.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 3.0, 3.0, 9.0]);
+        let mut prev = 0.0;
+        for x in 0..12 {
+            let p = cdf.eval(x as f64);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.quantile(0.25), 1.0);
+        assert_eq!(cdf.quantile(0.26), 2.0);
+        // Out-of-range q clamps.
+        assert_eq!(cdf.quantile(2.0), 4.0);
+        assert_eq!(cdf.quantile(-1.0), 1.0);
+    }
+
+    #[test]
+    fn plot_points_span_range() {
+        let cdf = Cdf::from_samples([0.0, 10.0]);
+        let pts = cdf.plot_points(10);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[10].0, 10.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn quantile_inverse_of_eval() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64));
+        for q in [0.1, 0.25, 0.5, 0.9] {
+            let x = cdf.quantile(q);
+            assert!((cdf.eval(x) - q).abs() < 0.011);
+        }
+    }
+}

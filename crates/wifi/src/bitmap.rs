@@ -1,0 +1,381 @@
+//! The 802.11 partial virtual bitmap.
+//!
+//! Both the standard TIM element and the HIDE BTIM element carry a
+//! compressed view of a 251-byte *virtual bitmap* in which bit `k` belongs
+//! to the client with AID `k`. Compression (Fig. 5 of the paper) trims
+//! leading zero bytes down to an even count `N1` and trailing zero bytes
+//! after the last non-zero byte `N2`; only bytes `N1..=N2` are
+//! transmitted, together with `Offset = N1`.
+
+use crate::error::WifiError;
+use crate::mac::{Aid, MAX_AID};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes in the full virtual bitmap (AIDs 0..=2007).
+pub const VIRTUAL_BITMAP_BYTES: usize = 251;
+
+/// A full virtual bitmap over association IDs, with lossless
+/// trim/expand conversion to the transmitted partial form.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::bitmap::PartialVirtualBitmap;
+/// use hide_wifi::mac::Aid;
+///
+/// let mut b = PartialVirtualBitmap::new();
+/// b.set(Aid::new(21)?);
+/// assert!(b.is_set(Aid::new(21)?));
+///
+/// let trimmed = b.trim();
+/// // AID 21 lives in octet 2, so one leading zero-byte pair is trimmed.
+/// assert_eq!(trimmed.offset(), 2);
+/// assert_eq!(trimmed.bytes(), &[0b0010_0000]);
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartialVirtualBitmap {
+    bits: Vec<u8>,
+}
+
+impl PartialVirtualBitmap {
+    /// Creates an empty bitmap (all AIDs clear).
+    pub fn new() -> Self {
+        PartialVirtualBitmap {
+            bits: vec![0u8; VIRTUAL_BITMAP_BYTES],
+        }
+    }
+
+    /// Sets the bit for `aid`.
+    pub fn set(&mut self, aid: Aid) {
+        self.bits[aid.octet()] |= 1 << aid.bit();
+    }
+
+    /// Clears the bit for `aid`.
+    pub fn clear(&mut self, aid: Aid) {
+        self.bits[aid.octet()] &= !(1 << aid.bit());
+    }
+
+    /// Clears every bit.
+    pub fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Returns whether the bit for `aid` is set.
+    pub fn is_set(&self, aid: Aid) -> bool {
+        self.bits[aid.octet()] & (1 << aid.bit()) != 0
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the AIDs whose bits are set, in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Aid> + '_ {
+        (1..=MAX_AID)
+            .map(|v| Aid::new(v).expect("range is valid"))
+            .filter(move |aid| self.is_set(*aid))
+    }
+
+    /// Produces the compressed (trimmed) representation transmitted on
+    /// air, per Fig. 5 of the paper: leading zero bytes are trimmed to
+    /// the largest even `N1`, trailing zero bytes after the last
+    /// non-zero byte are dropped.
+    pub fn trim(&self) -> TrimmedBitmap {
+        let first_nonzero = self.bits.iter().position(|&b| b != 0);
+        let Some(first) = first_nonzero else {
+            // All zero: the standard encodes a single zero byte at offset 0.
+            return TrimmedBitmap {
+                offset: 0,
+                bytes: vec![0],
+            };
+        };
+        let last = self
+            .bits
+            .iter()
+            .rposition(|&b| b != 0)
+            .expect("nonzero exists");
+        let n1 = first & !1; // round down to even
+        TrimmedBitmap {
+            offset: n1,
+            bytes: self.bits[n1..=last].to_vec(),
+        }
+    }
+
+    /// Reconstructs a full bitmap from a trimmed representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::OddBitmapOffset`] when the offset is odd and
+    /// [`WifiError::BitmapTooLong`] when `offset + bytes` exceeds the
+    /// virtual bitmap size.
+    pub fn from_trimmed(trimmed: &TrimmedBitmap) -> Result<Self, WifiError> {
+        if !trimmed.offset.is_multiple_of(2) {
+            return Err(WifiError::OddBitmapOffset(trimmed.offset));
+        }
+        if trimmed.offset + trimmed.bytes.len() > VIRTUAL_BITMAP_BYTES {
+            return Err(WifiError::BitmapTooLong(
+                trimmed.offset + trimmed.bytes.len(),
+            ));
+        }
+        let mut full = PartialVirtualBitmap::new();
+        full.bits[trimmed.offset..trimmed.offset + trimmed.bytes.len()]
+            .copy_from_slice(&trimmed.bytes);
+        Ok(full)
+    }
+}
+
+impl Default for PartialVirtualBitmap {
+    fn default() -> Self {
+        PartialVirtualBitmap::new()
+    }
+}
+
+impl fmt::Debug for PartialVirtualBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set: Vec<u16> = (1..=MAX_AID)
+            .filter(|&v| {
+                let aid = Aid::new(v).expect("in range");
+                self.is_set(aid)
+            })
+            .collect();
+        f.debug_struct("PartialVirtualBitmap")
+            .field("set_aids", &set)
+            .finish()
+    }
+}
+
+impl FromIterator<Aid> for PartialVirtualBitmap {
+    fn from_iter<I: IntoIterator<Item = Aid>>(iter: I) -> Self {
+        let mut bitmap = PartialVirtualBitmap::new();
+        for aid in iter {
+            bitmap.set(aid);
+        }
+        bitmap
+    }
+}
+
+impl Extend<Aid> for PartialVirtualBitmap {
+    fn extend<I: IntoIterator<Item = Aid>>(&mut self, iter: I) {
+        for aid in iter {
+            self.set(aid);
+        }
+    }
+}
+
+/// The on-air compressed form of a [`PartialVirtualBitmap`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrimmedBitmap {
+    offset: usize,
+    bytes: Vec<u8>,
+}
+
+impl TrimmedBitmap {
+    /// Builds a trimmed bitmap from raw parts (e.g. decoded from air).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::OddBitmapOffset`] for an odd offset,
+    /// [`WifiError::BitmapTooLong`] when the bitmap exceeds the virtual
+    /// bitmap size, and [`WifiError::BadElementLength`] when `bytes` is
+    /// empty.
+    pub fn from_parts(offset: usize, bytes: Vec<u8>) -> Result<Self, WifiError> {
+        if !offset.is_multiple_of(2) {
+            return Err(WifiError::OddBitmapOffset(offset));
+        }
+        if bytes.is_empty() {
+            return Err(WifiError::BadElementLength {
+                element_id: 0,
+                declared: 0,
+            });
+        }
+        if offset + bytes.len() > VIRTUAL_BITMAP_BYTES {
+            return Err(WifiError::BitmapTooLong(offset + bytes.len()));
+        }
+        Ok(TrimmedBitmap { offset, bytes })
+    }
+
+    /// The byte offset `N1` of the first transmitted byte.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The transmitted bitmap bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total transmitted length in bytes (offset field excluded).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the (single mandatory) byte is zero.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// Whether `aid`'s bit is set, without expanding to a full bitmap.
+    pub fn is_set(&self, aid: Aid) -> bool {
+        let octet = aid.octet();
+        if octet < self.offset || octet >= self.offset + self.bytes.len() {
+            return false;
+        }
+        self.bytes[octet - self.offset] & (1 << aid.bit()) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(v: u16) -> Aid {
+        Aid::new(v).unwrap()
+    }
+
+    #[test]
+    fn empty_bitmap_trims_to_single_zero_byte() {
+        let b = PartialVirtualBitmap::new();
+        let t = b.trim();
+        assert_eq!(t.offset(), 0);
+        assert_eq!(t.bytes(), &[0]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_clear_is_set() {
+        let mut b = PartialVirtualBitmap::new();
+        assert!(!b.is_set(aid(7)));
+        b.set(aid(7));
+        assert!(b.is_set(aid(7)));
+        b.clear(aid(7));
+        assert!(!b.is_set(aid(7)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn count_and_reset() {
+        let mut b = PartialVirtualBitmap::new();
+        for v in [1u16, 2, 300, 2007] {
+            b.set(aid(v));
+        }
+        assert_eq!(b.count(), 4);
+        b.reset();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn trim_offset_is_even() {
+        // AID 24 -> octet 3; trimming must round down to N1 = 2.
+        let mut b = PartialVirtualBitmap::new();
+        b.set(aid(24));
+        let t = b.trim();
+        assert_eq!(t.offset(), 2);
+        assert_eq!(t.bytes().len(), 2);
+        assert_eq!(t.bytes()[0], 0); // padding byte at octet 2
+        assert_eq!(t.bytes()[1], 1 << 0); // AID 24 = octet 3, bit 0
+    }
+
+    #[test]
+    fn trim_drops_trailing_zeros() {
+        let mut b = PartialVirtualBitmap::new();
+        b.set(aid(1));
+        let t = b.trim();
+        assert_eq!(t.offset(), 0);
+        assert_eq!(t.bytes(), &[0b10]);
+    }
+
+    #[test]
+    fn trim_expand_round_trip() {
+        let mut b = PartialVirtualBitmap::new();
+        for v in [3u16, 17, 120, 121, 1999] {
+            b.set(aid(v));
+        }
+        let t = b.trim();
+        let back = PartialVirtualBitmap::from_trimmed(&t).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn trimmed_is_set_matches_full() {
+        let mut b = PartialVirtualBitmap::new();
+        for v in [10u16, 55, 900] {
+            b.set(aid(v));
+        }
+        let t = b.trim();
+        for v in 1..=MAX_AID {
+            assert_eq!(t.is_set(aid(v)), b.is_set(aid(v)), "aid {v}");
+        }
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(matches!(
+            TrimmedBitmap::from_parts(1, vec![0xff]),
+            Err(WifiError::OddBitmapOffset(1))
+        ));
+        assert!(TrimmedBitmap::from_parts(0, vec![]).is_err());
+        assert!(matches!(
+            TrimmedBitmap::from_parts(250, vec![0, 0]),
+            Err(WifiError::BitmapTooLong(_))
+        ));
+        assert!(TrimmedBitmap::from_parts(250, vec![0xff]).is_ok());
+    }
+
+    #[test]
+    fn from_trimmed_rejects_bad_input() {
+        let t = TrimmedBitmap {
+            offset: 3,
+            bytes: vec![1],
+        };
+        assert!(PartialVirtualBitmap::from_trimmed(&t).is_err());
+        let t = TrimmedBitmap {
+            offset: 0,
+            bytes: vec![0; 252],
+        };
+        assert!(PartialVirtualBitmap::from_trimmed(&t).is_err());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let b: PartialVirtualBitmap = [aid(4), aid(9)].into_iter().collect();
+        assert!(b.is_set(aid(4)));
+        assert!(b.is_set(aid(9)));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn extend_adds_bits() {
+        let mut b = PartialVirtualBitmap::new();
+        b.extend([aid(2), aid(2000)]);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn paper_figure5_example_shape() {
+        // Fig. 5: all-zero prefix of N1 bytes, data in N1..=N2, zero tail.
+        let mut b = PartialVirtualBitmap::new();
+        // Put bits in octets 4 and 6 only.
+        b.set(aid(4 * 8 + 1)); // octet 4
+        b.set(aid(6 * 8 + 5)); // octet 6
+        let t = b.trim();
+        assert_eq!(t.offset(), 4);
+        assert_eq!(t.bytes().len(), 3); // octets 4, 5, 6
+        assert_eq!(t.bytes()[1], 0);
+    }
+
+    #[test]
+    fn debug_lists_set_aids() {
+        let mut b = PartialVirtualBitmap::new();
+        b.set(aid(42));
+        let dbg = format!("{b:?}");
+        assert!(dbg.contains("42"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Error types for the 802.11 substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing 802.11 structures.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::mac::Aid;
+/// use hide_wifi::WifiError;
+///
+/// let err = Aid::new(0).unwrap_err();
+/// assert!(matches!(err, WifiError::InvalidAid(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WifiError {
+    /// The association ID is outside the valid 802.11 range `1..=2007`.
+    InvalidAid(u16),
+    /// A buffer ended before a complete structure could be decoded.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        what: &'static str,
+        /// How many bytes the decoder needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// An information element declared a length inconsistent with its body.
+    BadElementLength {
+        /// Element ID of the offending element.
+        element_id: u8,
+        /// Declared body length.
+        declared: usize,
+    },
+    /// An element ID did not match the expected one.
+    UnexpectedElementId {
+        /// The element ID expected by the caller.
+        expected: u8,
+        /// The element ID found in the buffer.
+        found: u8,
+    },
+    /// A frame-control field declared a type/subtype this crate cannot
+    /// represent.
+    UnknownFrameType {
+        /// Raw 2-bit type field.
+        frame_type: u8,
+        /// Raw 4-bit subtype field.
+        subtype: u8,
+    },
+    /// A bitmap offset was odd; the 802.11 TIM encoding requires the
+    /// trimmed leading byte count `N1` to be even.
+    OddBitmapOffset(usize),
+    /// The partial virtual bitmap would exceed the 251-byte element limit.
+    BitmapTooLong(usize),
+    /// A payload did not contain a well-formed LLC/SNAP + IPv4 + UDP stack.
+    NotUdpPayload(&'static str),
+    /// A numeric field exceeded its encodable range.
+    FieldOverflow {
+        /// Name of the field.
+        field: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
+    /// The DCF model was given parameters for which no solution exists.
+    DcfNoSolution(&'static str),
+}
+
+impl fmt::Display for WifiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WifiError::InvalidAid(aid) => {
+                write!(f, "association id {aid} outside valid range 1..=2007")
+            }
+            WifiError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            WifiError::BadElementLength {
+                element_id,
+                declared,
+            } => write!(
+                f,
+                "element {element_id} declared invalid body length {declared}"
+            ),
+            WifiError::UnexpectedElementId { expected, found } => {
+                write!(f, "expected element id {expected}, found {found}")
+            }
+            WifiError::UnknownFrameType {
+                frame_type,
+                subtype,
+            } => write!(f, "unknown frame type {frame_type}/subtype {subtype}"),
+            WifiError::OddBitmapOffset(n1) => {
+                write!(
+                    f,
+                    "bitmap offset {n1} is odd; TIM encoding requires even N1"
+                )
+            }
+            WifiError::BitmapTooLong(len) => {
+                write!(
+                    f,
+                    "partial virtual bitmap of {len} bytes exceeds element limit"
+                )
+            }
+            WifiError::NotUdpPayload(reason) => {
+                write!(f, "payload is not LLC/SNAP+IPv4+UDP: {reason}")
+            }
+            WifiError::FieldOverflow { field, value } => {
+                write!(f, "value {value} does not fit in field {field}")
+            }
+            WifiError::DcfNoSolution(reason) => {
+                write!(f, "DCF model has no solution: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WifiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            WifiError::InvalidAid(0).to_string(),
+            WifiError::Truncated {
+                what: "beacon",
+                needed: 10,
+                available: 2,
+            }
+            .to_string(),
+            WifiError::OddBitmapOffset(3).to_string(),
+            WifiError::NotUdpPayload("too short").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WifiError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(WifiError::InvalidAid(9999));
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,504 @@
+//! MAC-layer primitives: addresses, association IDs and frame control.
+
+use crate::error::WifiError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Highest association ID allowed by 802.11.
+pub const MAX_AID: u16 = 2007;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::mac::MacAddr;
+///
+/// let addr = MacAddr::new([0x02, 0x00, 0x5e, 0x10, 0x00, 0x01]);
+/// assert_eq!(addr.to_string(), "02:00:5e:10:00:01");
+/// assert!(!addr.is_broadcast());
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Returns the six octets of the address.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns `true` if this is the broadcast address.
+    pub const fn is_broadcast(&self) -> bool {
+        self.0[0] == 0xff
+            && self.0[1] == 0xff
+            && self.0[2] == 0xff
+            && self.0[3] == 0xff
+            && self.0[4] == 0xff
+            && self.0[5] == 0xff
+    }
+
+    /// Returns `true` if the group (multicast) bit is set.
+    ///
+    /// Broadcast is a special case of multicast.
+    pub const fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Deterministically derives a locally-administered unicast address
+    /// from an index, useful for simulations that need many distinct
+    /// station addresses.
+    pub fn station(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl AsRef<[u8]> for MacAddr {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// An 802.11 association ID in the range `1..=2007`.
+///
+/// AIDs index bits of the TIM and BTIM partial virtual bitmaps: AID `k`
+/// owns bit `k % 8` of octet `k / 8` of the (full) virtual bitmap.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::mac::Aid;
+///
+/// let aid = Aid::new(19)?;
+/// assert_eq!(aid.octet(), 2);
+/// assert_eq!(aid.bit(), 3);
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Aid(u16);
+
+impl Aid {
+    /// Creates an association ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::InvalidAid`] when `value` is zero or greater
+    /// than [`MAX_AID`].
+    pub fn new(value: u16) -> Result<Self, WifiError> {
+        if value == 0 || value > MAX_AID {
+            return Err(WifiError::InvalidAid(value));
+        }
+        Ok(Aid(value))
+    }
+
+    /// Returns the numeric value of the AID.
+    pub const fn value(&self) -> u16 {
+        self.0
+    }
+
+    /// Octet index of this AID's bit within the full virtual bitmap.
+    pub const fn octet(&self) -> usize {
+        (self.0 / 8) as usize
+    }
+
+    /// Bit index (0 = least significant) within [`Aid::octet`].
+    pub const fn bit(&self) -> u8 {
+        (self.0 % 8) as u8
+    }
+}
+
+impl fmt::Display for Aid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AID {}", self.0)
+    }
+}
+
+impl TryFrom<u16> for Aid {
+    type Error = WifiError;
+
+    fn try_from(value: u16) -> Result<Self, Self::Error> {
+        Aid::new(value)
+    }
+}
+
+impl From<Aid> for u16 {
+    fn from(aid: Aid) -> u16 {
+        aid.0
+    }
+}
+
+/// The 2-bit frame type of an 802.11 frame-control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameType {
+    /// Management frames (beacons, association, and the HIDE UDP Port
+    /// Message).
+    Management,
+    /// Control frames (ACK, PS-Poll).
+    Control,
+    /// Data frames.
+    Data,
+}
+
+impl FrameType {
+    /// Raw 2-bit wire value.
+    pub const fn to_bits(self) -> u8 {
+        match self {
+            FrameType::Management => 0b00,
+            FrameType::Control => 0b01,
+            FrameType::Data => 0b10,
+        }
+    }
+
+    /// Decodes the 2-bit wire value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::UnknownFrameType`] for the reserved value `0b11`.
+    pub fn from_bits(bits: u8) -> Result<Self, WifiError> {
+        match bits & 0b11 {
+            0b00 => Ok(FrameType::Management),
+            0b01 => Ok(FrameType::Control),
+            0b10 => Ok(FrameType::Data),
+            other => Err(WifiError::UnknownFrameType {
+                frame_type: other,
+                subtype: 0,
+            }),
+        }
+    }
+}
+
+/// Frame subtypes used in this reproduction.
+///
+/// The HIDE paper defines the UDP Port Message as a management frame with
+/// `type = 00`, `subtype = 1111`, a subtype reserved in the base standard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameSubtype {
+    /// Association request management frame (`0000`).
+    AssociationRequest,
+    /// Association response management frame (`0001`).
+    AssociationResponse,
+    /// Disassociation management frame (`1010`).
+    Disassociation,
+    /// Beacon management frame (`1000`).
+    Beacon,
+    /// HIDE UDP Port Message management frame (`1111`).
+    UdpPortMessage,
+    /// ACK control frame (`1101`).
+    Ack,
+    /// PS-Poll control frame (`1010`).
+    PsPoll,
+    /// Plain data frame (`0000`).
+    Data,
+}
+
+impl FrameSubtype {
+    /// Raw 4-bit wire value.
+    pub const fn to_bits(self) -> u8 {
+        match self {
+            FrameSubtype::AssociationRequest => 0b0000,
+            FrameSubtype::AssociationResponse => 0b0001,
+            FrameSubtype::Disassociation => 0b1010,
+            FrameSubtype::Beacon => 0b1000,
+            FrameSubtype::UdpPortMessage => 0b1111,
+            FrameSubtype::Ack => 0b1101,
+            FrameSubtype::PsPoll => 0b1010,
+            FrameSubtype::Data => 0b0000,
+        }
+    }
+
+    /// The frame type this subtype belongs to.
+    pub const fn frame_type(self) -> FrameType {
+        match self {
+            FrameSubtype::AssociationRequest
+            | FrameSubtype::AssociationResponse
+            | FrameSubtype::Disassociation
+            | FrameSubtype::Beacon
+            | FrameSubtype::UdpPortMessage => FrameType::Management,
+            FrameSubtype::Ack | FrameSubtype::PsPoll => FrameType::Control,
+            FrameSubtype::Data => FrameType::Data,
+        }
+    }
+
+    /// Decodes a (type, subtype) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::UnknownFrameType`] for combinations this
+    /// reproduction does not model.
+    pub fn from_bits(frame_type: u8, subtype: u8) -> Result<Self, WifiError> {
+        match (frame_type & 0b11, subtype & 0b1111) {
+            (0b00, 0b0000) => Ok(FrameSubtype::AssociationRequest),
+            (0b00, 0b0001) => Ok(FrameSubtype::AssociationResponse),
+            (0b00, 0b1010) => Ok(FrameSubtype::Disassociation),
+            (0b00, 0b1000) => Ok(FrameSubtype::Beacon),
+            (0b00, 0b1111) => Ok(FrameSubtype::UdpPortMessage),
+            (0b01, 0b1101) => Ok(FrameSubtype::Ack),
+            (0b01, 0b1010) => Ok(FrameSubtype::PsPoll),
+            (0b10, 0b0000) => Ok(FrameSubtype::Data),
+            (t, s) => Err(WifiError::UnknownFrameType {
+                frame_type: t,
+                subtype: s,
+            }),
+        }
+    }
+}
+
+/// The 16-bit 802.11 frame-control field.
+///
+/// Only the bits this reproduction needs are modelled: protocol version
+/// (always 0), type, subtype, and the *More Data* bit the AP uses to tell
+/// power-saving clients that further broadcast frames follow in the same
+/// DTIM period.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::mac::{FrameControl, FrameSubtype};
+///
+/// let fc = FrameControl::new(FrameSubtype::Data).with_more_data(true);
+/// let raw = fc.to_u16();
+/// let back = FrameControl::from_u16(raw)?;
+/// assert!(back.more_data());
+/// assert_eq!(back.subtype(), FrameSubtype::Data);
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameControl {
+    subtype: FrameSubtype,
+    more_data: bool,
+    more_fragments: bool,
+}
+
+impl FrameControl {
+    /// Creates a frame-control field for the given subtype with all flag
+    /// bits clear.
+    pub const fn new(subtype: FrameSubtype) -> Self {
+        FrameControl {
+            subtype,
+            more_data: false,
+            more_fragments: false,
+        }
+    }
+
+    /// Sets or clears the *More Data* bit (bit 13).
+    #[must_use]
+    pub const fn with_more_data(mut self, more_data: bool) -> Self {
+        self.more_data = more_data;
+        self
+    }
+
+    /// Sets or clears the *More Fragments* bit (bit 10); HIDE uses it
+    /// to paginate UDP Port Messages whose port list exceeds one
+    /// element.
+    #[must_use]
+    pub const fn with_more_fragments(mut self, more_fragments: bool) -> Self {
+        self.more_fragments = more_fragments;
+        self
+    }
+
+    /// Returns the subtype.
+    pub const fn subtype(&self) -> FrameSubtype {
+        self.subtype
+    }
+
+    /// Returns the frame type.
+    pub const fn frame_type(&self) -> FrameType {
+        self.subtype.frame_type()
+    }
+
+    /// Returns the *More Data* bit.
+    pub const fn more_data(&self) -> bool {
+        self.more_data
+    }
+
+    /// Returns the *More Fragments* bit.
+    pub const fn more_fragments(&self) -> bool {
+        self.more_fragments
+    }
+
+    /// Encodes to the 16-bit wire representation (IEEE bit layout:
+    /// version bits 0-1, type bits 2-3, subtype bits 4-7, More Data
+    /// bit 13).
+    pub const fn to_u16(self) -> u16 {
+        let t = self.subtype.frame_type().to_bits() as u16;
+        let s = self.subtype.to_bits() as u16;
+        let md = if self.more_data { 1u16 << 13 } else { 0 };
+        let mf = if self.more_fragments { 1u16 << 10 } else { 0 };
+        (t << 2) | (s << 4) | md | mf
+    }
+
+    /// Decodes from the 16-bit wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::UnknownFrameType`] when the protocol version
+    /// is non-zero or the type/subtype pair is not modelled.
+    pub fn from_u16(raw: u16) -> Result<Self, WifiError> {
+        let version = (raw & 0b11) as u8;
+        if version != 0 {
+            return Err(WifiError::UnknownFrameType {
+                frame_type: version,
+                subtype: 0,
+            });
+        }
+        let t = ((raw >> 2) & 0b11) as u8;
+        let s = ((raw >> 4) & 0b1111) as u8;
+        let subtype = FrameSubtype::from_bits(t, s)?;
+        Ok(FrameControl {
+            subtype,
+            more_data: raw & (1 << 13) != 0,
+            more_fragments: raw & (1 << 10) != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_address_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let unicast = MacAddr::station(7);
+        assert!(!unicast.is_broadcast());
+        assert!(!unicast.is_multicast());
+    }
+
+    #[test]
+    fn station_addresses_are_distinct() {
+        let a = MacAddr::station(1);
+        let b = MacAddr::station(2);
+        assert_ne!(a, b);
+        assert_eq!(MacAddr::station(1), a);
+    }
+
+    #[test]
+    fn mac_display_format() {
+        let addr = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(addr.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn aid_range_validation() {
+        assert!(Aid::new(0).is_err());
+        assert!(Aid::new(1).is_ok());
+        assert!(Aid::new(MAX_AID).is_ok());
+        assert!(Aid::new(MAX_AID + 1).is_err());
+    }
+
+    #[test]
+    fn aid_octet_bit_mapping() {
+        // AID 1 -> octet 0, bit 1 (bit 0 of octet 0 is the DTIM
+        // broadcast indicator in the standard TIM).
+        let aid = Aid::new(1).unwrap();
+        assert_eq!(aid.octet(), 0);
+        assert_eq!(aid.bit(), 1);
+
+        let aid = Aid::new(8).unwrap();
+        assert_eq!(aid.octet(), 1);
+        assert_eq!(aid.bit(), 0);
+
+        let aid = Aid::new(2007).unwrap();
+        assert_eq!(aid.octet(), 250);
+        assert_eq!(aid.bit(), 7);
+    }
+
+    #[test]
+    fn aid_try_from_round_trip() {
+        let aid = Aid::try_from(42u16).unwrap();
+        assert_eq!(u16::from(aid), 42);
+    }
+
+    #[test]
+    fn frame_type_round_trip() {
+        for ft in [FrameType::Management, FrameType::Control, FrameType::Data] {
+            assert_eq!(FrameType::from_bits(ft.to_bits()).unwrap(), ft);
+        }
+        assert!(FrameType::from_bits(0b11).is_err());
+    }
+
+    #[test]
+    fn subtype_round_trip() {
+        for st in [
+            FrameSubtype::AssociationRequest,
+            FrameSubtype::AssociationResponse,
+            FrameSubtype::Disassociation,
+            FrameSubtype::Beacon,
+            FrameSubtype::UdpPortMessage,
+            FrameSubtype::Ack,
+            FrameSubtype::PsPoll,
+            FrameSubtype::Data,
+        ] {
+            let decoded = FrameSubtype::from_bits(st.frame_type().to_bits(), st.to_bits()).unwrap();
+            assert_eq!(decoded, st);
+        }
+    }
+
+    #[test]
+    fn udp_port_message_is_management_subtype_1111() {
+        // Paper Section III.B: type=00, subtype=1111.
+        assert_eq!(
+            FrameSubtype::UdpPortMessage.frame_type(),
+            FrameType::Management
+        );
+        assert_eq!(FrameSubtype::UdpPortMessage.to_bits(), 0b1111);
+    }
+
+    #[test]
+    fn frame_control_round_trip_with_more_data() {
+        for md in [false, true] {
+            let fc = FrameControl::new(FrameSubtype::Data).with_more_data(md);
+            let back = FrameControl::from_u16(fc.to_u16()).unwrap();
+            assert_eq!(back, fc);
+        }
+    }
+
+    #[test]
+    fn frame_control_more_fragments_round_trip() {
+        let fc = FrameControl::new(FrameSubtype::UdpPortMessage).with_more_fragments(true);
+        let back = FrameControl::from_u16(fc.to_u16()).unwrap();
+        assert!(back.more_fragments());
+        assert!(!back.more_data());
+        assert_eq!(fc.to_u16() & (1 << 10), 1 << 10);
+    }
+
+    #[test]
+    fn frame_control_rejects_bad_version() {
+        assert!(FrameControl::from_u16(0b01).is_err());
+    }
+
+    #[test]
+    fn frame_control_rejects_unknown_subtype() {
+        // Management type with subtype 0b0011 is not modelled.
+        let raw = 0b0011 << 4;
+        assert!(FrameControl::from_u16(raw).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! LLC/SNAP + IPv4 + UDP payload codec.
+//!
+//! HIDE differentiates broadcast frames by their UDP destination port, so
+//! the AP must look inside each buffered broadcast data frame: past the
+//! 802.2 LLC/SNAP header, the IPv4 header, and into the UDP header. This
+//! module encodes and decodes exactly that stack, with IPv4 header
+//! checksums computed and verified.
+
+use crate::error::WifiError;
+use serde::{Deserialize, Serialize};
+
+/// LLC/SNAP header length in bytes (AA AA 03 + OUI + EtherType).
+pub const LLC_SNAP_LEN: usize = 8;
+/// Minimum IPv4 header length in bytes (no options).
+pub const IPV4_HEADER_LEN: usize = 20;
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+/// Total overhead bytes before UDP payload in a UDP-padded frame body.
+pub const UDP_STACK_OVERHEAD: usize = LLC_SNAP_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN;
+
+const ETHERTYPE_IPV4: u16 = 0x0800;
+const IP_PROTO_UDP: u8 = 17;
+
+/// A parsed UDP datagram carried in an 802.11 data-frame body.
+///
+/// # Example
+///
+/// ```
+/// use hide_wifi::udp::UdpDatagram;
+///
+/// let dgram = UdpDatagram::new([192, 168, 1, 20], [255, 255, 255, 255], 5353, 5353, vec![1, 2, 3]);
+/// let body = dgram.to_bytes();
+/// let parsed = UdpDatagram::parse(&body)?;
+/// assert_eq!(parsed.dst_port(), 5353);
+/// assert_eq!(parsed.payload(), &[1, 2, 3]);
+/// # Ok::<(), hide_wifi::WifiError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UdpDatagram {
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        UdpDatagram {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Source IPv4 address.
+    pub fn src_ip(&self) -> [u8; 4] {
+        self.src_ip
+    }
+
+    /// Destination IPv4 address.
+    pub fn dst_ip(&self) -> [u8; 4] {
+        self.dst_ip
+    }
+
+    /// UDP source port.
+    pub fn src_port(&self) -> u16 {
+        self.src_port
+    }
+
+    /// UDP destination port — the field HIDE keys its per-client
+    /// usefulness decision on.
+    pub fn dst_port(&self) -> u16 {
+        self.dst_port
+    }
+
+    /// UDP payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total encoded body length (LLC/SNAP + IPv4 + UDP + payload).
+    pub fn encoded_len(&self) -> usize {
+        UDP_STACK_OVERHEAD + self.payload.len()
+    }
+
+    /// Encodes the datagram as an 802.11 data-frame body:
+    /// LLC/SNAP, IPv4 header (with checksum), UDP header, payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        // LLC: DSAP AA, SSAP AA, control 03; SNAP: OUI 00 00 00, EtherType.
+        out.extend_from_slice(&[0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00]);
+        out.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+
+        let total_len = (IPV4_HEADER_LEN + UDP_HEADER_LEN + self.payload.len()) as u16;
+        let mut ip = [0u8; IPV4_HEADER_LEN];
+        ip[0] = 0x45; // version 4, IHL 5
+        ip[1] = 0; // DSCP/ECN
+        ip[2..4].copy_from_slice(&total_len.to_be_bytes());
+        // identification, flags, fragment offset: zero
+        ip[8] = 64; // TTL
+        ip[9] = IP_PROTO_UDP;
+        // checksum at 10..12, filled below
+        ip[12..16].copy_from_slice(&self.src_ip);
+        ip[16..20].copy_from_slice(&self.dst_ip);
+        let csum = ipv4_checksum(&ip);
+        ip[10..12].copy_from_slice(&csum.to_be_bytes());
+        out.extend_from_slice(&ip);
+
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        let udp_len = (UDP_HEADER_LEN + self.payload.len()) as u16;
+        out.extend_from_slice(&udp_len.to_be_bytes());
+        // Compute the real UDP checksum over the pseudo-header (src,
+        // dst, protocol, length) plus header and payload. It is
+        // technically optional over IPv4, but real stacks fill it in.
+        let csum = udp_checksum(
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            udp_len,
+            &self.payload,
+        );
+        out.extend_from_slice(&csum.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses an 802.11 data-frame body as a UDP-padded payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WifiError::NotUdpPayload`] when the body is too short,
+    /// is not LLC/SNAP-encapsulated IPv4, is not UDP, or carries a bad
+    /// IPv4 header checksum. Frames rejected here are precisely those
+    /// the paper excludes from "UDP-padded broadcast frames".
+    pub fn parse(body: &[u8]) -> Result<Self, WifiError> {
+        if body.len() < UDP_STACK_OVERHEAD {
+            return Err(WifiError::NotUdpPayload("body shorter than headers"));
+        }
+        if body[0] != 0xaa || body[1] != 0xaa || body[2] != 0x03 {
+            return Err(WifiError::NotUdpPayload("missing LLC/SNAP header"));
+        }
+        let ethertype = u16::from_be_bytes([body[6], body[7]]);
+        if ethertype != ETHERTYPE_IPV4 {
+            return Err(WifiError::NotUdpPayload("not IPv4"));
+        }
+        let ip = &body[LLC_SNAP_LEN..];
+        if ip[0] >> 4 != 4 {
+            return Err(WifiError::NotUdpPayload("IP version is not 4"));
+        }
+        let ihl = ((ip[0] & 0x0f) as usize) * 4;
+        if ihl < IPV4_HEADER_LEN || ip.len() < ihl + UDP_HEADER_LEN {
+            return Err(WifiError::NotUdpPayload("bad IHL"));
+        }
+        if ipv4_checksum_verify(&ip[..ihl]).is_err() {
+            return Err(WifiError::NotUdpPayload("bad IPv4 checksum"));
+        }
+        if ip[9] != IP_PROTO_UDP {
+            return Err(WifiError::NotUdpPayload("not UDP"));
+        }
+        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+        if total_len < ihl + UDP_HEADER_LEN || total_len > ip.len() {
+            return Err(WifiError::NotUdpPayload("bad IPv4 total length"));
+        }
+        let mut src_ip = [0u8; 4];
+        src_ip.copy_from_slice(&ip[12..16]);
+        let mut dst_ip = [0u8; 4];
+        dst_ip.copy_from_slice(&ip[16..20]);
+
+        let udp = &ip[ihl..total_len];
+        let src_port = u16::from_be_bytes([udp[0], udp[1]]);
+        let dst_port = u16::from_be_bytes([udp[2], udp[3]]);
+        let udp_len = u16::from_be_bytes([udp[4], udp[5]]) as usize;
+        if udp_len < UDP_HEADER_LEN || udp_len > udp.len() {
+            return Err(WifiError::NotUdpPayload("bad UDP length"));
+        }
+        // A zero checksum means "not computed" (legal over IPv4);
+        // otherwise it must verify.
+        let stored = u16::from_be_bytes([udp[6], udp[7]]);
+        if stored != 0 {
+            let expected = udp_checksum(
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                udp_len as u16,
+                &udp[UDP_HEADER_LEN..udp_len],
+            );
+            if expected != stored {
+                return Err(WifiError::NotUdpPayload("bad UDP checksum"));
+            }
+        }
+        Ok(UdpDatagram {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            payload: udp[UDP_HEADER_LEN..udp_len].to_vec(),
+        })
+    }
+
+    /// Fast path used by the AP: extracts only the UDP destination port
+    /// from a frame body without copying the payload.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`UdpDatagram::parse`].
+    pub fn peek_dst_port(body: &[u8]) -> Result<u16, WifiError> {
+        if body.len() < UDP_STACK_OVERHEAD {
+            return Err(WifiError::NotUdpPayload("body shorter than headers"));
+        }
+        if body[0] != 0xaa || body[1] != 0xaa || body[2] != 0x03 {
+            return Err(WifiError::NotUdpPayload("missing LLC/SNAP header"));
+        }
+        if u16::from_be_bytes([body[6], body[7]]) != ETHERTYPE_IPV4 {
+            return Err(WifiError::NotUdpPayload("not IPv4"));
+        }
+        let ip = &body[LLC_SNAP_LEN..];
+        let ihl = ((ip[0] & 0x0f) as usize) * 4;
+        if ip[0] >> 4 != 4 || ihl < IPV4_HEADER_LEN {
+            return Err(WifiError::NotUdpPayload("bad IP header"));
+        }
+        if ip[9] != IP_PROTO_UDP {
+            return Err(WifiError::NotUdpPayload("not UDP"));
+        }
+        if ip.len() < ihl + 4 {
+            return Err(WifiError::NotUdpPayload("truncated UDP header"));
+        }
+        Ok(u16::from_be_bytes([ip[ihl + 2], ip[ihl + 3]]))
+    }
+}
+
+/// Computes the UDP checksum (RFC 768): one's-complement sum over the
+/// IPv4 pseudo-header, the UDP header with a zero checksum field, and
+/// the payload. A computed value of 0 is transmitted as 0xFFFF so it
+/// is never mistaken for "no checksum".
+fn udp_checksum(
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    udp_len: u16,
+    payload: &[u8],
+) -> u16 {
+    let mut sum = 0u32;
+    let mut add16 = |hi: u8, lo: u8| sum += u16::from_be_bytes([hi, lo]) as u32;
+    add16(src_ip[0], src_ip[1]);
+    add16(src_ip[2], src_ip[3]);
+    add16(dst_ip[0], dst_ip[1]);
+    add16(dst_ip[2], dst_ip[3]);
+    sum += IP_PROTO_UDP as u32;
+    sum += udp_len as u32;
+    sum += src_port as u32;
+    sum += dst_port as u32;
+    sum += udp_len as u32; // length appears in the header too
+    for chunk in payload.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += word as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    let folded = !(sum as u16);
+    if folded == 0 {
+        0xffff
+    } else {
+        folded
+    }
+}
+
+/// Computes the IPv4 header checksum with the checksum field zeroed.
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for (i, chunk) in header.chunks(2).enumerate() {
+        if i == 5 {
+            continue; // checksum field itself
+        }
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += word as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verifies an IPv4 header checksum.
+fn ipv4_checksum_verify(header: &[u8]) -> Result<(), ()> {
+    let stored = u16::from_be_bytes([header[10], header[11]]);
+    if ipv4_checksum(header) == stored {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UdpDatagram {
+        UdpDatagram::new(
+            [10, 0, 0, 5],
+            [255, 255, 255, 255],
+            49152,
+            1900,
+            b"M-SEARCH * HTTP/1.1".to_vec(),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), d.encoded_len());
+        let parsed = UdpDatagram::parse(&bytes).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn peek_matches_parse() {
+        let bytes = sample().to_bytes();
+        assert_eq!(UdpDatagram::peek_dst_port(&bytes).unwrap(), 1900);
+    }
+
+    #[test]
+    fn rejects_short_body() {
+        assert!(matches!(
+            UdpDatagram::parse(&[0u8; 10]),
+            Err(WifiError::NotUdpPayload(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_llc() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x00;
+        assert!(UdpDatagram::parse(&bytes).is_err());
+        assert!(UdpDatagram::peek_dst_port(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_non_ipv4_ethertype() {
+        let mut bytes = sample().to_bytes();
+        bytes[6] = 0x86; // 0x86dd = IPv6
+        bytes[7] = 0xdd;
+        assert!(matches!(
+            UdpDatagram::parse(&bytes),
+            Err(WifiError::NotUdpPayload("not IPv4"))
+        ));
+    }
+
+    #[test]
+    fn rejects_tcp() {
+        let mut bytes = sample().to_bytes();
+        bytes[LLC_SNAP_LEN + 9] = 6; // TCP
+                                     // fix checksum so the protocol check is what fails
+        let ihl = 20;
+        bytes[LLC_SNAP_LEN + 10] = 0;
+        bytes[LLC_SNAP_LEN + 11] = 0;
+        let csum = ipv4_checksum(&bytes[LLC_SNAP_LEN..LLC_SNAP_LEN + ihl]);
+        bytes[LLC_SNAP_LEN + 10..LLC_SNAP_LEN + 12].copy_from_slice(&csum.to_be_bytes());
+        assert!(matches!(
+            UdpDatagram::parse(&bytes),
+            Err(WifiError::NotUdpPayload("not UDP"))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_checksum() {
+        let mut bytes = sample().to_bytes();
+        bytes[LLC_SNAP_LEN + 10] ^= 0xff;
+        assert!(matches!(
+            UdpDatagram::parse(&bytes),
+            Err(WifiError::NotUdpPayload("bad IPv4 checksum"))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let d = UdpDatagram::new([1, 2, 3, 4], [5, 6, 7, 8], 1, 2, vec![]);
+        let parsed = UdpDatagram::parse(&d.to_bytes()).unwrap();
+        assert_eq!(parsed.payload(), &[] as &[u8]);
+        assert_eq!(parsed.dst_port(), 2);
+    }
+
+    #[test]
+    fn udp_checksum_round_trips() {
+        let d = sample();
+        let bytes = d.to_bytes();
+        // The encoded checksum is nonzero and the datagram parses.
+        let csum_off = LLC_SNAP_LEN + IPV4_HEADER_LEN + 6;
+        let stored = u16::from_be_bytes([bytes[csum_off], bytes[csum_off + 1]]);
+        assert_ne!(stored, 0);
+        assert!(UdpDatagram::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_udp_checksum() {
+        let d = sample();
+        let mut bytes = d.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            UdpDatagram::parse(&bytes),
+            Err(WifiError::NotUdpPayload("bad UDP checksum"))
+        ));
+        // The fast port peek intentionally skips payload validation.
+        assert!(UdpDatagram::peek_dst_port(&bytes).is_ok());
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        // "No checksum" frames (legal over IPv4) still parse.
+        let d = sample();
+        let mut bytes = d.to_bytes();
+        let csum_off = LLC_SNAP_LEN + IPV4_HEADER_LEN + 6;
+        bytes[csum_off] = 0;
+        bytes[csum_off + 1] = 0;
+        assert_eq!(UdpDatagram::parse(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn checksum_self_consistent() {
+        let d = sample();
+        let bytes = d.to_bytes();
+        let ip = &bytes[LLC_SNAP_LEN..LLC_SNAP_LEN + IPV4_HEADER_LEN];
+        assert!(ipv4_checksum_verify(ip).is_ok());
+    }
+
+    #[test]
+    fn overhead_constant_matches_headers() {
+        assert_eq!(UDP_STACK_OVERHEAD, 36);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the 802.11 wire codecs.
+
+use hide_wifi::bitmap::PartialVirtualBitmap;
+use hide_wifi::frame::{Beacon, BroadcastDataFrame, UdpPortMessage};
+use hide_wifi::ie::{Btim, InformationElement, OpenUdpPorts, Tim};
+use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
+use hide_wifi::udp::UdpDatagram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn aid_strategy() -> impl Strategy<Value = Aid> {
+    (1u16..=MAX_AID).prop_map(|v| Aid::new(v).expect("in range"))
+}
+
+fn bitmap_strategy() -> impl Strategy<Value = PartialVirtualBitmap> {
+    vec(aid_strategy(), 0..64).prop_map(|aids| aids.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn bitmap_trim_expand_round_trip(bitmap in bitmap_strategy()) {
+        let trimmed = bitmap.trim();
+        let back = PartialVirtualBitmap::from_trimmed(&trimmed).unwrap();
+        prop_assert_eq!(back, bitmap);
+    }
+
+    #[test]
+    fn bitmap_trim_offset_always_even(bitmap in bitmap_strategy()) {
+        prop_assert_eq!(bitmap.trim().offset() % 2, 0);
+    }
+
+    #[test]
+    fn trimmed_is_set_agrees_with_full(bitmap in bitmap_strategy(), probe in aid_strategy()) {
+        let trimmed = bitmap.trim();
+        prop_assert_eq!(trimmed.is_set(probe), bitmap.is_set(probe));
+    }
+
+    #[test]
+    fn bitmap_iter_yields_exactly_set_bits(aids in vec(aid_strategy(), 0..32)) {
+        let bitmap: PartialVirtualBitmap = aids.iter().copied().collect();
+        let mut expected: Vec<Aid> = aids.clone();
+        expected.sort();
+        expected.dedup();
+        let collected: Vec<Aid> = bitmap.iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn btim_body_round_trip(bitmap in bitmap_strategy()) {
+        let btim = Btim::new(bitmap);
+        let body = btim.encode_body();
+        prop_assert_eq!(body.len(), btim.body_len());
+        let back = Btim::decode_body(&body).unwrap();
+        prop_assert_eq!(back, btim);
+    }
+
+    #[test]
+    fn tim_body_round_trip(
+        bitmap in bitmap_strategy(),
+        count in 0u8..=10,
+        period in 1u8..=10,
+        bcast in any::<bool>(),
+    ) {
+        let tim = Tim::new(count, period, bcast, bitmap);
+        let back = Tim::decode_body(&tim.encode_body()).unwrap();
+        prop_assert_eq!(back, tim);
+    }
+
+    #[test]
+    fn open_udp_ports_round_trip(ports in vec(any::<u16>(), 0..=OpenUdpPorts::MAX_PORTS)) {
+        let element = OpenUdpPorts::new(ports.clone()).unwrap();
+        let back = OpenUdpPorts::decode_body(&element.encode_body()).unwrap();
+        prop_assert_eq!(back.ports(), &ports[..]);
+    }
+
+    #[test]
+    fn udp_datagram_round_trip(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in vec(any::<u8>(), 0..512),
+    ) {
+        let dgram = UdpDatagram::new(src, dst, sport, dport, payload);
+        let bytes = dgram.to_bytes();
+        prop_assert_eq!(UdpDatagram::peek_dst_port(&bytes).unwrap(), dport);
+        let parsed = UdpDatagram::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, dgram);
+    }
+
+    #[test]
+    fn udp_parse_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..128)) {
+        let _ = UdpDatagram::parse(&bytes);
+        let _ = UdpDatagram::peek_dst_port(&bytes);
+    }
+
+    #[test]
+    fn beacon_round_trip(
+        bitmap in bitmap_strategy(),
+        unicast in bitmap_strategy(),
+        ts in any::<u64>(),
+        interval in 1u16..1000,
+        count in 0u8..4,
+        bcast in any::<bool>(),
+    ) {
+        let beacon = Beacon::builder(MacAddr::station(0))
+            .timestamp_us(ts)
+            .beacon_interval_tu(interval)
+            .tim(Tim::new(count, 3, bcast, unicast))
+            .element(InformationElement::Btim(Btim::new(bitmap)))
+            .build();
+        let bytes = beacon.to_bytes();
+        prop_assert_eq!(bytes.len(), beacon.len_bytes());
+        let parsed = Beacon::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, beacon);
+    }
+
+    #[test]
+    fn beacon_parse_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..96)) {
+        let _ = Beacon::parse(&bytes);
+    }
+
+    #[test]
+    fn udp_port_message_round_trip(
+        ports in vec(any::<u16>(), 0..120),
+        seq in 0u16..4096,
+        client_idx in 1u32..1000,
+    ) {
+        let msg = UdpPortMessage::new(
+            MacAddr::station(client_idx),
+            MacAddr::station(0),
+            ports.clone(),
+        )
+        .unwrap()
+        .with_seq(seq);
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.len_bytes());
+        let parsed = UdpPortMessage::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed.ports(), &ports[..]);
+        prop_assert_eq!(parsed.seq(), seq);
+    }
+
+    #[test]
+    fn broadcast_frame_round_trip(
+        dport in any::<u16>(),
+        payload in vec(any::<u8>(), 0..256),
+        more in any::<bool>(),
+    ) {
+        let dgram = UdpDatagram::new([10, 0, 0, 1], [255; 4], 5000, dport, payload);
+        let frame = BroadcastDataFrame::new(MacAddr::station(0), dgram, more);
+        let parsed = BroadcastDataFrame::parse(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.udp_dst_port().unwrap(), dport);
+        prop_assert_eq!(parsed.more_data(), more);
+    }
+
+    #[test]
+    fn element_stream_round_trip(
+        bitmap in bitmap_strategy(),
+        ports in vec(any::<u16>(), 0..50),
+        raw in vec(any::<u8>(), 0..40),
+    ) {
+        let elements = vec![
+            InformationElement::Btim(Btim::new(bitmap)),
+            InformationElement::OpenUdpPorts(OpenUdpPorts::new(ports).unwrap()),
+            InformationElement::Raw(hide_wifi::ie::RawElement { id: 99, body: raw }),
+        ];
+        let mut buf = Vec::new();
+        for e in &elements {
+            e.encode(&mut buf);
+        }
+        let decoded = InformationElement::decode_all(&buf).unwrap();
+        prop_assert_eq!(decoded, elements);
+    }
+}

@@ -1,0 +1,87 @@
+//! Overhead planner: would enabling HIDE hurt your network?
+//!
+//! Given a deployment's node count, HIDE adoption fraction, port-sync
+//! interval and open-port count, prints the expected network-capacity
+//! decrease (Eqs. 20–24, Bianchi model) and round-trip-time increase
+//! (Eqs. 25–27), like a capacity-planning worksheet.
+//!
+//! ```text
+//! cargo run --release --example overhead_planner [nodes] [hide%] [interval_s] [ports]
+//! ```
+
+use hide::analysis::capacity::{CapacityAnalysis, NetworkConfig};
+use hide::analysis::delay::{DelayAnalysis, DelayConfig};
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes: u32 = arg(1, 50);
+    let hide_pct: f64 = arg(2, 50.0);
+    let interval: f64 = arg(3, 10.0);
+    let ports: u32 = arg(4, 50);
+
+    println!("deployment: {nodes} stations, {hide_pct}% HIDE-enabled,");
+    println!("port sync every {interval} s, {ports} open UDP ports per client\n");
+
+    // --- capacity (Section V.A) ---
+    let mut net = NetworkConfig::table_ii();
+    net.sync_interval_secs = interval;
+    net.ports_per_message = ports as usize;
+    let capacity = CapacityAnalysis::new(net);
+    let point = capacity.point(nodes, hide_pct / 100.0)?;
+    println!("network capacity (802.11b, Table II parameters):");
+    println!("  without HIDE: {:>8.3} Mbit/s", point.original_bps / 1e6);
+    println!("  with HIDE:    {:>8.3} Mbit/s", point.with_hide_bps / 1e6);
+    println!("  decrease:     {:>8.4} %\n", point.decrease * 100.0);
+
+    // --- delay (Section V.B) ---
+    let cfg = DelayConfig {
+        hide_fraction: hide_pct / 100.0,
+        sync_interval_secs: interval,
+        open_ports: ports,
+        ..DelayConfig::default()
+    };
+    let delay = DelayAnalysis::new(cfg).point(nodes);
+    println!(
+        "packet round-trip time (baseline {} ms):",
+        cfg.rtt_secs * 1e3
+    );
+    println!(
+        "  port-table refresh (t1): {:>8.1} us per RTT",
+        delay.t1_secs * 1e6
+    );
+    println!(
+        "  DTIM lookups (t2):       {:>8.1} us per RTT",
+        delay.t2_secs * 1e6
+    );
+    println!(
+        "  RTT increase:            {:>8.4} %\n",
+        delay.overhead * 100.0
+    );
+
+    // --- the sweep a network admin would want to see ---
+    println!("capacity decrease by adoption (this node count):");
+    for p in [5.0, 25.0, 50.0, 75.0, 100.0] {
+        let c = capacity.capacity_decrease(nodes, p / 100.0)?;
+        println!("  {p:>3.0}% adoption: {:>7.4} %", c * 100.0);
+    }
+    println!("\nRTT increase by sync interval (this node count):");
+    for i in [1.0, 10.0, 30.0, 60.0, 300.0, 600.0] {
+        let mut c = cfg;
+        c.sync_interval_secs = i;
+        let d = DelayAnalysis::new(c).point(nodes);
+        println!("  every {i:>4.0} s: {:>7.4} %", d.overhead * 100.0);
+    }
+
+    if point.decrease < 0.005 && delay.overhead < 0.03 {
+        println!("\nverdict: HIDE overhead is negligible for this deployment.");
+    } else {
+        println!("\nverdict: consider a longer sync interval for this deployment.");
+    }
+    Ok(())
+}

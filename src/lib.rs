@@ -1,0 +1,55 @@
+//! # HIDE — AP-assisted broadcast traffic management
+//!
+//! Facade crate for the reproduction of *HIDE: AP-assisted Broadcast
+//! Traffic Management to Save Smartphone Energy* (Peng et al., ICDCS
+//! 2016). Re-exports the public API of every workspace crate:
+//!
+//! * [`wifi`] — 802.11 frames, information elements, PHY and DCF models
+//! * [`protocol`] — the HIDE AP and client protocol implementation
+//! * [`energy`] — the Section-IV smartphone energy model
+//! * [`traces`] — synthetic broadcast-traffic traces for the five scenarios
+//! * [`sim`] — the trace-driven simulator and experiment runners
+//! * [`analysis`] — the Section-V capacity and delay overhead analysis
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hide::prelude::*;
+//!
+//! // Generate a coffee-shop-like broadcast trace, run HIDE at 10% useful
+//! // frames on a Nexus One, and compare with receiving everything.
+//! let trace = Scenario::Starbucks.generate(60.0, 42);
+//! let hide = SimulationBuilder::new(&trace, NEXUS_ONE)
+//!     .solution(Solution::hide(0.10))
+//!     .run();
+//! let all = SimulationBuilder::new(&trace, NEXUS_ONE)
+//!     .solution(Solution::ReceiveAll)
+//!     .run();
+//! assert!(hide.energy.breakdown.total() < all.energy.breakdown.total());
+//! ```
+
+pub use hide_analysis as analysis;
+pub use hide_core as protocol;
+pub use hide_energy as energy;
+pub use hide_sim as sim;
+pub use hide_traces as traces;
+pub use hide_wifi as wifi;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
+    pub use hide_analysis::delay::{DelayAnalysis, DelayConfig};
+    pub use hide_core::ap::AccessPoint;
+    pub use hide_core::client::{HideClient, LegacyClient, OpenPortRegistry, WakeDecision};
+    pub use hide_energy::battery::Battery;
+    pub use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
+    pub use hide_sim::network::{fleet, NetworkSimulation};
+    pub use hide_sim::protocol_sim::ProtocolSimulation;
+    pub use hide_sim::solution::Solution;
+    pub use hide_sim::{SimulationBuilder, SimulationResult};
+    pub use hide_traces::scenario::Scenario;
+    pub use hide_traces::unicast::UnicastTrace;
+    pub use hide_traces::useful::Usefulness;
+    pub use hide_traces::Trace;
+    pub use hide_wifi::mac::{Aid, MacAddr};
+}
