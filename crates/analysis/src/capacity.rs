@@ -9,11 +9,10 @@
 
 use hide_wifi::dcf::{self, DcfConfig};
 use hide_wifi::WifiError;
-use serde::{Deserialize, Serialize};
 
 /// Network configuration for the overhead analysis: the 802.11b MAC/PHY
 /// parameters of Table II plus HIDE's port-message settings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// DCF parameters (Table II).
     pub dcf: DcfConfig,
@@ -56,7 +55,7 @@ impl Default for NetworkConfig {
 }
 
 /// One point of Fig. 10.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityPoint {
     /// Total stations in the network (`N`).
     pub nodes: u32,

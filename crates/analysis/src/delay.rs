@@ -26,11 +26,10 @@ use hide_core::ap::ClientPortTable;
 use hide_wifi::mac::{Aid, MAX_AID};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Durations of the three hash-table operations, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArmCostModel {
     /// `τ_ins` — one port insertion.
     pub insert_secs: f64,
@@ -65,7 +64,7 @@ impl Default for ArmCostModel {
 }
 
 /// Configuration of the delay analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayConfig {
     /// Baseline packet round-trip time `D` in seconds. The paper
     /// measured 79.5 ms pinging a YouTube server through a deployed AP
@@ -100,7 +99,7 @@ impl Default for DelayConfig {
 }
 
 /// One point of Figs. 11/12.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayPoint {
     /// Total stations `N`.
     pub nodes: u32,
@@ -192,7 +191,7 @@ impl DelayAnalysis {
 }
 
 /// Host-measured hash-table operation costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostCosts {
     /// Mean insert duration, seconds.
     pub insert_secs: f64,

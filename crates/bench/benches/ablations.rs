@@ -25,7 +25,7 @@ fn btim_compression(c: &mut Criterion) {
     for v in [3u16, 7, 12, 19, 23, 31, 40, 48] {
         flags.set(Aid::new(v).unwrap());
     }
-    let btim = Btim::new(flags.clone());
+    let btim = Btim::new(flags);
     let compressed = btim.encode_body().len();
     let full = 1 + hide_wifi::bitmap::VIRTUAL_BITMAP_BYTES;
     println!(

@@ -1,0 +1,240 @@
+//! Throughput benchmark for the parallel experiment engine and the AP
+//! hot-path data structures. Writes `BENCH_parallel.json` next to the
+//! working directory (override with `--out <path>`).
+//!
+//! ```text
+//! bench_throughput [--full] [--out <path>]
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Experiment cells/sec** — the Figs. 7/8/9 simulation matrix at
+//!    `--jobs 1` versus all cores, plus the parallel speedup.
+//! 2. **`reproduce all` wall-clock** — every table and figure the
+//!    harness renders, again sequential versus parallel.
+//! 3. **Port-table ops/sec** — `ClientPortTable` (hash + sorted
+//!    postings) versus the `BTreePortTable` baseline at 1000 and 2000
+//!    clients: `update_client`, `remove_client`, `clients_for_port`.
+//!
+//! By default traces are 600 s so the run finishes quickly; `--full`
+//! uses the canonical 2700 s traces of the reproduction harness.
+
+use hide_bench as harness;
+use hide_core::ap::{BTreePortTable, ClientPortTable};
+use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
+use hide_sim::experiment::{self, PAPER_FRACTIONS};
+use hide_traces::scenario::Scenario;
+use hide_wifi::mac::Aid;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Ports per client, matching the paper's heavy-usage setting.
+const PORTS_PER_CLIENT: usize = 100;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let duration = if full {
+        harness::TRACE_DURATION_SECS
+    } else {
+        600.0
+    };
+    eprintln!(
+        "generating traces ({duration} s each, seed {})...",
+        harness::TRACE_SEED
+    );
+    let traces = Scenario::generate_all(duration, harness::TRACE_SEED);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- 1. experiment matrix: cells/sec at jobs=1 vs jobs=cores ---
+    // 2 profiles x 5 traces x 7 solutions (Figs. 7/8) plus
+    // 5 traces x 4 solutions (Fig. 9).
+    let cells = 2 * traces.len() * (2 + PAPER_FRACTIONS.len()) + traces.len() * 4;
+    let run_matrix = |jobs: usize| -> f64 {
+        hide_par::set_default_jobs(jobs);
+        let t0 = Instant::now();
+        let nexus = experiment::energy_comparison(NEXUS_ONE, &traces, &PAPER_FRACTIONS);
+        let s4 = experiment::energy_comparison(GALAXY_S4, &traces, &PAPER_FRACTIONS);
+        let suspend = experiment::suspend_fractions(NEXUS_ONE, &traces);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(nexus.len() + s4.len() + suspend.len(), 3 * traces.len());
+        elapsed
+    };
+    eprintln!("experiment matrix ({cells} cells), jobs=1...");
+    let matrix_seq = run_matrix(1);
+    eprintln!("experiment matrix ({cells} cells), jobs={cores}...");
+    let matrix_par = run_matrix(cores);
+
+    // --- 2. reproduce-all wall clock ---
+    let reproduce_all = |jobs: usize| -> f64 {
+        hide_par::set_default_jobs(jobs);
+        let t0 = Instant::now();
+        let mut sink = harness::table_1();
+        sink.push_str(&harness::table_2());
+        sink.push_str(&harness::figure_6(&traces));
+        sink.push_str(&harness::figure_7_or_8(NEXUS_ONE, &traces));
+        sink.push_str(&harness::figure_7_or_8(GALAXY_S4, &traces));
+        sink.push_str(&harness::figure_9(&traces));
+        sink.push_str(&harness::figure_10());
+        sink.push_str(&harness::figure_11());
+        sink.push_str(&harness::figure_12());
+        sink.push_str(&harness::extensions(&traces));
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(!sink.is_empty());
+        elapsed
+    };
+    eprintln!("reproduce all, jobs=1...");
+    let all_seq = reproduce_all(1);
+    eprintln!("reproduce all, jobs={cores}...");
+    let all_par = reproduce_all(cores);
+    hide_par::set_default_jobs(0);
+
+    // --- 3. port-table ops/sec, hash vs BTree baseline ---
+    let mut table_rows = String::new();
+    for &clients in &[1000usize, 2000] {
+        let hash = port_table_ops(clients, TableKind::Hash);
+        let btree = port_table_ops(clients, TableKind::BTree);
+        eprintln!(
+            "port table @ {clients} clients: lookup {:.1}x, update {:.1}x vs BTree",
+            hash.lookup_per_sec / btree.lookup_per_sec,
+            hash.update_per_sec / btree.update_per_sec,
+        );
+        let _ = write!(
+            table_rows,
+            "{}{{\"clients\": {clients}, \
+             \"hash_update_per_sec\": {:.0}, \"btree_update_per_sec\": {:.0}, \
+             \"hash_lookup_per_sec\": {:.0}, \"btree_lookup_per_sec\": {:.0}, \
+             \"hash_remove_per_sec\": {:.0}, \"btree_remove_per_sec\": {:.0}, \
+             \"lookup_speedup\": {:.2}, \"update_speedup\": {:.2}}}",
+            if table_rows.is_empty() { "" } else { ", " },
+            hash.update_per_sec,
+            btree.update_per_sec,
+            hash.lookup_per_sec,
+            btree.lookup_per_sec,
+            hash.remove_per_sec,
+            btree.remove_per_sec,
+            hash.lookup_per_sec / btree.lookup_per_sec,
+            hash.update_per_sec / btree.update_per_sec,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"trace_duration_secs\": {duration},\n  \"cores\": {cores},\n  \
+         \"experiment_matrix\": {{\"cells\": {cells}, \
+         \"seq_secs\": {matrix_seq:.3}, \"par_secs\": {matrix_par:.3}, \
+         \"seq_cells_per_sec\": {:.2}, \"par_cells_per_sec\": {:.2}, \
+         \"speedup\": {:.2}}},\n  \
+         \"reproduce_all\": {{\"seq_secs\": {all_seq:.3}, \"par_secs\": {all_par:.3}, \
+         \"speedup\": {:.2}}},\n  \
+         \"port_table\": [{table_rows}]\n}}\n",
+        cells as f64 / matrix_seq,
+        cells as f64 / matrix_par,
+        matrix_seq / matrix_par,
+        all_seq / all_par,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("written to {out_path}");
+}
+
+#[derive(Clone, Copy)]
+enum TableKind {
+    Hash,
+    BTree,
+}
+
+struct TableOpsRates {
+    update_per_sec: f64,
+    lookup_per_sec: f64,
+    remove_per_sec: f64,
+}
+
+/// Times `update_client` for every client, `clients_for_port` across
+/// the busiest ports, and `remove_client`, on a table of `n` clients
+/// holding [`PORTS_PER_CLIENT`] ports each.
+fn port_table_ops(n: usize, kind: TableKind) -> TableOpsRates {
+    let aid = |i: usize| Aid::new((i % 2007 + 1) as u16).expect("valid AID");
+    let ports_of = |i: usize| -> Vec<u16> {
+        (0..PORTS_PER_CLIENT as u16)
+            .map(|p| 1024 + ((i as u16).wrapping_mul(31).wrapping_add(p * 7) % 4000))
+            .collect()
+    };
+    let port_sets: Vec<Vec<u16>> = (0..n).map(ports_of).collect();
+    let lookup_rounds = 50usize;
+
+    match kind {
+        TableKind::Hash => {
+            let mut table = ClientPortTable::new();
+            let t0 = Instant::now();
+            for (i, ports) in port_sets.iter().enumerate() {
+                table.update_client(aid(i), ports);
+            }
+            let update = t0.elapsed().as_secs_f64();
+
+            let mut hits = 0usize;
+            let t0 = Instant::now();
+            for _ in 0..lookup_rounds {
+                for port in 1024..(1024 + 4000u16) {
+                    hits += table.clients_for_port(port).len();
+                }
+            }
+            let lookup = t0.elapsed().as_secs_f64();
+            assert!(hits > 0);
+
+            let t0 = Instant::now();
+            for i in 0..n {
+                table.remove_client(aid(i));
+            }
+            let remove = t0.elapsed().as_secs_f64();
+            rates(n, lookup_rounds * 4000, update, lookup, remove)
+        }
+        TableKind::BTree => {
+            let mut table = BTreePortTable::new();
+            let t0 = Instant::now();
+            for (i, ports) in port_sets.iter().enumerate() {
+                table.update_client(aid(i), ports);
+            }
+            let update = t0.elapsed().as_secs_f64();
+
+            let mut hits = 0usize;
+            let t0 = Instant::now();
+            for _ in 0..lookup_rounds {
+                for port in 1024..(1024 + 4000u16) {
+                    hits += table.clients_for_port(port).len();
+                }
+            }
+            let lookup = t0.elapsed().as_secs_f64();
+            assert!(hits > 0);
+
+            let t0 = Instant::now();
+            for i in 0..n {
+                table.remove_client(aid(i));
+            }
+            let remove = t0.elapsed().as_secs_f64();
+            rates(n, lookup_rounds * 4000, update, lookup, remove)
+        }
+    }
+}
+
+fn rates(
+    updates: usize,
+    lookups: usize,
+    update_secs: f64,
+    lookup_secs: f64,
+    remove_secs: f64,
+) -> TableOpsRates {
+    TableOpsRates {
+        update_per_sec: updates as f64 / update_secs.max(1e-12),
+        lookup_per_sec: lookups as f64 / lookup_secs.max(1e-12),
+        remove_per_sec: updates as f64 / remove_secs.max(1e-12),
+    }
+}

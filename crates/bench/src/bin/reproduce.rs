@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext]
-//!           [--csv <dir>]
+//!           [--csv <dir>] [--jobs N]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `ext` runs the extension experiments (hybrid, DTIM batching, unicast
 //! sensitivity, fleet adoption, sync-loss robustness). `--csv <dir>`
 //! additionally writes plot-ready CSV files for every figure.
+//!
+//! `--jobs N` caps the worker threads the experiment engine fans out
+//! over (default: all cores; `--jobs 1` forces a sequential run). The
+//! output is byte-identical for every job count — parallel results are
+//! reassembled in input order.
 
 use hide_bench as harness;
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
@@ -21,12 +26,28 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(jobs)) => hide_par::set_default_jobs(jobs),
+            got => {
+                let got = got.map_or("nothing", |_| args[i + 1].as_str());
+                eprintln!("--jobs expects a thread count (0 = all cores), got {got:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Flag values must not be mistaken for the experiment name.
+    let flag_values: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--csv" || *a == "--jobs")
+        .map(|(i, _)| i + 1)
+        .collect();
     let arg = args
         .iter()
-        .find(|a| {
-            !a.starts_with("--") && Some(a.as_str()) != csv_dir.as_ref().and_then(|p| p.to_str())
-        })
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
     let what = arg.as_str();
     let all = what == "all";
@@ -137,7 +158,8 @@ fn main() {
     if !ran {
         eprintln!(
             "unknown experiment '{what}'; expected one of: all table1 table2 \
-             fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext [--csv <dir>]"
+             fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext \
+             [--csv <dir>] [--jobs N]"
         );
         std::process::exit(2);
     }

@@ -191,15 +191,28 @@ pub fn figure_12() -> String {
 /// Runs and renders the extension experiments (beyond the paper):
 /// hybrid solution, DTIM batching, unicast sensitivity, fleet adoption
 /// and sync-loss robustness.
+///
+/// The sections are mutually independent, so each renders on its own
+/// worker; concatenating in declaration order keeps the report
+/// byte-identical to the sequential version.
 pub fn extensions(traces: &[Trace]) -> String {
-    use hide_sim::network::{fleet, NetworkSimulation};
-    use hide_sim::reliability::{self, ReliabilityConfig};
+    let trace = &traces[1]; // CS_Dept: the mid-volume trace
+    let sections: [fn(&Trace) -> String; 7] = [
+        ext_hybrid,
+        ext_dtim,
+        ext_unicast,
+        ext_fleet,
+        ext_sync_loss,
+        ext_wakelock,
+        ext_latency,
+    ];
+    hide_par::par_map(&sections, |render| render(trace)).concat()
+}
+
+fn ext_hybrid(trace: &Trace) -> String {
     use hide_sim::solution::Solution;
     use hide_sim::SimulationBuilder;
-
     let mut out = String::new();
-    let trace = &traces[1]; // CS_Dept: the mid-volume trace
-
     let _ = writeln!(
         out,
         "--- hybrid HIDE + client-side (future work, Sec. VIII) ---"
@@ -226,7 +239,13 @@ pub fn extensions(traces: &[Trace]) -> String {
             r.wake_frames
         );
     }
+    out
+}
 
+fn ext_dtim(trace: &Trace) -> String {
+    use hide_sim::solution::Solution;
+    use hide_sim::SimulationBuilder;
+    let mut out = String::new();
     let _ = writeln!(out, "\n--- DTIM period (AP-side delivery batching) ---");
     let _ = writeln!(
         out,
@@ -249,7 +268,11 @@ pub fn extensions(traces: &[Trace]) -> String {
             hide.energy.average_power_mw()
         );
     }
+    out
+}
 
+fn ext_unicast(trace: &Trace) -> String {
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\n--- unicast sensitivity (HIDE:10% saving vs unicast load) ---"
@@ -270,7 +293,12 @@ pub fn extensions(traces: &[Trace]) -> String {
             r.saving * 100.0
         );
     }
+    out
+}
 
+fn ext_fleet(trace: &Trace) -> String {
+    use hide_sim::network::{fleet, NetworkSimulation};
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\n--- fleet adoption (20 Nexus Ones on the CS_Dept trace) ---"
@@ -285,18 +313,26 @@ pub fn extensions(traces: &[Trace]) -> String {
             r.port_messages_per_sec
         );
     }
+    out
+}
 
+fn ext_sync_loss(trace: &Trace) -> String {
+    use hide_sim::reliability::{self, ReliabilityConfig};
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\n--- sync-loss robustness (churn every 2 min, 3 retries) ---"
     );
-    for loss in [0.1, 0.5, 0.9] {
-        let cfg = ReliabilityConfig {
+    let losses = [0.1, 0.5, 0.9];
+    let configs: Vec<ReliabilityConfig> = losses
+        .iter()
+        .map(|&loss| ReliabilityConfig {
             loss_probability: loss,
             churn_interval_secs: 120.0,
             ..ReliabilityConfig::default()
-        };
-        let r = reliability::run(trace, &cfg);
+        })
+        .collect();
+    for (loss, r) in losses.iter().zip(reliability::run_sweep(trace, &configs)) {
         let _ = writeln!(
             out,
             "loss {:>3.0}%: {:>3}/{} syncs failed, {:.3}% useful missed, {:.1}% stale",
@@ -307,7 +343,11 @@ pub fn extensions(traces: &[Trace]) -> String {
             r.stale_time_fraction * 100.0
         );
     }
+    out
+}
 
+fn ext_wakelock(trace: &Trace) -> String {
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\n--- sensitivity: wakelock duration tau (paper fixes 1 s) ---"
@@ -327,7 +367,11 @@ pub fn extensions(traces: &[Trace]) -> String {
             p.hide_saving * 100.0
         );
     }
+    out
+}
 
+fn ext_latency(trace: &Trace) -> String {
+    let mut out = String::new();
     let _ = writeln!(out, "\n--- broadcast delivery latency vs DTIM period ---");
     let _ = writeln!(
         out,
@@ -348,78 +392,109 @@ pub fn extensions(traces: &[Trace]) -> String {
     out
 }
 
+/// The figure CSV files [`write_csvs`] produces, in figure order.
+pub const CSV_FILES: [&str; 7] = [
+    "fig6_cdf.csv",
+    "fig7_nexus.csv",
+    "fig8_s4.csv",
+    "fig9_suspend.csv",
+    "fig10_capacity.csv",
+    "fig11_delay_interval.csv",
+    "fig12_delay_ports.csv",
+];
+
 /// Writes plot-ready CSV files for every figure into `dir`.
+///
+/// Each figure's content is computed on its own worker; files are then
+/// written sequentially in figure order, so both the bytes of each file
+/// and the order they land on disk are independent of the job count.
 ///
 /// # Errors
 ///
 /// Returns any filesystem error encountered.
 pub fn write_csvs(traces: &[Trace], dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let contents = hide_par::par_map(&CSV_FILES, |&file| csv_content(file, traces));
+    for (file, csv) in CSV_FILES.iter().zip(contents) {
+        std::fs::write(dir.join(file), csv)?;
+    }
+    Ok(())
+}
+
+/// Renders one figure's CSV (`file` is a [`CSV_FILES`] entry).
+fn csv_content(file: &str, traces: &[Trace]) -> String {
     use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
     use hide_analysis::delay::{DelayAnalysis, DelayConfig};
-    use std::fs;
 
-    fs::create_dir_all(dir)?;
-
-    // Fig. 6: CDF points per scenario.
-    let mut csv = String::from("scenario,frames_per_sec,cumulative_probability\n");
-    for v in experiment::trace_volumes(traces) {
-        for (x, p) in &v.cdf_points {
-            let _ = writeln!(csv, "{},{x:.3},{p:.5}", v.scenario);
-        }
-    }
-    fs::write(dir.join("fig6_cdf.csv"), csv)?;
-
-    // Figs. 7/8: stacked bars.
-    for (file, profile) in [("fig7_nexus.csv", NEXUS_ONE), ("fig8_s4.csv", GALAXY_S4)] {
-        let mut csv =
-            String::from("scenario,solution,eb_mw,ef_mw,est_mw,ewl_mw,eo_mw,total_mw,saving\n");
-        for c in experiment::energy_comparison(profile, traces, &PAPER_FRACTIONS) {
-            for b in &c.bars {
-                let [eb, ef, est, ewl, eo] = b.stacked_mw;
-                let _ = writeln!(
-                    csv,
-                    "{},{},{eb:.4},{ef:.4},{est:.4},{ewl:.4},{eo:.4},{:.4},{:.5}",
-                    c.scenario, b.label, b.total_mw, b.saving_vs_receive_all
-                );
+    match file {
+        "fig6_cdf.csv" => {
+            let mut csv = String::from("scenario,frames_per_sec,cumulative_probability\n");
+            for v in experiment::trace_volumes(traces) {
+                for (x, p) in &v.cdf_points {
+                    let _ = writeln!(csv, "{},{x:.3},{p:.5}", v.scenario);
+                }
             }
+            csv
         }
-        fs::write(dir.join(file), csv)?;
-    }
-
-    // Fig. 9: suspend fractions.
-    let mut csv = String::from("scenario,solution,suspend_fraction\n");
-    for row in experiment::suspend_fractions(NEXUS_ONE, traces) {
-        for (label, v) in &row.fractions {
-            let _ = writeln!(csv, "{},{label},{v:.5}", row.scenario);
+        "fig7_nexus.csv" | "fig8_s4.csv" => {
+            let profile = if file == "fig7_nexus.csv" {
+                NEXUS_ONE
+            } else {
+                GALAXY_S4
+            };
+            let mut csv =
+                String::from("scenario,solution,eb_mw,ef_mw,est_mw,ewl_mw,eo_mw,total_mw,saving\n");
+            for c in experiment::energy_comparison(profile, traces, &PAPER_FRACTIONS) {
+                for b in &c.bars {
+                    let [eb, ef, est, ewl, eo] = b.stacked_mw;
+                    let _ = writeln!(
+                        csv,
+                        "{},{},{eb:.4},{ef:.4},{est:.4},{ewl:.4},{eo:.4},{:.4},{:.5}",
+                        c.scenario, b.label, b.total_mw, b.saving_vs_receive_all
+                    );
+                }
+            }
+            csv
         }
-    }
-    fs::write(dir.join("fig9_suspend.csv"), csv)?;
-
-    // Fig. 10.
-    let analysis = CapacityAnalysis::new(NetworkConfig::table_ii());
-    let mut csv = String::from("nodes,hide_fraction,capacity_decrease\n");
-    for p in analysis.figure_10().expect("standard sweep solves") {
-        let _ = writeln!(csv, "{},{},{:.6}", p.nodes, p.hide_fraction, p.decrease);
-    }
-    fs::write(dir.join("fig10_capacity.csv"), csv)?;
-
-    // Figs. 11/12.
-    let delay = DelayAnalysis::new(DelayConfig::default());
-    let mut csv = String::from("sync_interval_s,nodes,overhead\n");
-    for (interval, pts) in delay.figure_11() {
-        for p in pts {
-            let _ = writeln!(csv, "{interval},{},{:.6}", p.nodes, p.overhead);
+        "fig9_suspend.csv" => {
+            let mut csv = String::from("scenario,solution,suspend_fraction\n");
+            for row in experiment::suspend_fractions(NEXUS_ONE, traces) {
+                for (label, v) in &row.fractions {
+                    let _ = writeln!(csv, "{},{label},{v:.5}", row.scenario);
+                }
+            }
+            csv
         }
-    }
-    fs::write(dir.join("fig11_delay_interval.csv"), csv)?;
-    let mut csv = String::from("open_ports,nodes,overhead\n");
-    for (ports, pts) in delay.figure_12() {
-        for p in pts {
-            let _ = writeln!(csv, "{ports},{},{:.6}", p.nodes, p.overhead);
+        "fig10_capacity.csv" => {
+            let analysis = CapacityAnalysis::new(NetworkConfig::table_ii());
+            let mut csv = String::from("nodes,hide_fraction,capacity_decrease\n");
+            for p in analysis.figure_10().expect("standard sweep solves") {
+                let _ = writeln!(csv, "{},{},{:.6}", p.nodes, p.hide_fraction, p.decrease);
+            }
+            csv
         }
+        "fig11_delay_interval.csv" => {
+            let delay = DelayAnalysis::new(DelayConfig::default());
+            let mut csv = String::from("sync_interval_s,nodes,overhead\n");
+            for (interval, pts) in delay.figure_11() {
+                for p in pts {
+                    let _ = writeln!(csv, "{interval},{},{:.6}", p.nodes, p.overhead);
+                }
+            }
+            csv
+        }
+        "fig12_delay_ports.csv" => {
+            let delay = DelayAnalysis::new(DelayConfig::default());
+            let mut csv = String::from("open_ports,nodes,overhead\n");
+            for (ports, pts) in delay.figure_12() {
+                for p in pts {
+                    let _ = writeln!(csv, "{ports},{},{:.6}", p.nodes, p.overhead);
+                }
+            }
+            csv
+        }
+        other => unreachable!("unknown csv file {other}"),
     }
-    fs::write(dir.join("fig12_delay_ports.csv"), csv)?;
-    Ok(())
 }
 
 #[cfg(test)]

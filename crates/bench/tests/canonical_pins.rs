@@ -13,11 +13,11 @@ use hide_traces::scenario::Scenario;
 #[test]
 fn canonical_trace_volumes_pinned() {
     let pins = [
-        (Scenario::Classroom, 17.1),
-        (Scenario::CsDept, 7.4),
-        (Scenario::Wml, 24.4),
+        (Scenario::Classroom, 17.3),
+        (Scenario::CsDept, 8.1),
+        (Scenario::Wml, 25.1),
         (Scenario::Starbucks, 1.4),
-        (Scenario::Wrl, 3.1),
+        (Scenario::Wrl, 3.2),
     ];
     for (i, (scenario, expected)) in pins.into_iter().enumerate() {
         let trace = scenario.generate(TRACE_DURATION_SECS, TRACE_SEED + i as u64);
@@ -35,10 +35,10 @@ fn canonical_trace_volumes_pinned() {
 fn canonical_classroom_bars_pinned() {
     let trace = Scenario::Classroom.generate(TRACE_DURATION_SECS, TRACE_SEED);
     let pins = [
-        (Solution::ReceiveAll, 264.2),
-        (Solution::client_side_lower_bound(), 305.4),
-        (Solution::hide(0.10), 130.8),
-        (Solution::hide(0.02), 61.2),
+        (Solution::ReceiveAll, 265.7),
+        (Solution::client_side_lower_bound(), 308.9),
+        (Solution::hide(0.10), 131.8),
+        (Solution::hide(0.02), 55.9),
     ];
     for (solution, expected) in pins {
         let r = SimulationBuilder::new(&trace, NEXUS_ONE)

@@ -1,0 +1,48 @@
+//! The parallel experiment engine must be invisible in the output:
+//! any `--jobs` count produces byte-identical results.
+//!
+//! Single `#[test]` on purpose — the job count is process-global, so
+//! concurrent tests inside this binary would race on it.
+
+use hide_bench as harness;
+use hide_energy::profile::NEXUS_ONE;
+use hide_sim::experiment::{self, PAPER_FRACTIONS};
+use hide_traces::scenario::Scenario;
+
+#[test]
+fn parallel_and_sequential_runs_are_identical() {
+    let traces = Scenario::generate_all(120.0, harness::TRACE_SEED);
+
+    hide_par::set_default_jobs(1);
+    let seq_cmp = experiment::energy_comparison(NEXUS_ONE, &traces, &PAPER_FRACTIONS);
+    let seq_suspend = experiment::suspend_fractions(NEXUS_ONE, &traces);
+    let seq_ext = experiment::unicast_sensitivity(NEXUS_ONE, &traces[1], &[0.0, 0.5, 2.0]);
+    let seq_dir = std::env::temp_dir().join("hide_determinism_seq");
+    harness::write_csvs(&traces, &seq_dir).unwrap();
+
+    hide_par::set_default_jobs(4);
+    let par_cmp = experiment::energy_comparison(NEXUS_ONE, &traces, &PAPER_FRACTIONS);
+    let par_suspend = experiment::suspend_fractions(NEXUS_ONE, &traces);
+    let par_ext = experiment::unicast_sensitivity(NEXUS_ONE, &traces[1], &[0.0, 0.5, 2.0]);
+    let par_dir = std::env::temp_dir().join("hide_determinism_par");
+    harness::write_csvs(&traces, &par_dir).unwrap();
+
+    hide_par::set_default_jobs(0);
+
+    // Bit-exact struct equality, not approximate: the engine reorders
+    // scheduling, never arithmetic.
+    assert_eq!(seq_cmp, par_cmp);
+    assert_eq!(seq_suspend, par_suspend);
+    assert_eq!(seq_ext, par_ext);
+
+    // And the serialized artifacts match byte for byte.
+    for file in harness::CSV_FILES {
+        let seq_bytes = std::fs::read(seq_dir.join(file)).unwrap();
+        let par_bytes = std::fs::read(par_dir.join(file)).unwrap();
+        assert_eq!(seq_bytes, par_bytes, "{file} differs between job counts");
+        assert!(!seq_bytes.is_empty(), "{file} is empty");
+    }
+
+    std::fs::remove_dir_all(&seq_dir).ok();
+    std::fs::remove_dir_all(&par_dir).ok();
+}

@@ -39,19 +39,32 @@ pub fn calculate_broadcast_flags(
     buffer: &BroadcastBuffer,
     table: &ClientPortTable,
 ) -> PartialVirtualBitmap {
-    // Line 1: initialize the array of broadcast flags to all 0.
     let mut flags = PartialVirtualBitmap::new();
+    calculate_broadcast_flags_into(buffer, table, &mut flags);
+    flags
+}
+
+/// Algorithm 1 into a caller-owned bitmap: one pass over the buffered
+/// frames produces every client's flag with no per-frame allocation —
+/// each frame costs one hash probe ([`ClientPortTable::postings_for_port`],
+/// the `τ_lp` of Eq. 26) plus a walk of the borrowed posting list.
+pub fn calculate_broadcast_flags_into(
+    buffer: &BroadcastBuffer,
+    table: &ClientPortTable,
+    flags: &mut PartialVirtualBitmap,
+) {
+    // Line 1: initialize the array of broadcast flags to all 0.
+    flags.reset();
     // Lines 2-11: for every buffered frame, set the flag of every client
     // listening on its UDP destination port.
     for frame in buffer.iter() {
         let Ok(port) = frame.udp_dst_port() else {
             continue; // not UDP-padded: outside HIDE's scope
         };
-        for client in table.clients_for_port(port) {
+        for &client in table.postings_for_port(port) {
             flags.set(client);
         }
     }
-    flags
 }
 
 #[cfg(test)]

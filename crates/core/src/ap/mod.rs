@@ -8,5 +8,5 @@ mod port_table;
 
 pub use access_point::AccessPoint;
 pub use buffer::BroadcastBuffer;
-pub use flags::calculate_broadcast_flags;
-pub use port_table::{ClientPortTable, TableOpCounts};
+pub use flags::{calculate_broadcast_flags, calculate_broadcast_flags_into};
+pub use port_table::{BTreePortTable, ClientPortTable, TableOpCounts};

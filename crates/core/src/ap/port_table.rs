@@ -7,9 +7,19 @@
 //! analysis (Eq. 25) charges for. Lookup (`τ_lp`) happens once per
 //! buffered broadcast frame at each DTIM boundary (Eq. 26).
 //!
+//! The paper models the table as O(1) hash lookups; this
+//! implementation delivers that: both directions are deterministic
+//! [`FxHashMap`]s, and each port maps to a compact **sorted `Vec<Aid>`
+//! posting list**, so [`ClientPortTable::postings_for_port`] is a hash
+//! probe plus a borrowed slice — no allocation and no tree walk on the
+//! per-DTIM hot path. The previous `BTreeMap`-based structure is kept
+//! as [`BTreePortTable`] so benchmarks measure the swap instead of
+//! asserting it.
+//!
 //! Operation counts are tracked so the delay analysis and the benches
 //! can report them.
 
+use crate::fx::FxHashMap;
 use hide_wifi::mac::Aid;
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -47,8 +57,10 @@ pub struct TableOpCounts {
 /// ```
 #[derive(Debug, Default)]
 pub struct ClientPortTable {
-    by_port: BTreeMap<u16, BTreeSet<Aid>>,
-    by_client: BTreeMap<Aid, Vec<u16>>,
+    /// port → sorted posting list of listening clients.
+    by_port: FxHashMap<u16, Vec<Aid>>,
+    /// client → sorted list of its open ports.
+    by_client: FxHashMap<Aid, Vec<u16>>,
     inserts: AtomicU64,
     deletes: AtomicU64,
     lookups: AtomicU64,
@@ -69,7 +81,10 @@ impl ClientPortTable {
         stored.sort_unstable();
         stored.dedup();
         for &port in &stored {
-            self.by_port.entry(port).or_default().insert(client);
+            let postings = self.by_port.entry(port).or_default();
+            if let Err(at) = postings.binary_search(&client) {
+                postings.insert(at, client);
+            }
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
         if !stored.is_empty() {
@@ -84,23 +99,31 @@ impl ClientPortTable {
             return;
         };
         for port in old_ports {
-            if let Entry::Occupied(mut entry) = self.by_port.entry(port) {
-                entry.get_mut().remove(&client);
-                if entry.get().is_empty() {
-                    entry.remove();
+            if let Some(postings) = self.by_port.get_mut(&port) {
+                if let Ok(at) = postings.binary_search(&client) {
+                    postings.remove(at);
+                }
+                if postings.is_empty() {
+                    self.by_port.remove(&port);
                 }
                 self.deletes.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Looks up the clients listening on `port` (Algorithm 1, line 4).
+    /// Looks up the clients listening on `port` (Algorithm 1, line 4),
+    /// sorted by AID. Allocates the result; the flag hot path uses
+    /// [`ClientPortTable::postings_for_port`] instead.
     pub fn clients_for_port(&self, port: u16) -> Vec<Aid> {
+        self.postings_for_port(port).to_vec()
+    }
+
+    /// Borrowed posting list of the clients listening on `port`,
+    /// sorted by AID — the allocation-free form of
+    /// [`ClientPortTable::clients_for_port`]. Counts one `τ_lp`.
+    pub fn postings_for_port(&self, port: u16) -> &[Aid] {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.by_port
-            .get(&port)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default()
+        self.by_port.get(&port).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether `client` listens on `port`.
@@ -108,7 +131,7 @@ impl ClientPortTable {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.by_port
             .get(&port)
-            .is_some_and(|set| set.contains(&client))
+            .is_some_and(|postings| postings.binary_search(&client).is_ok())
     }
 
     /// The ports currently stored for `client`, sorted.
@@ -160,6 +183,60 @@ impl Clone for ClientPortTable {
             deletes: AtomicU64::new(self.deletes.load(Ordering::Relaxed)),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// The original `BTreeMap`/`BTreeSet` port table, kept purely as the
+/// measurement baseline for the hash-map rewrite (see
+/// `benches/protocol_micro.rs` and the `bench_throughput` binary).
+/// Not used by the protocol.
+#[derive(Debug, Default, Clone)]
+pub struct BTreePortTable {
+    by_port: BTreeMap<u16, BTreeSet<Aid>>,
+    by_client: BTreeMap<Aid, Vec<u16>>,
+}
+
+impl BTreePortTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        BTreePortTable::default()
+    }
+
+    /// Replaces `client`'s port set with `ports` (delete then insert).
+    pub fn update_client(&mut self, client: Aid, ports: &[u16]) {
+        self.remove_client(client);
+        let mut stored: Vec<u16> = ports.to_vec();
+        stored.sort_unstable();
+        stored.dedup();
+        for &port in &stored {
+            self.by_port.entry(port).or_default().insert(client);
+        }
+        if !stored.is_empty() {
+            self.by_client.insert(client, stored);
+        }
+    }
+
+    /// Removes every entry for `client`.
+    pub fn remove_client(&mut self, client: Aid) {
+        let Some(old_ports) = self.by_client.remove(&client) else {
+            return;
+        };
+        for port in old_ports {
+            if let Entry::Occupied(mut entry) = self.by_port.entry(port) {
+                entry.get_mut().remove(&client);
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+            }
+        }
+    }
+
+    /// The clients listening on `port`, sorted by AID.
+    pub fn clients_for_port(&self, port: u16) -> Vec<Aid> {
+        self.by_port
+            .get(&port)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -258,10 +335,54 @@ mod tests {
     }
 
     #[test]
+    fn postings_borrow_is_sorted_and_counts_one_lookup() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(9), &[5353]);
+        table.update_client(aid(3), &[5353]);
+        table.update_client(aid(6), &[5353]);
+        table.reset_op_counts();
+        let postings = table.postings_for_port(5353);
+        assert_eq!(postings, &[aid(3), aid(6), aid(9)]);
+        assert_eq!(table.op_counts().lookups, 1);
+    }
+
+    #[test]
     fn clone_preserves_contents() {
         let mut table = ClientPortTable::new();
         table.update_client(aid(1), &[80]);
         let copy = table.clone();
         assert_eq!(copy.clients_for_port(80), vec![aid(1)]);
+    }
+
+    #[test]
+    fn hash_table_agrees_with_btree_baseline() {
+        let mut fast = ClientPortTable::new();
+        let mut slow = BTreePortTable::new();
+        // Deterministic pseudo-random workload over both tables.
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u16
+        };
+        for round in 0..500 {
+            let client = aid(next() % 100 + 1);
+            if round % 7 == 6 {
+                fast.remove_client(client);
+                slow.remove_client(client);
+            } else {
+                let ports: Vec<u16> = (0..(next() % 8)).map(|_| next() % 50 + 1).collect();
+                fast.update_client(client, &ports);
+                slow.update_client(client, &ports);
+            }
+        }
+        for port in 1..=50u16 {
+            assert_eq!(
+                fast.clients_for_port(port),
+                slow.clients_for_port(port),
+                "port {port} diverged"
+            );
+        }
     }
 }

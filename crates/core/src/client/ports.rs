@@ -6,7 +6,6 @@
 //! receive no broadcast traffic through it.
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The wildcard IPv4 address `0.0.0.0`.
@@ -27,7 +26,7 @@ pub const INADDR_ANY: [u8; 4] = [0, 0, 0, 0];
 /// assert!(reg.reportable_ports().is_empty());
 /// # Ok::<(), hide_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpenPortRegistry {
     bindings: BTreeMap<u16, [u8; 4]>,
     generation: u64,

@@ -63,5 +63,6 @@
 pub mod ap;
 pub mod client;
 pub mod error;
+pub mod fx;
 
 pub use error::CoreError;

@@ -5,8 +5,6 @@
 //! examples and reports can answer the question users actually ask:
 //! *how much longer does my phone last?*
 
-use serde::{Deserialize, Serialize};
-
 /// A battery, described by its usable energy.
 ///
 /// # Example
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let hours = battery.standby_hours(0.100);
 /// assert!((hours - 98.8).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     capacity_wh: f64,
 }

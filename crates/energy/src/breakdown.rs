@@ -1,7 +1,6 @@
 //! Energy accounting: the five-component breakdown of Eq. (2) and the
 //! derived metrics the paper's figures report.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
@@ -22,7 +21,7 @@ use std::ops::Add;
 /// assert_eq!(b.total(), 10.5);
 /// assert_eq!(b.average_power(21.0), 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// `Eb` — beacon reception.
     pub beacon: f64,
@@ -93,7 +92,7 @@ impl fmt::Display for EnergyBreakdown {
 
 /// Full evaluation result: energy plus the state statistics behind
 /// Fig. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// The five-component energy breakdown.
     pub breakdown: EnergyBreakdown,

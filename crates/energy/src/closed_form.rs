@@ -8,10 +8,9 @@
 //! in tests (and in `tests/closed_form_cross_check.rs`).
 
 use crate::profile::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Per-frame state sequences of Eqs. (3)–(5) and (14).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateSequences {
     /// Wakelock start times `t_r(i)` (Eq. 3).
     pub wakelock_starts: Vec<f64>,

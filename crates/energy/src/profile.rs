@@ -4,8 +4,6 @@
 //! have no hardware, the constants of Table I are reproduced verbatim.
 //! Energies are in joules, powers in watts, durations in seconds.
 
-use serde::{Deserialize, Serialize};
-
 /// Power/energy constants of one smartphone model (one row of Table I).
 ///
 /// # Example
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let wake_cost = NEXUS_ONE.resume_energy + NEXUS_ONE.suspend_energy;
 /// assert!((wake_cost - 35.92e-3).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: &'static str,

@@ -1,7 +1,6 @@
 //! Model inputs: the reception timeline and protocol overhead.
 
 use crate::profile::DeviceProfile;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced when constructing model inputs.
@@ -40,7 +39,7 @@ impl fmt::Display for EnergyError {
 impl std::error::Error for EnergyError {}
 
 /// One broadcast frame as the client's radio receives it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineFrame {
     /// Time the frame's transmission starts, seconds from trace start
     /// (the `t_i` of the model).
@@ -67,7 +66,7 @@ impl TimelineFrame {
 
 /// The sequence of frames a client's radio receives, with the beacon
 /// schedule they are embedded in.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     duration: f64,
     beacon_interval: f64,
@@ -190,7 +189,7 @@ impl Timeline {
 }
 
 /// HIDE protocol overhead inputs for the `Eo` term (Eqs. 15–19).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Overhead {
     /// Total BTIM element bytes received across all beacons
     /// (`Σ L^b_i` of Eq. 16).

@@ -13,13 +13,12 @@ use crate::simulation::SimulationBuilder;
 use crate::solution::Solution;
 use hide_energy::profile::DeviceProfile;
 use hide_traces::record::Trace;
-use serde::{Deserialize, Serialize};
 
 /// The useful-frame percentages Figs. 7 and 8 sweep, in figure order.
 pub const PAPER_FRACTIONS: [f64; 5] = [0.10, 0.08, 0.06, 0.04, 0.02];
 
 /// One bar of Figs. 7/8: a solution's stacked average power.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyBar {
     /// Solution label (`receive-all`, `client-side`, `HIDE:10%`, …).
     pub label: String,
@@ -34,7 +33,7 @@ pub struct EnergyBar {
 }
 
 /// All bars for one trace (one sub-figure of Figs. 7/8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioComparison {
     /// Scenario label.
     pub scenario: String,
@@ -54,44 +53,52 @@ impl ScenarioComparison {
 
 /// Runs the Figs. 7/8 experiment: for every trace, simulate
 /// receive-all, the client-side lower bound, and HIDE at each fraction.
+///
+/// The (trace, solution) cells are independent seeded simulations, so
+/// they fan out over [`hide_par`]'s worker pool; results come back in
+/// input order, making the output identical for any job count.
 pub fn energy_comparison(
     profile: DeviceProfile,
     traces: &[Trace],
     fractions: &[f64],
 ) -> Vec<ScenarioComparison> {
-    traces
+    let mut solutions = Vec::with_capacity(2 + fractions.len());
+    solutions.push(Solution::ReceiveAll);
+    solutions.push(Solution::client_side_lower_bound());
+    solutions.extend(fractions.iter().map(|&f| Solution::hide(f)));
+
+    let cells: Vec<(usize, Solution)> = traces
         .iter()
-        .map(|trace| {
-            let mut bars = Vec::new();
-            let baseline = SimulationBuilder::new(trace, profile)
-                .solution(Solution::ReceiveAll)
-                .run();
-            let baseline_total = baseline.energy.breakdown.total();
+        .enumerate()
+        .flat_map(|(ti, _)| solutions.iter().map(move |&s| (ti, s)))
+        .collect();
+    let results = hide_par::par_map(&cells, |&(ti, solution)| {
+        SimulationBuilder::new(&traces[ti], profile)
+            .solution(solution)
+            .run()
+    });
 
-            let mut push = |result: crate::simulation::SimulationResult| {
-                let d = result.energy.duration;
-                bars.push(EnergyBar {
-                    label: result.solution.label(),
-                    stacked_mw: result.energy.breakdown.stacked_milliwatts(d),
-                    total_mw: result.energy.average_power_mw(),
-                    suspend_fraction: result.energy.suspend_fraction(),
-                    saving_vs_receive_all: 1.0 - result.energy.breakdown.total() / baseline_total,
-                });
-            };
-
-            push(baseline.clone());
-            push(
-                SimulationBuilder::new(trace, profile)
-                    .solution(Solution::client_side_lower_bound())
-                    .run(),
-            );
-            for &f in fractions {
-                push(
-                    SimulationBuilder::new(trace, profile)
-                        .solution(Solution::hide(f))
-                        .run(),
-                );
-            }
+    // Cells for one trace are contiguous; the receive-all cell leads
+    // each chunk and anchors the per-scenario saving.
+    results
+        .chunks(solutions.len())
+        .zip(traces)
+        .map(|(chunk, trace)| {
+            let baseline_total = chunk[0].energy.breakdown.total();
+            let bars = chunk
+                .iter()
+                .map(|result| {
+                    let d = result.energy.duration;
+                    EnergyBar {
+                        label: result.solution.label(),
+                        stacked_mw: result.energy.breakdown.stacked_milliwatts(d),
+                        total_mw: result.energy.average_power_mw(),
+                        suspend_fraction: result.energy.suspend_fraction(),
+                        saving_vs_receive_all: 1.0
+                            - result.energy.breakdown.total() / baseline_total,
+                    }
+                })
+                .collect();
             ScenarioComparison {
                 scenario: trace.scenario.clone(),
                 device: profile.name.to_string(),
@@ -103,7 +110,7 @@ pub fn energy_comparison(
 
 /// One scenario's suspend-time fractions (Fig. 9): receive-all,
 /// client-side, HIDE:10%, HIDE:2%.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuspendFractionRow {
     /// Scenario label.
     pub scenario: String,
@@ -111,7 +118,8 @@ pub struct SuspendFractionRow {
     pub fractions: Vec<(String, f64)>,
 }
 
-/// Runs the Fig. 9 experiment.
+/// Runs the Fig. 9 experiment, fanning the (trace, solution) cells out
+/// in parallel like [`energy_comparison`].
 pub fn suspend_fractions(profile: DeviceProfile, traces: &[Trace]) -> Vec<SuspendFractionRow> {
     let solutions = [
         Solution::ReceiveAll,
@@ -119,23 +127,29 @@ pub fn suspend_fractions(profile: DeviceProfile, traces: &[Trace]) -> Vec<Suspen
         Solution::hide(0.10),
         Solution::hide(0.02),
     ];
-    traces
+    let cells: Vec<(usize, Solution)> = traces
         .iter()
-        .map(|trace| SuspendFractionRow {
+        .enumerate()
+        .flat_map(|(ti, _)| solutions.iter().map(move |&s| (ti, s)))
+        .collect();
+    let fractions = hide_par::par_map(&cells, |&(ti, s)| {
+        let r = SimulationBuilder::new(&traces[ti], profile)
+            .solution(s)
+            .run();
+        (s.label(), r.energy.suspend_fraction())
+    });
+    fractions
+        .chunks(solutions.len())
+        .zip(traces)
+        .map(|(chunk, trace)| SuspendFractionRow {
             scenario: trace.scenario.clone(),
-            fractions: solutions
-                .iter()
-                .map(|&s| {
-                    let r = SimulationBuilder::new(trace, profile).solution(s).run();
-                    (s.label(), r.energy.suspend_fraction())
-                })
-                .collect(),
+            fractions: chunk.to_vec(),
         })
         .collect()
 }
 
 /// Per-trace volume statistics behind Fig. 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceVolume {
     /// Scenario label.
     pub scenario: String,
@@ -147,24 +161,21 @@ pub struct TraceVolume {
     pub cdf_points: Vec<(f64, f64)>,
 }
 
-/// Computes the Fig. 6 data for each trace.
+/// Computes the Fig. 6 data for each trace, one worker per trace.
 pub fn trace_volumes(traces: &[Trace]) -> Vec<TraceVolume> {
-    traces
-        .iter()
-        .map(|t| {
-            let cdf = t.fps_cdf();
-            TraceVolume {
-                scenario: t.scenario.clone(),
-                mean_fps: t.mean_fps(),
-                frames: t.len(),
-                cdf_points: cdf.plot_points(25),
-            }
-        })
-        .collect()
+    hide_par::par_map(traces, |t| {
+        let cdf = t.fps_cdf();
+        TraceVolume {
+            scenario: t.scenario.clone(),
+            mean_fps: t.mean_fps(),
+            frames: t.len(),
+            cdf_points: cdf.plot_points(25),
+        }
+    })
 }
 
 /// One row of the unicast-sensitivity extension experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnicastSensitivityRow {
     /// Unicast arrival rate, frames/second.
     pub unicast_rate: f64,
@@ -184,31 +195,28 @@ pub fn unicast_sensitivity(
     rates: &[f64],
 ) -> Vec<UnicastSensitivityRow> {
     use hide_traces::unicast::UnicastTrace;
-    rates
-        .iter()
-        .map(|&rate| {
-            let unicast = UnicastTrace::poisson(trace.duration, rate, 99);
-            let all = SimulationBuilder::new(trace, profile)
-                .unicast(&unicast)
-                .run();
-            let hide = SimulationBuilder::new(trace, profile)
-                .solution(Solution::hide(0.10))
-                .unicast(&unicast)
-                .run();
-            UnicastSensitivityRow {
-                unicast_rate: rate,
-                receive_all_mw: all.energy.average_power_mw(),
-                hide_mw: hide.energy.average_power_mw(),
-                saving: hide.energy.saving_vs(&all.energy),
-            }
-        })
-        .collect()
+    hide_par::par_map(rates, |&rate| {
+        let unicast = UnicastTrace::poisson(trace.duration, rate, 99);
+        let all = SimulationBuilder::new(trace, profile)
+            .unicast(&unicast)
+            .run();
+        let hide = SimulationBuilder::new(trace, profile)
+            .solution(Solution::hide(0.10))
+            .unicast(&unicast)
+            .run();
+        UnicastSensitivityRow {
+            unicast_rate: rate,
+            receive_all_mw: all.energy.average_power_mw(),
+            hide_mw: hide.energy.average_power_mw(),
+            saving: hide.energy.saving_vs(&all.energy),
+        }
+    })
 }
 
 /// The headline savings ranges quoted in the paper's abstract: min/max
 /// HIDE saving vs. receive-all across traces, and the average extra
 /// saving over the client-side solution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavingsSummary {
     /// Device name.
     pub device: String,

@@ -10,10 +10,9 @@
 
 use hide_traces::record::Trace;
 use hide_traces::stats::Cdf;
-use serde::{Deserialize, Serialize};
 
 /// Summary of a delivery-latency distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyReport {
     /// DTIM period the report was computed for.
     pub dtim_period: u8,

@@ -15,10 +15,9 @@ use hide_traces::record::Trace;
 use hide_wifi::frame::UdpPortMessage;
 use hide_wifi::mac::MacAddr;
 use hide_wifi::phy::{self, DataRate};
-use serde::{Deserialize, Serialize};
 
 /// One client in the simulated BSS.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientSpec {
     /// Display name.
     pub name: String,
@@ -46,7 +45,7 @@ pub fn fleet(n: usize, adoption: f64, base_seed: u64) -> Vec<ClientSpec> {
 }
 
 /// Outcome for one client.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientOutcome {
     /// The spec this outcome belongs to.
     pub spec: ClientSpec,
@@ -57,7 +56,7 @@ pub struct ClientOutcome {
 }
 
 /// Aggregate outcome of a network simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkResult {
     /// Per-client outcomes, in spec order.
     pub clients: Vec<ClientOutcome>,
@@ -99,19 +98,18 @@ impl<'a> NetworkSimulation<'a> {
         self
     }
 
-    /// Runs every client against the trace.
+    /// Runs every client against the trace. Clients are independent,
+    /// so they fan out over [`hide_par`]'s worker pool; the shared
+    /// receive-all baseline (identical for every client) is computed
+    /// once up front instead of once per client.
     pub fn run(&self) -> NetworkResult {
         let span = self.clients.len().max(1) as u16;
-        let mut outcomes = Vec::with_capacity(self.clients.len());
-        let mut total = 0.0;
-        let mut baseline_total = 0.0;
-        let mut hide_clients = 0u32;
+        let baseline = SimulationBuilder::new(self.trace, self.profile)
+            .network_aid_span(span)
+            .run();
 
-        for spec in &self.clients {
-            let baseline = SimulationBuilder::new(self.trace, self.profile)
-                .network_aid_span(span)
-                .run();
-            let result = if spec.hide_enabled {
+        let results = hide_par::par_map(&self.clients, |spec| {
+            if spec.hide_enabled {
                 SimulationBuilder::new(self.trace, self.profile)
                     .solution(Solution::hide(spec.useful_fraction))
                     .marking(MarkingStrategy::PortBasedSeeded { seed: spec.seed })
@@ -120,7 +118,14 @@ impl<'a> NetworkSimulation<'a> {
                     .run()
             } else {
                 baseline.clone()
-            };
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(self.clients.len());
+        let mut total = 0.0;
+        let mut baseline_total = 0.0;
+        let mut hide_clients = 0u32;
+        for (spec, result) in self.clients.iter().zip(results) {
             if spec.hide_enabled {
                 hide_clients += 1;
             }

@@ -21,10 +21,9 @@ use hide_wifi::frame::{Beacon, BroadcastDataFrame};
 use hide_wifi::mac::MacAddr;
 use hide_wifi::phy::{self, DataRate};
 use hide_wifi::udp::UdpDatagram;
-use serde::{Deserialize, Serialize};
 
 /// Per-run protocol statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtocolStats {
     /// Beacons the AP transmitted.
     pub beacons: u64,
@@ -41,7 +40,7 @@ pub struct ProtocolStats {
 }
 
 /// Outcome of a protocol-driven run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolOutcome {
     /// Energy report computed from the protocol-derived timeline.
     pub energy: EnergyReport,

@@ -17,10 +17,9 @@ use hide_traces::record::Trace;
 use hide_traces::useful::Usefulness;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the reliability simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityConfig {
     /// Per-transmission loss probability of a UDP Port Message.
     pub loss_probability: f64,
@@ -52,7 +51,7 @@ impl Default for ReliabilityConfig {
 }
 
 /// Outcome of a reliability simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityResult {
     /// Sync attempts made.
     pub syncs_attempted: u64,
@@ -177,6 +176,13 @@ pub fn run(trace: &Trace, config: &ReliabilityConfig) -> ReliabilityResult {
         spurious_wake_fraction: spurious as f64 / total,
         stale_time_fraction: stale / trace.duration,
     }
+}
+
+/// Runs one reliability simulation per config in parallel, returning
+/// results in config order. Each run draws from its own seeded RNG, so
+/// the output matches running [`run`] sequentially over the slice.
+pub fn run_sweep(trace: &Trace, configs: &[ReliabilityConfig]) -> Vec<ReliabilityResult> {
+    hide_par::par_map(configs, |cfg| run(trace, cfg))
 }
 
 /// The set in force at time `t` (sets are time-sorted).

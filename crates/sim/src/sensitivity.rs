@@ -10,10 +10,9 @@ use crate::solution::Solution;
 use crate::SimulationBuilder;
 use hide_energy::profile::DeviceProfile;
 use hide_traces::record::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One point of a parameter sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityPoint {
     /// The swept parameter's value.
     pub value: f64,
@@ -54,17 +53,18 @@ pub fn wakelock_sweep(
     base: DeviceProfile,
     taus_secs: &[f64],
 ) -> Vec<SensitivityPoint> {
-    taus_secs
-        .iter()
-        .map(|&tau| {
-            assert!(tau > 0.0, "wakelock duration must be positive");
-            let profile = DeviceProfile {
-                wakelock_secs: tau,
-                ..base
-            };
-            point(trace, profile, tau)
-        })
-        .collect()
+    // Validate before fanning out so the panic carries its message
+    // instead of surfacing as a worker-thread failure.
+    for &tau in taus_secs {
+        assert!(tau > 0.0, "wakelock duration must be positive");
+    }
+    hide_par::par_map(taus_secs, |&tau| {
+        let profile = DeviceProfile {
+            wakelock_secs: tau,
+            ..base
+        };
+        point(trace, profile, tau)
+    })
 }
 
 /// Sweeps a multiplier on the suspend/resume *energies* (`E_rm`,
@@ -79,18 +79,17 @@ pub fn state_cost_sweep(
     base: DeviceProfile,
     multipliers: &[f64],
 ) -> Vec<SensitivityPoint> {
-    multipliers
-        .iter()
-        .map(|&k| {
-            assert!(k > 0.0, "multiplier must be positive");
-            let profile = DeviceProfile {
-                resume_energy: base.resume_energy * k,
-                suspend_energy: base.suspend_energy * k,
-                ..base
-            };
-            point(trace, profile, k)
-        })
-        .collect()
+    for &k in multipliers {
+        assert!(k > 0.0, "multiplier must be positive");
+    }
+    hide_par::par_map(multipliers, |&k| {
+        let profile = DeviceProfile {
+            resume_energy: base.resume_energy * k,
+            suspend_energy: base.suspend_energy * k,
+            ..base
+        };
+        point(trace, profile, k)
+    })
 }
 
 #[cfg(test)]

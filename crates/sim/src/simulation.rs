@@ -11,10 +11,9 @@ use hide_traces::useful::Usefulness;
 use hide_wifi::frame::UdpPortMessage;
 use hide_wifi::mac::MacAddr;
 use hide_wifi::phy::{self, DataRate};
-use serde::{Deserialize, Serialize};
 
 /// How frames are marked useful for a target fraction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarkingStrategy {
     /// Choose a port set whose traffic share approximates the target —
     /// faithful to the HIDE mechanism (default).
@@ -151,8 +150,12 @@ impl<'a> SimulationBuilder<'a> {
     pub fn try_run(&self) -> Result<SimulationResult, EnergyError> {
         let tau = self.profile.wakelock_secs;
 
-        // Build the reception timeline for the chosen solution.
-        let mut frames: Vec<TimelineFrame> = Vec::new();
+        // Build the reception timeline for the chosen solution. Every
+        // branch below pushes at most one entry per trace frame (plus
+        // the unicast overlay), so one up-front reservation covers the
+        // whole construction with no reallocation.
+        let unicast_len = self.unicast.map_or(0, |u| u.arrivals().len());
+        let mut frames: Vec<TimelineFrame> = Vec::with_capacity(self.trace.len() + unicast_len);
         let mut filtered_by_ap = false;
         let achieved: Option<f64>;
         match self.solution {
@@ -351,7 +354,7 @@ fn batch_at_dtim(frames: &mut [TimelineFrame], beacon_interval: f64, period: u8)
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationResult {
     /// The simulated solution.
     pub solution: Solution,

@@ -1,10 +1,9 @@
 //! The three broadcast-handling solutions the evaluation compares.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A broadcast-traffic handling strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Solution {
     /// Receive and process every broadcast frame (stock behaviour).
     ReceiveAll,

@@ -12,7 +12,6 @@ use crate::record::{Trace, TraceFrame};
 use hide_wifi::phy::DataRate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Well-known UDP ports that dominate real broadcast traffic.
 pub mod ports {
@@ -36,7 +35,7 @@ pub mod ports {
 
 /// A weighted UDP destination-port distribution with per-port typical
 /// frame sizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PortMix {
     /// `(port, weight, typical_body_bytes)` entries; weights need not
     /// be normalized.
@@ -142,7 +141,7 @@ impl PortMix {
 }
 
 /// MMPP calibration for one scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorParams {
     /// Poisson rate in the idle state, frames/second.
     pub idle_rate_fps: f64,

@@ -2,11 +2,10 @@
 
 use crate::stats::Cdf;
 use hide_wifi::phy::DataRate;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One UDP-padded broadcast frame in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceFrame {
     /// On-air start time, seconds from trace start.
     pub time: f64,
@@ -29,7 +28,7 @@ impl TraceFrame {
 }
 
 /// A broadcast traffic trace: a duration plus time-sorted frames.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Name of the capture scenario.
     pub scenario: String,

@@ -3,12 +3,11 @@
 
 use crate::generate::{self, GeneratorParams, PortMix};
 use crate::record::Trace;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five real-world scenarios the paper collected traces in
 /// (Section VI.A.2), ordered as the figures list them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// A classroom building during lectures — heavy traffic.
     Classroom,

@@ -1,7 +1,5 @@
 //! Empirical distribution statistics for traces (Fig. 6's CDFs).
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical cumulative distribution function over f64 samples.
 ///
 /// # Example
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.quantile(0.5), 2.0);
 /// assert!((cdf.mean() - 3.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

@@ -10,7 +10,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A unicast arrival schedule for one client.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(u.arrivals().windows(2).all(|w| w[0] <= w[1]));
 /// assert!(u.mean_rate() < 0.2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnicastTrace {
     duration: f64,
     arrivals: Vec<f64>,

@@ -16,11 +16,10 @@
 use crate::record::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A per-frame usefulness marking (`u_i` of Eq. 1), aligned with a
 /// trace's frame order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Usefulness {
     flags: Vec<bool>,
     useful_ports: Vec<u16>,

@@ -9,7 +9,6 @@
 
 use crate::error::WifiError;
 use crate::mac::{Aid, MAX_AID};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of bytes in the full virtual bitmap (AIDs 0..=2007).
@@ -34,16 +33,18 @@ pub const VIRTUAL_BITMAP_BYTES: usize = 251;
 /// assert_eq!(trimmed.bytes(), &[0b0010_0000]);
 /// # Ok::<(), hide_wifi::WifiError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartialVirtualBitmap {
-    bits: Vec<u8>,
+    // Inline array, not a Vec: the AP rebuilds flags every DTIM beacon,
+    // and an inline bitmap makes construction/reset allocation-free.
+    bits: [u8; VIRTUAL_BITMAP_BYTES],
 }
 
 impl PartialVirtualBitmap {
     /// Creates an empty bitmap (all AIDs clear).
     pub fn new() -> Self {
         PartialVirtualBitmap {
-            bits: vec![0u8; VIRTUAL_BITMAP_BYTES],
+            bits: [0u8; VIRTUAL_BITMAP_BYTES],
         }
     }
 
@@ -89,13 +90,40 @@ impl PartialVirtualBitmap {
     /// the largest even `N1`, trailing zero bytes after the last
     /// non-zero byte are dropped.
     pub fn trim(&self) -> TrimmedBitmap {
-        let first_nonzero = self.bits.iter().position(|&b| b != 0);
-        let Some(first) = first_nonzero else {
+        let mut bytes = Vec::new();
+        let offset = self.trim_into(&mut bytes);
+        TrimmedBitmap { offset, bytes }
+    }
+
+    /// Like [`PartialVirtualBitmap::trim`], but writes the transmitted
+    /// bytes into `scratch` (cleared first) and returns the offset
+    /// `N1` — the allocation-free path used by per-beacon encoders,
+    /// which keep one scratch buffer alive across DTIM cycles.
+    pub fn trim_into(&self, scratch: &mut Vec<u8>) -> usize {
+        scratch.clear();
+        self.append_trimmed_to(scratch)
+    }
+
+    /// Appends the trimmed bitmap bytes to `out` (without clearing it)
+    /// and returns the offset `N1`. Lets encoders build element bodies
+    /// in one pass over a single reused buffer.
+    pub fn append_trimmed_to(&self, out: &mut Vec<u8>) -> usize {
+        let (n1, len) = self.trimmed_span();
+        if len == 1 && self.bits[n1] == 0 {
             // All zero: the standard encodes a single zero byte at offset 0.
-            return TrimmedBitmap {
-                offset: 0,
-                bytes: vec![0],
-            };
+            out.push(0);
+        } else {
+            out.extend_from_slice(&self.bits[n1..n1 + len]);
+        }
+        n1
+    }
+
+    /// The `(offset, length)` the trimmed encoding will occupy, without
+    /// materializing it — `N1` and `N2 - N1 + 1` of Fig. 5 (an all-zero
+    /// bitmap reports `(0, 1)` for the mandatory single zero byte).
+    pub fn trimmed_span(&self) -> (usize, usize) {
+        let Some(first) = self.bits.iter().position(|&b| b != 0) else {
+            return (0, 1);
         };
         let last = self
             .bits
@@ -103,10 +131,7 @@ impl PartialVirtualBitmap {
             .rposition(|&b| b != 0)
             .expect("nonzero exists");
         let n1 = first & !1; // round down to even
-        TrimmedBitmap {
-            offset: n1,
-            bytes: self.bits[n1..=last].to_vec(),
-        }
+        (n1, last - n1 + 1)
     }
 
     /// Reconstructs a full bitmap from a trimmed representation.
@@ -171,7 +196,7 @@ impl Extend<Aid> for PartialVirtualBitmap {
 }
 
 /// The on-air compressed form of a [`PartialVirtualBitmap`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TrimmedBitmap {
     offset: usize,
     bytes: Vec<u8>,
@@ -369,6 +394,21 @@ mod tests {
         assert_eq!(t.offset(), 4);
         assert_eq!(t.bytes().len(), 3); // octets 4, 5, 6
         assert_eq!(t.bytes()[1], 0);
+    }
+
+    #[test]
+    fn trim_into_reuses_scratch_and_matches_trim() {
+        let mut scratch = Vec::new();
+        for aids in [vec![], vec![1u16], vec![24], vec![3, 17, 120, 1999]] {
+            let mut b = PartialVirtualBitmap::new();
+            for v in aids {
+                b.set(aid(v));
+            }
+            let offset = b.trim_into(&mut scratch);
+            let t = b.trim();
+            assert_eq!(offset, t.offset());
+            assert_eq!(&scratch, t.bytes());
+        }
     }
 
     #[test]

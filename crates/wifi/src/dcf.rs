@@ -22,13 +22,12 @@
 //! ```
 
 use crate::error::WifiError;
-use serde::{Deserialize, Serialize};
 
 /// MAC/PHY parameters of the DCF model.
 ///
 /// Defaults come from Table II of the HIDE paper (an 802.11b network as
 /// configured in Wu et al., INFOCOM 2002).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcfConfig {
     /// Minimum contention window `W` (number of slots).
     pub cw_min: u32,
@@ -125,7 +124,7 @@ impl Default for DcfConfig {
 }
 
 /// Solution of the DCF fixed point for a given station count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DcfSolution {
     /// Per-station per-slot transmission probability.
     pub tau: f64,

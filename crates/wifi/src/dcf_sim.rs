@@ -23,10 +23,9 @@
 //! ```
 
 use crate::dcf::DcfConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a DCF simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcfSimConfig {
     /// MAC/PHY parameters.
     pub dcf: DcfConfig,
@@ -65,7 +64,7 @@ impl DcfSimConfig {
 }
 
 /// Result of a DCF simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DcfSimResult {
     /// Normalized saturation throughput: fraction of time carrying
     /// payload bits (comparable to [`crate::dcf::DcfSolution::throughput`]).

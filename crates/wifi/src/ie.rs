@@ -16,7 +16,6 @@
 use crate::bitmap::{PartialVirtualBitmap, TrimmedBitmap};
 use crate::error::WifiError;
 use crate::mac::Aid;
-use serde::{Deserialize, Serialize};
 
 /// Element ID of the standard Traffic Indication Map.
 pub const ELEMENT_ID_TIM: u8 = 5;
@@ -44,7 +43,7 @@ pub const MAX_ELEMENT_BODY: usize = 255;
 /// assert!(tim.traffic_for(Aid::new(3)?));
 /// # Ok::<(), hide_wifi::WifiError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tim {
     dtim_count: u8,
     dtim_period: u8,
@@ -102,15 +101,22 @@ impl Tim {
 
     /// Encodes the element body (everything after ID and length).
     pub fn encode_body(&self) -> Vec<u8> {
-        let trimmed = self.bitmap.trim();
-        // Bitmap Control: bit 0 = broadcast indicator, bits 1-7 = N1/2.
-        let control = (self.broadcast_buffered as u8) | (((trimmed.offset() / 2) as u8) << 1);
-        let mut body = Vec::with_capacity(3 + trimmed.len());
-        body.push(self.dtim_count);
-        body.push(self.dtim_period);
-        body.push(control);
-        body.extend_from_slice(trimmed.bytes());
+        let (_, len) = self.bitmap.trimmed_span();
+        let mut body = Vec::with_capacity(3 + len);
+        self.append_body_to(&mut body);
         body
+    }
+
+    /// Appends the element body to `out` — the allocation-free path for
+    /// per-beacon encoders reusing one buffer across DTIM cycles.
+    pub fn append_body_to(&self, out: &mut Vec<u8>) {
+        out.push(self.dtim_count);
+        out.push(self.dtim_period);
+        let control_at = out.len();
+        out.push(0);
+        let offset = self.bitmap.append_trimmed_to(out);
+        // Bitmap Control: bit 0 = broadcast indicator, bits 1-7 = N1/2.
+        out[control_at] = (self.broadcast_buffered as u8) | (((offset / 2) as u8) << 1);
     }
 
     /// Decodes an element body.
@@ -143,7 +149,7 @@ impl Tim {
 /// Carries one *broadcast flag* bit per associated client: set when the AP
 /// has buffered broadcast frames whose UDP destination port the client
 /// listens on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Btim {
     bitmap: PartialVirtualBitmap,
 }
@@ -172,11 +178,19 @@ impl Btim {
     /// Encodes the element body: a 1-byte Offset (`N1`) followed by the
     /// trimmed partial virtual bitmap (Figs. 4 and 5).
     pub fn encode_body(&self) -> Vec<u8> {
-        let trimmed = self.bitmap.trim();
-        let mut body = Vec::with_capacity(1 + trimmed.len());
-        body.push(trimmed.offset() as u8);
-        body.extend_from_slice(trimmed.bytes());
+        let (_, len) = self.bitmap.trimmed_span();
+        let mut body = Vec::with_capacity(1 + len);
+        self.append_body_to(&mut body);
         body
+    }
+
+    /// Appends the element body to `out` — the allocation-free path for
+    /// per-beacon encoders reusing one buffer across DTIM cycles.
+    pub fn append_body_to(&self, out: &mut Vec<u8>) {
+        let offset_at = out.len();
+        out.push(0);
+        let offset = self.bitmap.append_trimmed_to(out);
+        out[offset_at] = offset as u8;
     }
 
     /// Decodes an element body.
@@ -201,15 +215,16 @@ impl Btim {
 
     /// Encoded body length in bytes — the per-beacon overhead HIDE adds,
     /// the `L^b_i` of Eq. (16) (plus the 2-byte ID/length header counted
-    /// by [`InformationElement::encoded_len`]).
+    /// by [`InformationElement::encoded_len`]). Computed from the
+    /// trimmed span without materializing the encoding.
     pub fn body_len(&self) -> usize {
-        1 + self.bitmap.trim().len()
+        1 + self.bitmap.trimmed_span().1
     }
 }
 
 /// The HIDE Open UDP Ports element (ID 200, Fig. 3): the list of UDP
 /// ports open on `INADDR_ANY` that a client reports before suspending.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpenUdpPorts {
     ports: Vec<u16>,
 }
@@ -282,7 +297,7 @@ impl OpenUdpPorts {
 }
 
 /// An element this crate does not interpret, preserved verbatim.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RawElement {
     /// Element ID.
     pub id: u8,
@@ -292,7 +307,7 @@ pub struct RawElement {
 
 /// Any information element that can appear in the frames this crate
 /// models.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum InformationElement {
     /// Standard TIM (ID 5).
@@ -323,22 +338,29 @@ impl InformationElement {
     /// Panics if the body exceeds 255 bytes; all constructors enforce
     /// this invariant, so a panic indicates a bug in this crate.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        let body = match self {
-            InformationElement::Tim(tim) => tim.encode_body(),
-            InformationElement::OpenUdpPorts(p) => p.encode_body(),
-            InformationElement::Btim(btim) => btim.encode_body(),
-            InformationElement::Raw(raw) => raw.body.clone(),
-        };
-        assert!(body.len() <= MAX_ELEMENT_BODY, "element body too long");
         out.push(self.element_id());
-        out.push(body.len() as u8);
-        out.extend_from_slice(&body);
+        let len_at = out.len();
+        out.push(0);
+        match self {
+            InformationElement::Tim(tim) => tim.append_body_to(out),
+            InformationElement::OpenUdpPorts(p) => {
+                for port in &p.ports {
+                    out.extend_from_slice(&port.to_be_bytes());
+                }
+            }
+            InformationElement::Btim(btim) => btim.append_body_to(out),
+            InformationElement::Raw(raw) => out.extend_from_slice(&raw.body),
+        }
+        let body_len = out.len() - len_at - 1;
+        assert!(body_len <= MAX_ELEMENT_BODY, "element body too long");
+        out[len_at] = body_len as u8;
     }
 
-    /// Encoded length including the 2-byte header.
+    /// Encoded length including the 2-byte header, computed without
+    /// materializing the encoding.
     pub fn encoded_len(&self) -> usize {
         let body_len = match self {
-            InformationElement::Tim(tim) => tim.encode_body().len(),
+            InformationElement::Tim(tim) => 3 + tim.bitmap.trimmed_span().1,
             InformationElement::OpenUdpPorts(p) => p.ports.len() * 2,
             InformationElement::Btim(btim) => btim.body_len(),
             InformationElement::Raw(raw) => raw.body.len(),
@@ -524,7 +546,7 @@ mod tests {
         let mut flags = PartialVirtualBitmap::new();
         flags.set(aid(100));
         let elements = vec![
-            InformationElement::Tim(Tim::new(1, 3, true, flags.clone())),
+            InformationElement::Tim(Tim::new(1, 3, true, flags)),
             InformationElement::Btim(Btim::new(flags)),
             InformationElement::OpenUdpPorts(OpenUdpPorts::new([1u16, 2, 3]).unwrap()),
         ];

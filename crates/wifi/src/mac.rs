@@ -1,7 +1,6 @@
 //! MAC-layer primitives: addresses, association IDs and frame control.
 
 use crate::error::WifiError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Highest association ID allowed by 802.11.
@@ -19,7 +18,7 @@ pub const MAX_AID: u16 = 2007;
 /// assert!(!addr.is_broadcast());
 /// assert!(MacAddr::BROADCAST.is_broadcast());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {
@@ -101,7 +100,7 @@ impl AsRef<[u8]> for MacAddr {
 /// assert_eq!(aid.bit(), 3);
 /// # Ok::<(), hide_wifi::WifiError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Aid(u16);
 
 impl Aid {
@@ -155,7 +154,7 @@ impl From<Aid> for u16 {
 }
 
 /// The 2-bit frame type of an 802.11 frame-control field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameType {
     /// Management frames (beacons, association, and the HIDE UDP Port
     /// Message).
@@ -198,7 +197,7 @@ impl FrameType {
 ///
 /// The HIDE paper defines the UDP Port Message as a management frame with
 /// `type = 00`, `subtype = 1111`, a subtype reserved in the base standard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameSubtype {
     /// Association request management frame (`0000`).
     AssociationRequest,
@@ -289,7 +288,7 @@ impl FrameSubtype {
 /// assert_eq!(back.subtype(), FrameSubtype::Data);
 /// # Ok::<(), hide_wifi::WifiError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameControl {
     subtype: FrameSubtype,
     more_data: bool,

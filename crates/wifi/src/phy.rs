@@ -6,7 +6,6 @@
 //! a basic rate (1 or 2 Mbit/s), and the paper's UDP Port Messages are sent
 //! at the lowest rate of 1 Mbit/s.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Length of the PHY preamble + PLCP header in bits (long preamble).
@@ -33,7 +32,7 @@ pub const PHY_HEADER_US: f64 = 192.0;
 /// assert_eq!(r.bits_per_sec(), 11_000_000.0);
 /// assert_eq!(DataRate::from_mbps(5.5), Some(DataRate::R5_5M));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DataRate {
     /// 1 Mbit/s (DBPSK), the lowest basic rate.
     R1M,

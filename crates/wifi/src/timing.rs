@@ -5,8 +5,6 @@
 //! DTIM beacon, after which buffered broadcast/multicast frames are
 //! delivered. The paper notes typical DTIM periods of 1–3 beacon intervals.
 
-use serde::{Deserialize, Serialize};
-
 /// One 802.11 time unit in seconds (1024 µs).
 pub const TIME_UNIT_SECS: f64 = 1024e-6;
 
@@ -28,7 +26,7 @@ pub const DEFAULT_BEACON_INTERVAL_TU: u16 = 100;
 /// assert!(sched.is_dtim(3));
 /// assert_eq!(sched.dtim_count(4), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BeaconSchedule {
     beacon_interval_tu: u16,
     dtim_period: u8,

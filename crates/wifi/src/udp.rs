@@ -7,7 +7,6 @@
 //! checksums computed and verified.
 
 use crate::error::WifiError;
-use serde::{Deserialize, Serialize};
 
 /// LLC/SNAP header length in bytes (AA AA 03 + OUI + EtherType).
 pub const LLC_SNAP_LEN: usize = 8;
@@ -35,7 +34,7 @@ const IP_PROTO_UDP: u8 = 17;
 /// assert_eq!(parsed.payload(), &[1, 2, 3]);
 /// # Ok::<(), hide_wifi::WifiError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct UdpDatagram {
     src_ip: [u8; 4],
     dst_ip: [u8; 4],

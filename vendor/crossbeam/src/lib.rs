@@ -1,0 +1,38 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel::unbounded` on top of
+//! `std::sync::mpsc`. The repo uses single-consumer channels only, so
+//! the mpsc receiver (not clonable, unlike crossbeam's) is sufficient.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}
