@@ -46,6 +46,27 @@ impl NetworkConfig {
     pub fn message_rate(&self) -> f64 {
         1.0 / self.sync_interval_secs
     }
+
+    /// Sets the DCF parameters.
+    #[must_use]
+    pub fn with_dcf(mut self, dcf: DcfConfig) -> Self {
+        self.dcf = dcf;
+        self
+    }
+
+    /// Sets the UDP Port Message interval `1/f`, seconds.
+    #[must_use]
+    pub fn with_sync_interval_secs(mut self, secs: f64) -> Self {
+        self.sync_interval_secs = secs;
+        self
+    }
+
+    /// Sets the ports carried per UDP Port Message.
+    #[must_use]
+    pub fn with_ports_per_message(mut self, ports: usize) -> Self {
+        self.ports_per_message = ports;
+        self
+    }
 }
 
 impl Default for NetworkConfig {
@@ -195,6 +216,20 @@ mod tests {
 
     fn analysis() -> CapacityAnalysis {
         CapacityAnalysis::new(NetworkConfig::table_ii())
+    }
+
+    #[test]
+    fn builders_match_field_assignment() {
+        let built = NetworkConfig::default()
+            .with_dcf(DcfConfig::table_ii())
+            .with_sync_interval_secs(600.0)
+            .with_ports_per_message(100);
+        let expected = NetworkConfig {
+            dcf: DcfConfig::table_ii(),
+            sync_interval_secs: 600.0,
+            ports_per_message: 100,
+        };
+        assert_eq!(built, expected);
     }
 
     #[test]

@@ -98,6 +98,50 @@ impl Default for DelayConfig {
     }
 }
 
+impl DelayConfig {
+    /// Sets the baseline packet round-trip time `D`, seconds.
+    #[must_use]
+    pub fn with_rtt_secs(mut self, secs: f64) -> Self {
+        self.rtt_secs = secs;
+        self
+    }
+
+    /// Sets the fraction of clients with HIDE enabled (`p`).
+    #[must_use]
+    pub fn with_hide_fraction(mut self, fraction: f64) -> Self {
+        self.hide_fraction = fraction;
+        self
+    }
+
+    /// Sets the average open UDP ports per client (`n_o`).
+    #[must_use]
+    pub fn with_open_ports(mut self, ports: u32) -> Self {
+        self.open_ports = ports;
+        self
+    }
+
+    /// Sets the UDP Port Message interval `1/f`, seconds.
+    #[must_use]
+    pub fn with_sync_interval_secs(mut self, secs: f64) -> Self {
+        self.sync_interval_secs = secs;
+        self
+    }
+
+    /// Sets the broadcast frames buffered per DTIM (`n_f`).
+    #[must_use]
+    pub fn with_buffered_per_dtim(mut self, frames: u32) -> Self {
+        self.buffered_per_dtim = frames;
+        self
+    }
+
+    /// Sets the hash-table operation cost model.
+    #[must_use]
+    pub fn with_costs(mut self, costs: ArmCostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
 /// One point of Figs. 11/12.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayPoint {
@@ -261,6 +305,26 @@ pub fn measure_host_costs(nodes: u32, seed: u64) -> HostCosts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builders_match_field_assignment() {
+        let built = DelayConfig::default()
+            .with_rtt_secs(0.1)
+            .with_hide_fraction(0.8)
+            .with_open_ports(100)
+            .with_sync_interval_secs(30.0)
+            .with_buffered_per_dtim(4)
+            .with_costs(ArmCostModel::PAPER_ARM);
+        let expected = DelayConfig {
+            rtt_secs: 0.1,
+            hide_fraction: 0.8,
+            open_ports: 100,
+            sync_interval_secs: 30.0,
+            buffered_per_dtim: 4,
+            costs: ArmCostModel::PAPER_ARM,
+        };
+        assert_eq!(built, expected);
+    }
 
     #[test]
     fn paper_point_10s_50_nodes_near_2_3_percent() {

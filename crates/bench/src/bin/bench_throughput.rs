@@ -3,10 +3,10 @@
 //! working directory (override with `--out <path>`).
 //!
 //! ```text
-//! bench_throughput [--full] [--out <path>]
+//! bench_throughput [--full|--smoke] [--out <path>]
 //! ```
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **Experiment cells/sec** — the Figs. 7/8/9 simulation matrix at
 //!    `--jobs 1` versus all cores, plus the parallel speedup.
@@ -15,14 +15,22 @@
 //! 3. **Port-table ops/sec** — `ClientPortTable` (hash + sorted
 //!    postings) versus the `BTreePortTable` baseline at 1000 and 2000
 //!    clients: `update_client`, `remove_client`, `clients_for_port`.
+//! 4. **Observability overhead** — the uninstrumented hot path
+//!    (`run`, which monomorphizes over `NoopSink`) versus the same
+//!    simulations streaming into a live `hide_obs::Recorder`. The noop
+//!    path must not regress: its sink calls compile to nothing.
 //!
 //! By default traces are 600 s so the run finishes quickly; `--full`
-//! uses the canonical 2700 s traces of the reproduction harness.
+//! uses the canonical 2700 s traces of the reproduction harness;
+//! `--smoke` shrinks everything for a seconds-long CI sanity run.
 
 use hide_bench as harness;
 use hide_core::ap::{BTreePortTable, ClientPortTable};
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
+use hide_obs::Recorder;
 use hide_sim::experiment::{self, PAPER_FRACTIONS};
+use hide_sim::solution::Solution;
+use hide_sim::SimulationBuilder;
 use hide_traces::scenario::Scenario;
 use hide_wifi::mac::Aid;
 use std::fmt::Write as _;
@@ -34,6 +42,7 @@ const PORTS_PER_CLIENT: usize = 100;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -43,6 +52,8 @@ fn main() {
 
     let duration = if full {
         harness::TRACE_DURATION_SECS
+    } else if smoke {
+        120.0
     } else {
         600.0
     };
@@ -99,8 +110,9 @@ fn main() {
     hide_par::set_default_jobs(0);
 
     // --- 3. port-table ops/sec, hash vs BTree baseline ---
+    let client_counts: &[usize] = if smoke { &[1000] } else { &[1000, 2000] };
     let mut table_rows = String::new();
-    for &clients in &[1000usize, 2000] {
+    for &clients in client_counts {
         let hash = port_table_ops(clients, TableKind::Hash);
         let btree = port_table_ops(clients, TableKind::BTree);
         eprintln!(
@@ -127,6 +139,33 @@ fn main() {
         );
     }
 
+    // --- 4. observability overhead: NoopSink hot path vs Recorder ---
+    let obs_trace = &traces[1]; // CS_Dept
+    let reps = if smoke { 20 } else { 200 };
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let r = SimulationBuilder::new(obs_trace, NEXUS_ONE)
+            .solution(Solution::hide(0.10))
+            .run();
+        std::hint::black_box(r.received_frames);
+    }
+    let noop_secs = t0.elapsed().as_secs_f64();
+    let mut obs_recorder = Recorder::new();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let r = SimulationBuilder::new(obs_trace, NEXUS_ONE)
+            .solution(Solution::hide(0.10))
+            .try_run_observed(&mut obs_recorder)
+            .expect("canonical trace is valid");
+        std::hint::black_box(r.received_frames);
+    }
+    let recorder_secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "obs overhead over {reps} runs: noop {noop_secs:.3} s, \
+         recorder {recorder_secs:.3} s ({:+.1}%)",
+        (recorder_secs / noop_secs - 1.0) * 100.0
+    );
+
     let json = format!(
         "{{\n  \"trace_duration_secs\": {duration},\n  \"cores\": {cores},\n  \
          \"experiment_matrix\": {{\"cells\": {cells}, \
@@ -135,11 +174,14 @@ fn main() {
          \"speedup\": {:.2}}},\n  \
          \"reproduce_all\": {{\"seq_secs\": {all_seq:.3}, \"par_secs\": {all_par:.3}, \
          \"speedup\": {:.2}}},\n  \
+         \"obs_overhead\": {{\"runs\": {reps}, \"noop_secs\": {noop_secs:.3}, \
+         \"recorder_secs\": {recorder_secs:.3}, \"relative\": {:.4}}},\n  \
          \"port_table\": [{table_rows}]\n}}\n",
         cells as f64 / matrix_seq,
         cells as f64 / matrix_par,
         matrix_seq / matrix_par,
         all_seq / all_par,
+        recorder_secs / noop_secs,
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");

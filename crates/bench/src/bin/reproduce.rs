@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext]
-//!           [--csv <dir>] [--jobs N]
+//!           [--csv <dir>] [--jobs N] [--metrics <file.json>]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
@@ -15,24 +15,58 @@
 //! over (default: all cores; `--jobs 1` forces a sequential run). The
 //! output is byte-identical for every job count — parallel results are
 //! reassembled in input order.
+//!
+//! `--metrics <file.json>` writes the run's metrics (simulation
+//! counters, distributions and per-stage call counts) as
+//! `hide-metrics/1` JSON — see `docs/metrics-schema.md` — and prints a
+//! summary table. The JSON is byte-identical for every `--jobs` count;
+//! wall-clock stage timings appear only in the printed summary.
 
+use hide::HideError;
 use hide_bench as harness;
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
+use hide_obs::{Recorder, Stage};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    match run(&args) {
+        Ok(()) => {}
+        Err(Exit::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(Exit::Failure(e)) => {
+            eprintln!("reproduce failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// How a run can end unsuccessfully: bad invocation (exit 2) or a
+/// layer failure (exit 1).
+enum Exit {
+    Usage(String),
+    Failure(HideError),
+}
+
+impl<E: Into<HideError>> From<E> for Exit {
+    fn from(e: E) -> Self {
+        Exit::Failure(e.into())
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Exit> {
+    let csv_dir = flag_value(args, "--csv")?.map(std::path::PathBuf::from);
+    let metrics_path = flag_value(args, "--metrics")?.map(std::path::PathBuf::from);
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).map(|v| v.parse::<usize>()) {
             Some(Ok(jobs)) => hide_par::set_default_jobs(jobs),
             got => {
                 let got = got.map_or("nothing", |_| args[i + 1].as_str());
-                eprintln!("--jobs expects a thread count (0 = all cores), got {got:?}");
-                std::process::exit(2);
+                return Err(Exit::Usage(format!(
+                    "--jobs expects a thread count (0 = all cores), got {got:?}"
+                )));
             }
         }
     }
@@ -40,7 +74,7 @@ fn main() {
     let flag_values: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--csv" || *a == "--jobs")
+        .filter(|(_, a)| *a == "--csv" || *a == "--jobs" || *a == "--metrics")
         .map(|(i, _)| i + 1)
         .collect();
     let arg = args
@@ -51,6 +85,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     let what = arg.as_str();
     let all = what == "all";
+    let mut recorder = Recorder::new();
 
     let needs_traces =
         all || csv_dir.is_some() || matches!(what, "fig6" | "fig7" | "fig8" | "fig9" | "ext");
@@ -60,7 +95,7 @@ fn main() {
             harness::TRACE_DURATION_SECS,
             harness::TRACE_SEED
         );
-        harness::canonical_traces()
+        recorder.time(Stage::TraceGen, harness::canonical_traces)
     } else {
         Vec::new()
     };
@@ -75,59 +110,61 @@ fn main() {
     if all || what == "table1" {
         section(
             "Table I: energy/power constants measured from phones",
-            harness::table_1(),
+            recorder.time(Stage::Table1, harness::table_1),
         );
     }
     if all || what == "table2" {
         section(
             "Table II: network configuration for overhead analysis",
-            harness::table_2(),
+            recorder.time(Stage::Table2, harness::table_2),
         );
     }
     if all || what == "fig6" {
         section(
             "Fig. 6: broadcast traffic volumes in traces",
-            harness::figure_6(&traces),
+            recorder.time(Stage::Fig6, || harness::figure_6(&traces)),
         );
     }
     if all || what == "fig7" {
-        section(
-            "Fig. 7: energy consumption comparison (Nexus One)",
-            harness::figure_7_or_8(NEXUS_ONE, &traces),
-        );
+        let start = Instant::now();
+        let body = harness::figure_7_or_8_with(NEXUS_ONE, &traces, &mut recorder)?;
+        recorder.add_span(Stage::Fig7, start.elapsed().as_nanos() as u64);
+        section("Fig. 7: energy consumption comparison (Nexus One)", body);
     }
     if all || what == "fig8" {
-        section(
-            "Fig. 8: energy consumption comparison (Galaxy S4)",
-            harness::figure_7_or_8(GALAXY_S4, &traces),
-        );
+        let start = Instant::now();
+        let body = harness::figure_7_or_8_with(GALAXY_S4, &traces, &mut recorder)?;
+        recorder.add_span(Stage::Fig8, start.elapsed().as_nanos() as u64);
+        section("Fig. 8: energy consumption comparison (Galaxy S4)", body);
     }
     if all || what == "fig9" {
-        section(
-            "Fig. 9: fraction of time in suspend mode (Nexus One)",
-            harness::figure_9(&traces),
-        );
+        let start = Instant::now();
+        let body = harness::figure_9_with(&traces, &mut recorder)?;
+        recorder.add_span(Stage::Fig9, start.elapsed().as_nanos() as u64);
+        section("Fig. 9: fraction of time in suspend mode (Nexus One)", body);
     }
     if all || what == "fig10" {
         section(
             "Fig. 10: decrease in network capacity",
-            harness::figure_10(),
+            recorder.time(Stage::Fig10, harness::figure_10),
         );
     }
     if all || what == "fig11" {
         section(
             "Fig. 11: delay overhead vs UDP Port Message interval",
-            harness::figure_11(),
+            recorder.time(Stage::Fig11, harness::figure_11),
         );
     }
     if all || what == "fig12" {
         section(
             "Fig. 12: delay overhead vs open UDP ports per client",
-            harness::figure_12(),
+            recorder.time(Stage::Fig12, harness::figure_12),
         );
     }
     if all || what == "host-costs" {
-        let costs = hide_analysis::delay::measure_host_costs(50, harness::TRACE_SEED);
+        let costs = recorder.time(Stage::HostCosts, || {
+            hide_analysis::delay::measure_host_costs(50, harness::TRACE_SEED)
+        });
         section(
             "Host-measured Client UDP Port Table costs (paper procedure)",
             format!(
@@ -141,26 +178,45 @@ fn main() {
     }
 
     if all || what == "ext" {
-        section("Extensions beyond the paper", harness::extensions(&traces));
+        let start = Instant::now();
+        let body = harness::extensions_with(&traces, &mut recorder);
+        recorder.add_span(Stage::Extensions, start.elapsed().as_nanos() as u64);
+        section("Extensions beyond the paper", body);
     }
 
-    if let Some(dir) = csv_dir {
-        match harness::write_csvs(&traces, &dir) {
-            Ok(()) => println!("\ncsv files written to {}", dir.display()),
-            Err(e) => {
-                eprintln!("failed to write csv files: {e}");
-                std::process::exit(1);
-            }
-        }
+    if let Some(dir) = &csv_dir {
+        let start = Instant::now();
+        harness::write_csvs_with(&traces, dir, &mut recorder)?;
+        recorder.add_span(Stage::Csv, start.elapsed().as_nanos() as u64);
+        println!("\ncsv files written to {}", dir.display());
         ran = true;
     }
 
     if !ran {
-        eprintln!(
+        return Err(Exit::Usage(format!(
             "unknown experiment '{what}'; expected one of: all table1 table2 \
              fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext \
-             [--csv <dir>] [--jobs N]"
-        );
-        std::process::exit(2);
+             [--csv <dir>] [--jobs N] [--metrics <file.json>]"
+        )));
+    }
+
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, recorder.to_json()).map_err(HideError::from)?;
+        println!("\n===== metrics summary =====");
+        print!("{}", recorder.render_summary());
+        println!("metrics json written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// The value following `flag`: `Ok(None)` if the flag is absent, a
+/// usage error if the flag is present without a value.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Exit> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(Exit::Usage(format!("{flag} expects a value"))),
+        },
     }
 }

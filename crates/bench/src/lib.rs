@@ -3,13 +3,23 @@
 //!
 //! The `reproduce` binary drives these; the Criterion benches in
 //! `benches/` time the underlying computations.
+//!
+//! Every trace-driven renderer has a `*_with` twin taking a
+//! [`hide_obs::Recorder`] and returning `Result<_, HideError>`: it
+//! streams the simulation metrics into the recorder (per-section
+//! recorders fan in, in declaration order, so the merged totals are
+//! independent of the `--jobs` count) and surfaces failures instead of
+//! panicking. The original names are thin shims over the `*_with`
+//! versions for callers that only want the rendered text.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hide::HideError;
 use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
 use hide_analysis::delay::{DelayAnalysis, DelayConfig};
 use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
+use hide_obs::Recorder;
 use hide_sim::experiment::{self, ScenarioComparison, PAPER_FRACTIONS};
 use hide_sim::report;
 use hide_traces::record::Trace;
@@ -97,17 +107,32 @@ pub fn figure_6(traces: &[Trace]) -> String {
 
 /// Runs and renders Fig. 7 (Nexus One) or Fig. 8 (Galaxy S4).
 pub fn figure_7_or_8(profile: DeviceProfile, traces: &[Trace]) -> String {
-    let comparisons = experiment::energy_comparison(profile, traces, &PAPER_FRACTIONS);
-    let mut out = report::render_energy_comparison(&comparisons);
-    out.push('\n');
-    out.push_str(&headline(&comparisons));
-    out
+    figure_7_or_8_with(profile, traces, &mut Recorder::new()).expect("canonical traces are valid")
 }
 
-fn headline(comparisons: &[ScenarioComparison]) -> String {
+/// Checked, instrumented [`figure_7_or_8`].
+///
+/// # Errors
+///
+/// Returns [`HideError::Sim`] when a trace is degenerate or the
+/// comparison lacks a required bar.
+pub fn figure_7_or_8_with(
+    profile: DeviceProfile,
+    traces: &[Trace],
+    recorder: &mut Recorder,
+) -> Result<String, HideError> {
+    let comparisons =
+        experiment::try_energy_comparison(profile, traces, &PAPER_FRACTIONS, recorder)?;
+    let mut out = report::render_energy_comparison(&comparisons);
+    out.push('\n');
+    out.push_str(&headline(&comparisons)?);
+    Ok(out)
+}
+
+fn headline(comparisons: &[ScenarioComparison]) -> Result<String, HideError> {
     let mut out = String::new();
     for fraction in [0.10, 0.02] {
-        let s = experiment::savings_summary(comparisons, fraction);
+        let s = experiment::try_savings_summary(comparisons, fraction)?;
         let _ = writeln!(
             out,
             "HIDE:{:.0}% saves {:.0}%-{:.0}% vs receive-all on {} \
@@ -119,12 +144,23 @@ fn headline(comparisons: &[ScenarioComparison]) -> String {
             s.mean_extra_vs_client_side * 100.0
         );
     }
-    out
+    Ok(out)
 }
 
 /// Runs and renders Fig. 9 (suspend-mode time fractions, Nexus One).
 pub fn figure_9(traces: &[Trace]) -> String {
-    report::render_suspend_fractions(&experiment::suspend_fractions(NEXUS_ONE, traces))
+    figure_9_with(traces, &mut Recorder::new()).expect("canonical traces are valid")
+}
+
+/// Checked, instrumented [`figure_9`].
+///
+/// # Errors
+///
+/// Returns [`HideError::Sim`] when a trace is degenerate.
+pub fn figure_9_with(traces: &[Trace], recorder: &mut Recorder) -> Result<String, HideError> {
+    Ok(report::render_suspend_fractions(
+        &experiment::try_suspend_fractions(NEXUS_ONE, traces, recorder)?,
+    ))
 }
 
 /// Runs and renders Fig. 10 (network capacity decrease).
@@ -196,8 +232,16 @@ pub fn figure_12() -> String {
 /// worker; concatenating in declaration order keeps the report
 /// byte-identical to the sequential version.
 pub fn extensions(traces: &[Trace]) -> String {
+    extensions_with(traces, &mut Recorder::new())
+}
+
+/// Instrumented [`extensions`]: each section's simulations stream into
+/// a section-local recorder; locals merge into `recorder` in
+/// declaration order, so the totals match a sequential run at any job
+/// count.
+pub fn extensions_with(traces: &[Trace], recorder: &mut Recorder) -> String {
     let trace = &traces[1]; // CS_Dept: the mid-volume trace
-    let sections: [fn(&Trace) -> String; 7] = [
+    let sections: [fn(&Trace, &mut Recorder) -> String; 8] = [
         ext_hybrid,
         ext_dtim,
         ext_unicast,
@@ -205,11 +249,22 @@ pub fn extensions(traces: &[Trace]) -> String {
         ext_sync_loss,
         ext_wakelock,
         ext_latency,
+        ext_protocol,
     ];
-    hide_par::par_map(&sections, |render| render(trace)).concat()
+    let rendered = hide_par::par_map(&sections, |render| {
+        let mut local = Recorder::new();
+        let out = render(trace, &mut local);
+        (out, local)
+    });
+    let mut out = String::new();
+    for (text, local) in rendered {
+        recorder.merge_from(&local);
+        out.push_str(&text);
+    }
+    out
 }
 
-fn ext_hybrid(trace: &Trace) -> String {
+fn ext_hybrid(trace: &Trace, recorder: &mut Recorder) -> String {
     use hide_sim::solution::Solution;
     use hide_sim::SimulationBuilder;
     let mut out = String::new();
@@ -229,7 +284,8 @@ fn ext_hybrid(trace: &Trace) -> String {
     ] {
         let r = SimulationBuilder::new(trace, NEXUS_ONE)
             .solution(solution)
-            .run();
+            .try_run_observed(recorder)
+            .expect("canonical trace is valid");
         let _ = writeln!(
             out,
             "{:<16} {:>10.2} {:>10} {:>10}",
@@ -242,7 +298,7 @@ fn ext_hybrid(trace: &Trace) -> String {
     out
 }
 
-fn ext_dtim(trace: &Trace) -> String {
+fn ext_dtim(trace: &Trace, recorder: &mut Recorder) -> String {
     use hide_sim::solution::Solution;
     use hide_sim::SimulationBuilder;
     let mut out = String::new();
@@ -255,11 +311,13 @@ fn ext_dtim(trace: &Trace) -> String {
     for period in [1u8, 2, 3] {
         let all = SimulationBuilder::new(trace, NEXUS_ONE)
             .dtim_period(period)
-            .run();
+            .try_run_observed(recorder)
+            .expect("canonical trace is valid");
         let hide = SimulationBuilder::new(trace, NEXUS_ONE)
             .solution(Solution::hide(0.10))
             .dtim_period(period)
-            .run();
+            .try_run_observed(recorder)
+            .expect("canonical trace is valid");
         let _ = writeln!(
             out,
             "{:<8} {:>9.1} mW {:>7.1} mW",
@@ -271,13 +329,15 @@ fn ext_dtim(trace: &Trace) -> String {
     out
 }
 
-fn ext_unicast(trace: &Trace) -> String {
+fn ext_unicast(trace: &Trace, recorder: &mut Recorder) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "\n--- unicast sensitivity (HIDE:10% saving vs unicast load) ---"
     );
-    let rows = experiment::unicast_sensitivity(NEXUS_ONE, trace, &[0.0, 0.1, 0.5, 1.0, 2.0]);
+    let rows =
+        experiment::try_unicast_sensitivity(NEXUS_ONE, trace, &[0.0, 0.1, 0.5, 1.0, 2.0], recorder)
+            .expect("canonical trace is valid");
     let _ = writeln!(
         out,
         "{:>12} {:>12} {:>10} {:>8}",
@@ -296,7 +356,7 @@ fn ext_unicast(trace: &Trace) -> String {
     out
 }
 
-fn ext_fleet(trace: &Trace) -> String {
+fn ext_fleet(trace: &Trace, _recorder: &mut Recorder) -> String {
     use hide_sim::network::{fleet, NetworkSimulation};
     let mut out = String::new();
     let _ = writeln!(
@@ -316,7 +376,7 @@ fn ext_fleet(trace: &Trace) -> String {
     out
 }
 
-fn ext_sync_loss(trace: &Trace) -> String {
+fn ext_sync_loss(trace: &Trace, _recorder: &mut Recorder) -> String {
     use hide_sim::reliability::{self, ReliabilityConfig};
     let mut out = String::new();
     let _ = writeln!(
@@ -346,7 +406,7 @@ fn ext_sync_loss(trace: &Trace) -> String {
     out
 }
 
-fn ext_wakelock(trace: &Trace) -> String {
+fn ext_wakelock(trace: &Trace, _recorder: &mut Recorder) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -370,7 +430,7 @@ fn ext_wakelock(trace: &Trace) -> String {
     out
 }
 
-fn ext_latency(trace: &Trace) -> String {
+fn ext_latency(trace: &Trace, _recorder: &mut Recorder) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n--- broadcast delivery latency vs DTIM period ---");
     let _ = writeln!(
@@ -389,6 +449,41 @@ fn ext_latency(trace: &Trace) -> String {
             report.max_secs * 1e3
         );
     }
+    out
+}
+
+fn ext_protocol(trace: &Trace, recorder: &mut Recorder) -> String {
+    use hide_sim::protocol_sim::ProtocolSimulation;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n--- protocol cross-validation (real AP + client, encoded beacons) ---"
+    );
+    let sim = ProtocolSimulation::new(trace, NEXUS_ONE, 0.10);
+    let protocol = sim
+        .run_observed(recorder)
+        .expect("canonical trace is valid");
+    let marked = sim
+        .marking_equivalent()
+        .try_run_observed(recorder)
+        .expect("canonical trace is valid");
+    let _ = writeln!(
+        out,
+        "protocol: {} beacons, {:.1} BTIM bytes/beacon, {} frames consumed",
+        protocol.stats.beacons,
+        protocol.stats.btim_bytes as f64 / protocol.stats.beacons.max(1) as f64,
+        protocol.stats.frames_consumed,
+    );
+    let a = protocol.energy.breakdown.total();
+    let b = marked.energy.breakdown.total();
+    let _ = writeln!(
+        out,
+        "marking:  {} frames received; energy {:.1} J vs {:.1} J ({:+.1}% divergence)",
+        marked.received_frames,
+        a,
+        b,
+        (a - b) / b * 100.0
+    );
     out
 }
 
@@ -413,16 +508,39 @@ pub const CSV_FILES: [&str; 7] = [
 ///
 /// Returns any filesystem error encountered.
 pub fn write_csvs(traces: &[Trace], dir: &std::path::Path) -> std::io::Result<()> {
+    write_csvs_with(traces, dir, &mut Recorder::new()).map_err(|e| match e {
+        HideError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    })
+}
+
+/// Checked, instrumented [`write_csvs`]: per-file metrics merge into
+/// `recorder` in figure order.
+///
+/// # Errors
+///
+/// Returns [`HideError::Io`] for filesystem failures and the
+/// originating layer's error when a figure computation fails.
+pub fn write_csvs_with(
+    traces: &[Trace],
+    dir: &std::path::Path,
+    recorder: &mut Recorder,
+) -> Result<(), HideError> {
     std::fs::create_dir_all(dir)?;
-    let contents = hide_par::par_map(&CSV_FILES, |&file| csv_content(file, traces));
-    for (file, csv) in CSV_FILES.iter().zip(contents) {
-        std::fs::write(dir.join(file), csv)?;
+    let contents = hide_par::par_map(&CSV_FILES, |&file| {
+        let mut local = Recorder::new();
+        let csv = csv_content(file, traces, &mut local);
+        (csv, local)
+    });
+    for (file, (csv, local)) in CSV_FILES.iter().zip(contents) {
+        recorder.merge_from(&local);
+        std::fs::write(dir.join(file), csv?)?;
     }
     Ok(())
 }
 
 /// Renders one figure's CSV (`file` is a [`CSV_FILES`] entry).
-fn csv_content(file: &str, traces: &[Trace]) -> String {
+fn csv_content(file: &str, traces: &[Trace], recorder: &mut Recorder) -> Result<String, HideError> {
     use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
     use hide_analysis::delay::{DelayAnalysis, DelayConfig};
 
@@ -434,7 +552,7 @@ fn csv_content(file: &str, traces: &[Trace]) -> String {
                     let _ = writeln!(csv, "{},{x:.3},{p:.5}", v.scenario);
                 }
             }
-            csv
+            Ok(csv)
         }
         "fig7_nexus.csv" | "fig8_s4.csv" => {
             let profile = if file == "fig7_nexus.csv" {
@@ -444,7 +562,8 @@ fn csv_content(file: &str, traces: &[Trace]) -> String {
             };
             let mut csv =
                 String::from("scenario,solution,eb_mw,ef_mw,est_mw,ewl_mw,eo_mw,total_mw,saving\n");
-            for c in experiment::energy_comparison(profile, traces, &PAPER_FRACTIONS) {
+            for c in experiment::try_energy_comparison(profile, traces, &PAPER_FRACTIONS, recorder)?
+            {
                 for b in &c.bars {
                     let [eb, ef, est, ewl, eo] = b.stacked_mw;
                     let _ = writeln!(
@@ -454,24 +573,24 @@ fn csv_content(file: &str, traces: &[Trace]) -> String {
                     );
                 }
             }
-            csv
+            Ok(csv)
         }
         "fig9_suspend.csv" => {
             let mut csv = String::from("scenario,solution,suspend_fraction\n");
-            for row in experiment::suspend_fractions(NEXUS_ONE, traces) {
+            for row in experiment::try_suspend_fractions(NEXUS_ONE, traces, recorder)? {
                 for (label, v) in &row.fractions {
                     let _ = writeln!(csv, "{},{label},{v:.5}", row.scenario);
                 }
             }
-            csv
+            Ok(csv)
         }
         "fig10_capacity.csv" => {
             let analysis = CapacityAnalysis::new(NetworkConfig::table_ii());
             let mut csv = String::from("nodes,hide_fraction,capacity_decrease\n");
-            for p in analysis.figure_10().expect("standard sweep solves") {
+            for p in analysis.figure_10()? {
                 let _ = writeln!(csv, "{},{},{:.6}", p.nodes, p.hide_fraction, p.decrease);
             }
-            csv
+            Ok(csv)
         }
         "fig11_delay_interval.csv" => {
             let delay = DelayAnalysis::new(DelayConfig::default());
@@ -481,7 +600,7 @@ fn csv_content(file: &str, traces: &[Trace]) -> String {
                     let _ = writeln!(csv, "{interval},{},{:.6}", p.nodes, p.overhead);
                 }
             }
-            csv
+            Ok(csv)
         }
         "fig12_delay_ports.csv" => {
             let delay = DelayAnalysis::new(DelayConfig::default());
@@ -491,7 +610,7 @@ fn csv_content(file: &str, traces: &[Trace]) -> String {
                     let _ = writeln!(csv, "{ports},{},{:.6}", p.nodes, p.overhead);
                 }
             }
-            csv
+            Ok(csv)
         }
         other => unreachable!("unknown csv file {other}"),
     }
@@ -534,6 +653,7 @@ mod tests {
         assert!(out.contains("DTIM period"));
         assert!(out.contains("fleet saving"));
         assert!(out.contains("syncs failed"));
+        assert!(out.contains("protocol cross-validation"));
     }
 
     #[test]

@@ -1,13 +1,28 @@
 //! The parallel experiment engine must be invisible in the output:
-//! any `--jobs` count produces byte-identical results.
+//! any `--jobs` count produces byte-identical results — including the
+//! `hide-metrics/1` JSON the observability layer serializes.
 //!
 //! Single `#[test]` on purpose — the job count is process-global, so
 //! concurrent tests inside this binary would race on it.
 
 use hide_bench as harness;
 use hide_energy::profile::NEXUS_ONE;
+use hide_obs::Recorder;
 use hide_sim::experiment::{self, PAPER_FRACTIONS};
 use hide_traces::scenario::Scenario;
+
+/// Runs the full instrumented suite at the current job count and
+/// returns the merged recorder plus the rendered figure text.
+fn instrumented_suite(traces: &[hide_traces::Trace]) -> (Recorder, String) {
+    let mut recorder = Recorder::new();
+    let mut text = String::new();
+    text.push_str(
+        &harness::figure_7_or_8_with(NEXUS_ONE, traces, &mut recorder).expect("traces are valid"),
+    );
+    text.push_str(&harness::figure_9_with(traces, &mut recorder).expect("traces are valid"));
+    text.push_str(&harness::extensions_with(traces, &mut recorder));
+    (recorder, text)
+}
 
 #[test]
 fn parallel_and_sequential_runs_are_identical() {
@@ -19,6 +34,7 @@ fn parallel_and_sequential_runs_are_identical() {
     let seq_ext = experiment::unicast_sensitivity(NEXUS_ONE, &traces[1], &[0.0, 0.5, 2.0]);
     let seq_dir = std::env::temp_dir().join("hide_determinism_seq");
     harness::write_csvs(&traces, &seq_dir).unwrap();
+    let (seq_rec, seq_text) = instrumented_suite(&traces);
 
     hide_par::set_default_jobs(4);
     let par_cmp = experiment::energy_comparison(NEXUS_ONE, &traces, &PAPER_FRACTIONS);
@@ -26,6 +42,7 @@ fn parallel_and_sequential_runs_are_identical() {
     let par_ext = experiment::unicast_sensitivity(NEXUS_ONE, &traces[1], &[0.0, 0.5, 2.0]);
     let par_dir = std::env::temp_dir().join("hide_determinism_par");
     harness::write_csvs(&traces, &par_dir).unwrap();
+    let (par_rec, par_text) = instrumented_suite(&traces);
 
     hide_par::set_default_jobs(0);
 
@@ -42,6 +59,24 @@ fn parallel_and_sequential_runs_are_identical() {
         assert_eq!(seq_bytes, par_bytes, "{file} differs between job counts");
         assert!(!seq_bytes.is_empty(), "{file} is empty");
     }
+
+    // The observability layer inherits the guarantee: per-worker
+    // recorders merge in input order, and wall-clock span timings are
+    // excluded from serialization, so the metrics JSON is byte-
+    // identical at any job count (and so is the rendered text).
+    assert_eq!(seq_text, par_text, "figure text differs between job counts");
+    let seq_json = seq_rec.to_json();
+    let par_json = par_rec.to_json();
+    assert_eq!(
+        seq_json, par_json,
+        "metrics JSON differs between job counts"
+    );
+    assert!(seq_json.contains("\"schema\": \"hide-metrics/1\""));
+    assert!(!seq_rec.is_empty(), "instrumented suite recorded nothing");
+    assert!(
+        seq_json.contains("\"btim_beacons\""),
+        "protocol counters missing from metrics JSON"
+    );
 
     std::fs::remove_dir_all(&seq_dir).ok();
     std::fs::remove_dir_all(&par_dir).ok();

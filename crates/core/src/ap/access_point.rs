@@ -1,7 +1,8 @@
 //! The HIDE-enabled access point.
 
-use crate::ap::{calculate_broadcast_flags, BroadcastBuffer, ClientPortTable};
+use crate::ap::{calculate_broadcast_flags_observed, BroadcastBuffer, ClientPortTable};
 use crate::error::CoreError;
+use hide_obs::{MetricsSink, NoopSink};
 use hide_wifi::assoc::{self, AssociationRequest, AssociationResponse, Disassociation};
 use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Ack, Beacon, BroadcastDataFrame, UdpPortMessage};
@@ -257,8 +258,22 @@ impl AccessPoint {
     /// the one-bit broadcast indication for legacy clients) and the HIDE
     /// BTIM.
     pub fn dtim_beacon(&mut self, index: u64) -> Beacon {
-        let flags = calculate_broadcast_flags(&self.buffer, &self.port_table);
-        self.build_beacon(index, 0, flags)
+        self.dtim_beacon_observed(index, &mut NoopSink)
+    }
+
+    /// [`AccessPoint::dtim_beacon`] with instrumentation: Algorithm 1
+    /// runs through [`calculate_broadcast_flags_observed`] and the
+    /// finished BTIM element records its on-air footprint
+    /// ([`Btim::observe`]). The uninstrumented entry point delegates
+    /// here with a [`NoopSink`], so both compile to the same hot path.
+    pub fn dtim_beacon_observed<S: MetricsSink>(&mut self, index: u64, sink: &mut S) -> Beacon {
+        let mut flags = PartialVirtualBitmap::new();
+        calculate_broadcast_flags_observed(&self.buffer, &self.port_table, &mut flags, sink);
+        let beacon = self.build_beacon(index, 0, flags);
+        if let Some(btim) = beacon.btim() {
+            btim.observe(sink);
+        }
+        beacon
     }
 
     /// Builds a non-DTIM beacon (`dtim_count > 0`): no broadcast flags,
@@ -294,6 +309,15 @@ impl AccessPoint {
     /// bits set on all but the last frame).
     pub fn deliver_broadcasts(&mut self) -> Vec<BroadcastDataFrame> {
         self.buffer.drain_for_delivery()
+    }
+
+    /// [`AccessPoint::deliver_broadcasts`] with instrumentation (see
+    /// [`BroadcastBuffer::drain_for_delivery_observed`]).
+    pub fn deliver_broadcasts_observed<S: MetricsSink>(
+        &mut self,
+        sink: &mut S,
+    ) -> Vec<BroadcastDataFrame> {
+        self.buffer.drain_for_delivery_observed(sink)
     }
 
     /// Number of frames currently buffered (`n_f` at the next DTIM).
@@ -447,6 +471,25 @@ mod tests {
         // Legacy path: the TIM broadcast bit is set because frames are
         // buffered, regardless of usefulness.
         assert!(beacon.tim().unwrap().broadcast_buffered());
+    }
+
+    #[test]
+    fn observed_dtim_beacon_matches_plain_and_records() {
+        use hide_obs::{Counter, Recorder};
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        ap.associate(mac).unwrap();
+        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[1900]))
+            .unwrap();
+        ap.enqueue_broadcast(frame(1900));
+
+        let mut rec = Recorder::new();
+        let observed = ap.clone().dtim_beacon_observed(0, &mut rec);
+        let plain = ap.dtim_beacon(0);
+        assert_eq!(observed.to_bytes(), plain.to_bytes());
+        assert_eq!(rec.counter(Counter::BtimBeacons), 1);
+        assert_eq!(rec.counter(Counter::BtimBitsSet), 1);
+        assert!(rec.counter(Counter::BtimBytes) > 0);
     }
 
     #[test]

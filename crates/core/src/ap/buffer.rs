@@ -6,6 +6,7 @@
 //! the last carries the MAC *More Data* bit so listening radios know
 //! whether the burst continues.
 
+use hide_obs::{Counter, MetricsSink, NoopSink};
 use hide_wifi::frame::BroadcastDataFrame;
 use std::collections::VecDeque;
 
@@ -88,8 +89,21 @@ impl BroadcastBuffer {
     /// Drains the buffer for post-DTIM delivery, setting the *More
     /// Data* bit on every frame except the last.
     pub fn drain_for_delivery(&mut self) -> Vec<BroadcastDataFrame> {
+        self.drain_for_delivery_observed(&mut NoopSink)
+    }
+
+    /// [`BroadcastBuffer::drain_for_delivery`] with instrumentation:
+    /// counts the frames the AP puts on the air as
+    /// [`Counter::ApFramesDelivered`]. Capacity-limit drops are a
+    /// running total, so they stay on [`BroadcastBuffer::dropped`]
+    /// rather than being re-counted at every drain.
+    pub fn drain_for_delivery_observed<S: MetricsSink>(
+        &mut self,
+        sink: &mut S,
+    ) -> Vec<BroadcastDataFrame> {
         let mut burst: Vec<BroadcastDataFrame> = self.frames.drain(..).collect();
         let n = burst.len();
+        sink.add(Counter::ApFramesDelivered, n as u64);
         for (i, frame) in burst.iter_mut().enumerate() {
             frame.set_more_data(i + 1 < n);
         }
@@ -166,6 +180,18 @@ mod tests {
             .map(|f| f.udp_dst_port().unwrap())
             .collect();
         assert_eq!(ports, vec![2, 3]);
+    }
+
+    #[test]
+    fn observed_drain_counts_delivered_frames() {
+        let mut buf = BroadcastBuffer::new();
+        for p in [1u16, 2, 3] {
+            buf.push(frame(p));
+        }
+        let mut rec = hide_obs::Recorder::new();
+        let burst = buf.drain_for_delivery_observed(&mut rec);
+        assert_eq!(burst.len(), 3);
+        assert_eq!(rec.counter(Counter::ApFramesDelivered), 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! standard TIM broadcast bit and delivered to everyone.
 
 use crate::ap::{BroadcastBuffer, ClientPortTable};
+use hide_obs::{Counter, Distribution, MetricsSink, NoopSink};
 use hide_wifi::bitmap::PartialVirtualBitmap;
 
 /// Runs Algorithm 1 over the buffered frames, returning the broadcast
@@ -53,15 +54,34 @@ pub fn calculate_broadcast_flags_into(
     table: &ClientPortTable,
     flags: &mut PartialVirtualBitmap,
 ) {
+    calculate_broadcast_flags_observed(buffer, table, flags, &mut NoopSink);
+}
+
+/// Algorithm 1 with instrumentation: identical to
+/// [`calculate_broadcast_flags_into`] (which delegates here with a
+/// [`NoopSink`], so the uninstrumented path monomorphizes to the same
+/// code), plus per-DTIM metrics — the buffered frame count (`n_f`),
+/// frames skipped for not being UDP-padded, and the posting-list length
+/// each lookup returned.
+pub fn calculate_broadcast_flags_observed<S: MetricsSink>(
+    buffer: &BroadcastBuffer,
+    table: &ClientPortTable,
+    flags: &mut PartialVirtualBitmap,
+    sink: &mut S,
+) {
+    sink.observe(Distribution::FramesPerDtim, buffer.len() as u64);
     // Line 1: initialize the array of broadcast flags to all 0.
     flags.reset();
     // Lines 2-11: for every buffered frame, set the flag of every client
     // listening on its UDP destination port.
     for frame in buffer.iter() {
         let Ok(port) = frame.udp_dst_port() else {
+            sink.incr(Counter::NonUdpFrames);
             continue; // not UDP-padded: outside HIDE's scope
         };
-        for &client in table.postings_for_port(port) {
+        let postings = table.postings_for_port(port);
+        sink.observe(Distribution::PostingsPerLookup, postings.len() as u64);
+        for &client in postings {
             flags.set(client);
         }
     }
@@ -139,6 +159,33 @@ mod tests {
         ));
         let flags = calculate_broadcast_flags(&buffer, &table);
         assert!(flags.is_empty());
+    }
+
+    #[test]
+    fn observed_flags_count_skips_and_postings() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1900]);
+        table.update_client(aid(2), &[1900]);
+        let mut buffer = BroadcastBuffer::new();
+        buffer.push(frame(1900)); // 2 postings
+        buffer.push(frame(5353)); // 0 postings
+        buffer.push(BroadcastDataFrame::from_raw_body(
+            MacAddr::station(0),
+            vec![0u8; 64],
+            false,
+        )); // skipped: not UDP
+        let mut flags = PartialVirtualBitmap::new();
+        let mut rec = hide_obs::Recorder::new();
+        calculate_broadcast_flags_observed(&buffer, &table, &mut flags, &mut rec);
+        assert_eq!(flags.count(), 2);
+        assert_eq!(rec.counter(Counter::NonUdpFrames), 1);
+        let per_dtim = rec.distribution(Distribution::FramesPerDtim);
+        assert_eq!((per_dtim.count(), per_dtim.max()), (1, 3));
+        let postings = rec.distribution(Distribution::PostingsPerLookup);
+        assert_eq!(
+            (postings.count(), postings.min(), postings.max()),
+            (2, 0, 2)
+        );
     }
 
     #[test]

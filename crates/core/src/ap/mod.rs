@@ -8,5 +8,7 @@ mod port_table;
 
 pub use access_point::AccessPoint;
 pub use buffer::BroadcastBuffer;
-pub use flags::{calculate_broadcast_flags, calculate_broadcast_flags_into};
+pub use flags::{
+    calculate_broadcast_flags, calculate_broadcast_flags_into, calculate_broadcast_flags_observed,
+};
 pub use port_table::{BTreePortTable, ClientPortTable, TableOpCounts};

@@ -20,6 +20,7 @@
 //! can report them.
 
 use crate::fx::FxHashMap;
+use hide_obs::{Counter, MetricsSink};
 use hide_wifi::mac::Aid;
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -35,6 +36,10 @@ pub struct TableOpCounts {
     pub deletes: u64,
     /// Number of port lookups.
     pub lookups: u64,
+    /// Lookups that found at least one listening client.
+    pub lookup_hits: u64,
+    /// Lookups that found no listener.
+    pub lookup_misses: u64,
 }
 
 /// The AP's table of open UDP ports per client.
@@ -64,6 +69,8 @@ pub struct ClientPortTable {
     inserts: AtomicU64,
     deletes: AtomicU64,
     lookups: AtomicU64,
+    lookup_hits: AtomicU64,
+    lookup_misses: AtomicU64,
 }
 
 impl ClientPortTable {
@@ -123,15 +130,31 @@ impl ClientPortTable {
     /// [`ClientPortTable::clients_for_port`]. Counts one `τ_lp`.
     pub fn postings_for_port(&self, port: u16) -> &[Aid] {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.by_port.get(&port).map(Vec::as_slice).unwrap_or(&[])
+        match self.by_port.get(&port) {
+            Some(postings) => {
+                self.lookup_hits.fetch_add(1, Ordering::Relaxed);
+                postings
+            }
+            None => {
+                self.lookup_misses.fetch_add(1, Ordering::Relaxed);
+                &[]
+            }
+        }
     }
 
     /// Whether `client` listens on `port`.
     pub fn client_listens_on(&self, client: Aid, port: u16) -> bool {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.by_port
-            .get(&port)
-            .is_some_and(|postings| postings.binary_search(&client).is_ok())
+        match self.by_port.get(&port) {
+            Some(postings) => {
+                self.lookup_hits.fetch_add(1, Ordering::Relaxed);
+                postings.binary_search(&client).is_ok()
+            }
+            None => {
+                self.lookup_misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     /// The ports currently stored for `client`, sorted.
@@ -163,6 +186,8 @@ impl ClientPortTable {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             lookups: self.lookups.load(Ordering::Relaxed),
+            lookup_hits: self.lookup_hits.load(Ordering::Relaxed),
+            lookup_misses: self.lookup_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -171,6 +196,21 @@ impl ClientPortTable {
         self.inserts.store(0, Ordering::Relaxed);
         self.deletes.store(0, Ordering::Relaxed);
         self.lookups.store(0, Ordering::Relaxed);
+        self.lookup_hits.store(0, Ordering::Relaxed);
+        self.lookup_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshots the operation counters into a metrics sink — the
+    /// counter-snapshot idiom: the table keeps cheap relaxed atomics on
+    /// its hot paths and the caller folds them into the run's recorder
+    /// once, at a point of its choosing.
+    pub fn observe_into<S: MetricsSink>(&self, sink: &mut S) {
+        let counts = self.op_counts();
+        sink.add(Counter::PortInserts, counts.inserts);
+        sink.add(Counter::PortDeletes, counts.deletes);
+        sink.add(Counter::PortLookups, counts.lookups);
+        sink.add(Counter::PortLookupHits, counts.lookup_hits);
+        sink.add(Counter::PortLookupMisses, counts.lookup_misses);
     }
 }
 
@@ -182,6 +222,8 @@ impl Clone for ClientPortTable {
             inserts: AtomicU64::new(self.inserts.load(Ordering::Relaxed)),
             deletes: AtomicU64::new(self.deletes.load(Ordering::Relaxed)),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            lookup_hits: AtomicU64::new(self.lookup_hits.load(Ordering::Relaxed)),
+            lookup_misses: AtomicU64::new(self.lookup_misses.load(Ordering::Relaxed)),
         }
     }
 }
@@ -344,6 +386,37 @@ mod tests {
         let postings = table.postings_for_port(5353);
         assert_eq!(postings, &[aid(3), aid(6), aid(9)]);
         assert_eq!(table.op_counts().lookups, 1);
+    }
+
+    #[test]
+    fn lookups_split_into_hits_and_misses() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[5353]);
+        table.reset_op_counts();
+        let _ = table.postings_for_port(5353); // hit
+        let _ = table.postings_for_port(80); // miss
+        let _ = table.client_listens_on(aid(2), 5353); // hit (port known)
+        let _ = table.client_listens_on(aid(1), 80); // miss
+        let counts = table.op_counts();
+        assert_eq!(counts.lookups, 4);
+        assert_eq!(counts.lookup_hits, 2);
+        assert_eq!(counts.lookup_misses, 2);
+    }
+
+    #[test]
+    fn observe_into_snapshots_op_counts() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[1, 2]);
+        table.update_client(aid(1), &[3]);
+        let _ = table.postings_for_port(3);
+        let _ = table.postings_for_port(999);
+        let mut rec = hide_obs::Recorder::new();
+        table.observe_into(&mut rec);
+        assert_eq!(rec.counter(Counter::PortInserts), 3);
+        assert_eq!(rec.counter(Counter::PortDeletes), 2);
+        assert_eq!(rec.counter(Counter::PortLookups), 2);
+        assert_eq!(rec.counter(Counter::PortLookupHits), 1);
+        assert_eq!(rec.counter(Counter::PortLookupMisses), 1);
     }
 
     #[test]

@@ -65,9 +65,31 @@ pub use timeline::{EnergyError, Overhead, Timeline, TimelineFrame};
 /// (`Ewl`, `Est`, suspend-time accounting) and the protocol overhead
 /// (`Eo`) into one [`EnergyReport`].
 pub fn evaluate(profile: &DeviceProfile, timeline: &Timeline, overhead: &Overhead) -> EnergyReport {
+    evaluate_observed(profile, timeline, overhead, &mut hide_obs::NoopSink)
+}
+
+/// [`evaluate`] with instrumentation: counts the evaluation itself, the
+/// timeline frames and beacon intervals the model covered, and the
+/// resume/aborted-suspend transitions the state machine took. The
+/// uninstrumented [`evaluate`] delegates here with a
+/// [`hide_obs::NoopSink`], so both compile to the same code.
+pub fn evaluate_observed<S: hide_obs::MetricsSink>(
+    profile: &DeviceProfile,
+    timeline: &Timeline,
+    overhead: &Overhead,
+    sink: &mut S,
+) -> EnergyReport {
+    use hide_obs::{Counter, Distribution};
+
     let radio = radio::evaluate_radio(profile, timeline);
     let machine = machine::run(profile, timeline);
     let eo = overhead.energy(profile);
+    sink.incr(Counter::EnergyEvals);
+    sink.add(Counter::TimelineFrames, timeline.frames().len() as u64);
+    sink.add(Counter::BeaconsModeled, timeline.beacon_count());
+    sink.add(Counter::Resumes, machine.resume_count);
+    sink.add(Counter::AbortedSuspends, machine.aborted_suspends);
+    sink.observe(Distribution::ResumesPerRun, machine.resume_count);
     EnergyReport {
         breakdown: EnergyBreakdown {
             beacon: radio.beacon_energy,

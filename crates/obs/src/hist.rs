@@ -1,0 +1,232 @@
+//! Fixed-bucket histograms with deterministic, mergeable state.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket `i`
+//! (for `1 <= i < 31`) holds values in `[2^(i-1), 2^i)`, and bucket 31
+//! absorbs everything from `2^30` up. The layout is fixed at compile
+//! time so two histograms merge by elementwise addition — the property
+//! the per-worker fan-in in `hide-par` relies on.
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bucket power-of-two histogram.
+///
+/// `Copy` on purpose: the struct is a few hundred bytes of plain
+/// integers, which lets a recorder hold `[Histogram; N]` without
+/// allocation and lets callers snapshot one with `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` while empty so the first `record` always wins.
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket a value lands in: 0 for 0, otherwise
+    /// `min(31, bit-length of v)`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let bits = (64 - value.leading_zeros()) as usize;
+            bits.min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Fold another histogram into this one (elementwise addition —
+    /// associative and commutative, so fan-in order cannot change the
+    /// result).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The non-empty buckets as `(bucket index, observation count)`
+    /// pairs, in bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            let lo = Histogram::bucket_lower_bound(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(2 * lo - 1), i);
+        }
+    }
+
+    #[test]
+    fn records_summary_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        for v in [5, 0, 12, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 29);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 12);
+        assert_eq!(
+            h.nonzero_buckets().collect::<Vec<_>>(),
+            vec![
+                (0, 1), // the 0
+                (3, 1), // 5 in [4, 8)
+                (4, 2), // 12 twice in [8, 16)
+            ]
+        );
+    }
+
+    /// Merge must be associative and commutative with the sequential
+    /// recording as identity — the determinism property hide-par needs.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: [&[u64]; 3] = [&[1, 7, 7, 900], &[], &[0, 0, 3]];
+        let mut seq = Histogram::new();
+        let mut hs: Vec<Histogram> = Vec::new();
+        for part in parts {
+            let mut h = Histogram::new();
+            for &v in part {
+                h.record(v);
+                seq.record(v);
+            }
+            hs.push(h);
+        }
+
+        // (a + b) + c
+        let mut left = hs[0];
+        left.merge_from(&hs[1]);
+        left.merge_from(&hs[2]);
+        // a + (b + c)
+        let mut bc = hs[1];
+        bc.merge_from(&hs[2]);
+        let mut right = hs[0];
+        right.merge_from(&bc);
+        // c + b + a
+        let mut rev = hs[2];
+        rev.merge_from(&hs[1]);
+        rev.merge_from(&hs[0]);
+
+        assert_eq!(left, seq);
+        assert_eq!(right, seq);
+        assert_eq!(rev, seq);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let snapshot = h;
+        h.merge_from(&Histogram::new());
+        assert_eq!(h, snapshot);
+
+        let mut e = Histogram::new();
+        e.merge_from(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

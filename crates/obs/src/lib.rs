@@ -1,0 +1,61 @@
+//! Deterministic observability for the HIDE workspace.
+//!
+//! Every crate in the workspace emits metrics through one narrow
+//! interface — the [`MetricsSink`] trait — so the hot paths stay
+//! instrumentable without paying for instrumentation they don't use:
+//!
+//! * [`NoopSink`] is a zero-sized sink whose methods are empty and
+//!   `#[inline]`; code generic over `S: MetricsSink` monomorphizes the
+//!   calls away entirely (the `bench_throughput` binary verifies the
+//!   simulation hot path is unaffected).
+//! * [`Recorder`] is the real sink: flat arrays of [`Counter`]s,
+//!   fixed-bucket [`Histogram`]s keyed by [`Distribution`], and
+//!   per-[`Stage`] span timings.
+//!
+//! # Determinism rules
+//!
+//! The recorder is built for **byte-identical output at any `--jobs`
+//! count**:
+//!
+//! 1. Counters and histograms only ever record *values computed by the
+//!    simulation* — frame counts, byte lengths, table sizes — never
+//!    wall-clock time, addresses, or thread identity.
+//! 2. Merging is elementwise addition, which is associative and
+//!    commutative, so per-worker recorders fanned in **in input order**
+//!    (the `hide-par` convention) equal the sequential recorder exactly.
+//! 3. Span timers *do* measure wall-clock time, so they are excluded
+//!    from the serialized artifact: [`Recorder::to_json`] emits counter
+//!    and histogram values plus per-stage *call counts*, while the
+//!    nanosecond totals appear only in the human-readable
+//!    [`Recorder::render_summary`] table.
+//!
+//! # Example
+//!
+//! ```
+//! use hide_obs::{Counter, Distribution, MetricsSink, Recorder, Stage};
+//!
+//! fn deliver<S: MetricsSink>(frames: &[u32], sink: &mut S) {
+//!     sink.add(Counter::FramesDelivered, frames.len() as u64);
+//!     sink.observe(Distribution::DeliveredPerRun, frames.len() as u64);
+//! }
+//!
+//! let mut a = Recorder::new();
+//! let mut b = Recorder::new();
+//! a.time(Stage::Extensions, || deliver(&[1, 2, 3], &mut b));
+//! a.merge_from(&b);
+//! assert_eq!(a.counter(Counter::FramesDelivered), 3);
+//! assert!(a.to_json().contains("\"frames_delivered\": 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metric;
+pub mod recorder;
+pub mod sink;
+
+pub use hist::Histogram;
+pub use metric::{Counter, Distribution, Stage};
+pub use recorder::{Recorder, StageTiming};
+pub use sink::{MetricsSink, NoopSink};

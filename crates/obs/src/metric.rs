@@ -1,0 +1,290 @@
+//! The metric namespace: every counter, distribution and stage the
+//! workspace records.
+//!
+//! Identifiers are closed enums rather than strings so that a
+//! [`crate::Recorder`] is a pair of flat arrays (no hashing, no
+//! allocation on the record path) and so the serialized artifact has a
+//! fixed, documented shape — every key appears in declaration order
+//! whether or not it was touched.
+
+/// A monotonically increasing event count.
+///
+/// Counter semantics are additive: merging two recorders sums each
+/// counter, so per-worker counts fan in without loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Marking-based simulation runs completed.
+    SimsRun,
+    /// Frames in the input traces of those runs.
+    TraceFrames,
+    /// Frames the simulated client's radio received.
+    FramesDelivered,
+    /// Frames HIDE kept away from the client (trace − delivered).
+    FramesHidden,
+    /// Delivered frames that held a nonzero wakelock.
+    FramesWake,
+    /// UDP Port Messages transmitted by simulated clients.
+    PortMessages,
+    /// Beacons that carried a BTIM element.
+    BtimBeacons,
+    /// Total BTIM element bytes across those beacons (header included).
+    BtimBytes,
+    /// Broadcast-flag bits set across all BTIM elements.
+    BtimBitsSet,
+    /// Client UDP Port Table lookups (the `τ_lp` operations).
+    PortLookups,
+    /// Lookups that found a non-empty posting list.
+    PortLookupHits,
+    /// Lookups that found no listener.
+    PortLookupMisses,
+    /// Port insertions into the table (the `τ_ins` operations).
+    PortInserts,
+    /// Port deletions from the table (the `τ_del` operations).
+    PortDeletes,
+    /// Buffered frames skipped by Algorithm 1 for not being UDP-padded.
+    NonUdpFrames,
+    /// Broadcast frames the AP delivered from its buffer at DTIMs.
+    ApFramesDelivered,
+    /// Reception-timeline frames fed to the energy model.
+    TimelineFrames,
+    /// Beacon intervals covered by evaluated timelines.
+    BeaconsModeled,
+    /// Suspend→active resume transitions in the energy state machine.
+    Resumes,
+    /// Suspend operations aborted by frames arriving mid-transition.
+    AbortedSuspends,
+    /// Energy-model evaluations performed.
+    EnergyEvals,
+}
+
+impl Counter {
+    /// Every counter, in declaration (serialization) order.
+    pub const ALL: [Counter; 21] = [
+        Counter::SimsRun,
+        Counter::TraceFrames,
+        Counter::FramesDelivered,
+        Counter::FramesHidden,
+        Counter::FramesWake,
+        Counter::PortMessages,
+        Counter::BtimBeacons,
+        Counter::BtimBytes,
+        Counter::BtimBitsSet,
+        Counter::PortLookups,
+        Counter::PortLookupHits,
+        Counter::PortLookupMisses,
+        Counter::PortInserts,
+        Counter::PortDeletes,
+        Counter::NonUdpFrames,
+        Counter::ApFramesDelivered,
+        Counter::TimelineFrames,
+        Counter::BeaconsModeled,
+        Counter::Resumes,
+        Counter::AbortedSuspends,
+        Counter::EnergyEvals,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// The stable snake_case key used in the JSON artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SimsRun => "sims_run",
+            Counter::TraceFrames => "trace_frames",
+            Counter::FramesDelivered => "frames_delivered",
+            Counter::FramesHidden => "frames_hidden",
+            Counter::FramesWake => "frames_wake",
+            Counter::PortMessages => "port_messages",
+            Counter::BtimBeacons => "btim_beacons",
+            Counter::BtimBytes => "btim_bytes",
+            Counter::BtimBitsSet => "btim_bits_set",
+            Counter::PortLookups => "port_lookups",
+            Counter::PortLookupHits => "port_lookup_hits",
+            Counter::PortLookupMisses => "port_lookup_misses",
+            Counter::PortInserts => "port_inserts",
+            Counter::PortDeletes => "port_deletes",
+            Counter::NonUdpFrames => "non_udp_frames",
+            Counter::ApFramesDelivered => "ap_frames_delivered",
+            Counter::TimelineFrames => "timeline_frames",
+            Counter::BeaconsModeled => "beacons_modeled",
+            Counter::Resumes => "resumes",
+            Counter::AbortedSuspends => "aborted_suspends",
+            Counter::EnergyEvals => "energy_evals",
+        }
+    }
+
+    /// The counter's index into the recorder's flat array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A distribution of observed values, stored as a fixed-bucket
+/// [`crate::Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// BTIM element bytes per beacon.
+    BtimBytesPerBeacon,
+    /// Posting-list length returned per port-table lookup.
+    PostingsPerLookup,
+    /// Broadcast frames buffered at each DTIM boundary (`n_f`).
+    FramesPerDtim,
+    /// Frames delivered to the client per simulation run.
+    DeliveredPerRun,
+    /// Frames hidden from the client per simulation run.
+    HiddenPerRun,
+    /// Resume transitions per evaluated timeline.
+    ResumesPerRun,
+}
+
+impl Distribution {
+    /// Every distribution, in declaration (serialization) order.
+    pub const ALL: [Distribution; 6] = [
+        Distribution::BtimBytesPerBeacon,
+        Distribution::PostingsPerLookup,
+        Distribution::FramesPerDtim,
+        Distribution::DeliveredPerRun,
+        Distribution::HiddenPerRun,
+        Distribution::ResumesPerRun,
+    ];
+
+    /// Number of distributions.
+    pub const COUNT: usize = Distribution::ALL.len();
+
+    /// The stable snake_case key used in the JSON artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::BtimBytesPerBeacon => "btim_bytes_per_beacon",
+            Distribution::PostingsPerLookup => "postings_per_lookup",
+            Distribution::FramesPerDtim => "frames_per_dtim",
+            Distribution::DeliveredPerRun => "delivered_per_run",
+            Distribution::HiddenPerRun => "hidden_per_run",
+            Distribution::ResumesPerRun => "resumes_per_run",
+        }
+    }
+
+    /// The distribution's index into the recorder's flat array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// An experiment stage whose wall-clock time a span timer attributes.
+///
+/// Stage *call counts* are deterministic and serialize into the JSON
+/// artifact; the measured nanoseconds are wall-clock and appear only in
+/// the human-readable summary (see the crate-level determinism rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Canonical trace generation.
+    TraceGen,
+    /// Table I rendering.
+    Table1,
+    /// Table II rendering.
+    Table2,
+    /// Fig. 6 (trace volumes).
+    Fig6,
+    /// Fig. 7 (energy comparison, Nexus One).
+    Fig7,
+    /// Fig. 8 (energy comparison, Galaxy S4).
+    Fig8,
+    /// Fig. 9 (suspend fractions).
+    Fig9,
+    /// Fig. 10 (capacity analysis).
+    Fig10,
+    /// Fig. 11 (delay vs sync interval).
+    Fig11,
+    /// Fig. 12 (delay vs open ports).
+    Fig12,
+    /// Host-measured port-table costs.
+    HostCosts,
+    /// Extension experiments.
+    Extensions,
+    /// CSV export.
+    Csv,
+}
+
+impl Stage {
+    /// Every stage, in declaration (serialization) order.
+    pub const ALL: [Stage; 13] = [
+        Stage::TraceGen,
+        Stage::Table1,
+        Stage::Table2,
+        Stage::Fig6,
+        Stage::Fig7,
+        Stage::Fig8,
+        Stage::Fig9,
+        Stage::Fig10,
+        Stage::Fig11,
+        Stage::Fig12,
+        Stage::HostCosts,
+        Stage::Extensions,
+        Stage::Csv,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Stage::ALL.len();
+
+    /// The stable snake_case key used in the JSON artifact.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::TraceGen => "trace_gen",
+            Stage::Table1 => "table1",
+            Stage::Table2 => "table2",
+            Stage::Fig6 => "fig6",
+            Stage::Fig7 => "fig7",
+            Stage::Fig8 => "fig8",
+            Stage::Fig9 => "fig9",
+            Stage::Fig10 => "fig10",
+            Stage::Fig11 => "fig11",
+            Stage::Fig12 => "fig12",
+            Stage::HostCosts => "host_costs",
+            Stage::Extensions => "extensions",
+            Stage::Csv => "csv",
+        }
+    }
+
+    /// The stage's index into the recorder's flat array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_arrays_are_in_index_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{}", c.name());
+        }
+        for (i, d) in Distribution::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i, "{}", d.name());
+        }
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        let names = Counter::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(Distribution::ALL.iter().map(|d| d.name()))
+            .chain(Stage::ALL.iter().map(|s| s.name()));
+        for name in names {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} is not snake_case"
+            );
+        }
+    }
+}

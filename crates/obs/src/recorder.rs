@@ -1,0 +1,374 @@
+//! The recording sink: flat metric arrays, span timers, merge, and the
+//! serialized artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::metric::{Counter, Distribution, Stage};
+use crate::sink::MetricsSink;
+
+/// Accumulated span-timer state for one [`Stage`].
+///
+/// `calls` is deterministic (how many spans ran) and serializes into
+/// the JSON artifact; `nanos` is wall-clock and is reported only in the
+/// human-readable summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Number of completed spans attributed to the stage.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub nanos: u64,
+}
+
+/// A metrics sink that actually records: counters, histograms and
+/// per-stage timings in flat enum-indexed arrays.
+///
+/// Recorders merge by elementwise addition ([`Recorder::merge_from`]),
+/// so per-worker recorders produced under `hide_par::par_map` can be
+/// fanned back in **in input order** and the result is byte-identical
+/// to a sequential run at any jobs count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorder {
+    counters: [u64; Counter::COUNT],
+    dists: [Histogram; Distribution::COUNT],
+    stages: [StageTiming; Stage::COUNT],
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            counters: [0; Counter::COUNT],
+            dists: [Histogram::new(); Distribution::COUNT],
+            stages: [StageTiming::default(); Stage::COUNT],
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// The histogram behind a distribution.
+    pub fn distribution(&self, dist: Distribution) -> &Histogram {
+        &self.dists[dist.index()]
+    }
+
+    /// Accumulated timing for a stage.
+    pub fn stage(&self, stage: Stage) -> StageTiming {
+        self.stages[stage.index()]
+    }
+
+    /// Run `f` and attribute its wall-clock time to `stage`.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add_span(stage, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Record one completed span of `nanos` wall-clock nanoseconds.
+    pub fn add_span(&mut self, stage: Stage, nanos: u64) {
+        let t = &mut self.stages[stage.index()];
+        t.calls += 1;
+        t.nanos += nanos;
+    }
+
+    /// Fold another recorder into this one.
+    ///
+    /// Every component merges by addition (histograms elementwise), so
+    /// the operation is associative and commutative and fan-in order
+    /// cannot change the result.
+    pub fn merge_from(&mut self, other: &Recorder) {
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += o;
+        }
+        for (d, o) in self.dists.iter_mut().zip(other.dists.iter()) {
+            d.merge_from(o);
+        }
+        for (s, o) in self.stages.iter_mut().zip(other.stages.iter()) {
+            s.calls += o.calls;
+            s.nanos += o.nanos;
+        }
+    }
+
+    /// True when nothing has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.dists.iter().all(|d| d.is_empty())
+            && self.stages.iter().all(|s| s.calls == 0)
+    }
+
+    /// Serialize the deterministic part of the recorder as JSON.
+    ///
+    /// The schema is documented in `docs/metrics-schema.md`; its
+    /// identifier is `"hide-metrics/1"`. Wall-clock nanoseconds are
+    /// deliberately excluded (only per-stage call counts appear), so
+    /// the output is byte-identical across runs and `--jobs` counts.
+    /// Every counter and distribution key appears in declaration order
+    /// whether or not it was touched, so the shape is stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"hide-metrics/1\",\n");
+
+        out.push_str("  \"counters\": {\n");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            let sep = if i + 1 == Counter::COUNT { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {}{sep}",
+                c.name(),
+                self.counters[c.index()]
+            );
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"distributions\": {\n");
+        for (i, d) in Distribution::ALL.iter().enumerate() {
+            let h = &self.dists[d.index()];
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .map(|(b, n)| format!("[{b}, {n}]"))
+                .collect();
+            let sep = if i + 1 == Distribution::COUNT {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"buckets\": [{}]}}{sep}",
+                d.name(),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                buckets.join(", ")
+            );
+        }
+        out.push_str("  },\n");
+
+        out.push_str("  \"stages\": {\n");
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            let sep = if i + 1 == Stage::COUNT { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"calls\": {}}}{sep}",
+                s.name(),
+                self.stages[s.index()].calls
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Render the human-readable metrics summary table.
+    ///
+    /// Unlike [`Recorder::to_json`] this *does* include wall-clock
+    /// stage timings, so it is informative but not deterministic.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v > 0 {
+                let _ = writeln!(out, "  {:<22} {v}", c.name());
+            }
+        }
+
+        let any_dist = Distribution::ALL
+            .iter()
+            .any(|d| !self.distribution(*d).is_empty());
+        if any_dist {
+            out.push_str("distributions (count / mean / min / max):\n");
+            for d in Distribution::ALL {
+                let h = self.distribution(d);
+                if !h.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  {:<22} {} / {:.1} / {} / {}",
+                        d.name(),
+                        h.count(),
+                        h.mean(),
+                        h.min(),
+                        h.max()
+                    );
+                }
+            }
+        }
+
+        let any_stage = Stage::ALL.iter().any(|s| self.stage(*s).calls > 0);
+        if any_stage {
+            out.push_str("stage timings (wall-clock, non-deterministic):\n");
+            for s in Stage::ALL {
+                let t = self.stage(s);
+                if t.calls > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {:<22} {:>9.3} ms  ({} call{})",
+                        s.name(),
+                        t.nanos as f64 / 1e6,
+                        t.calls,
+                        if t.calls == 1 { "" } else { "s" }
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl MetricsSink for Recorder {
+    #[inline]
+    fn add(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+
+    #[inline]
+    fn observe(&mut self, dist: Distribution, value: u64) {
+        self.dists[dist.index()].record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(values: &[(Counter, u64)], obs: &[(Distribution, u64)]) -> Recorder {
+        let mut r = Recorder::new();
+        for &(c, n) in values {
+            r.add(c, n);
+        }
+        for &(d, v) in obs {
+            r.observe(d, v);
+        }
+        r
+    }
+
+    #[test]
+    fn counters_and_distributions_record() {
+        let mut r = Recorder::new();
+        assert!(r.is_empty());
+        r.incr(Counter::BtimBeacons);
+        r.add(Counter::BtimBytes, 7);
+        r.observe(Distribution::BtimBytesPerBeacon, 7);
+        assert!(!r.is_empty());
+        assert_eq!(r.counter(Counter::BtimBeacons), 1);
+        assert_eq!(r.counter(Counter::BtimBytes), 7);
+        assert_eq!(r.distribution(Distribution::BtimBytesPerBeacon).count(), 1);
+        assert_eq!(r.counter(Counter::SimsRun), 0);
+    }
+
+    /// Recorder merge must be associative and commutative — the
+    /// determinism property the hide-par fan-in relies on.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = sample(
+            &[(Counter::SimsRun, 2), (Counter::FramesHidden, 10)],
+            &[
+                (Distribution::HiddenPerRun, 5),
+                (Distribution::HiddenPerRun, 5),
+            ],
+        );
+        let b = sample(&[(Counter::SimsRun, 1)], &[(Distribution::HiddenPerRun, 0)]);
+        let c = sample(
+            &[(Counter::FramesDelivered, 4)],
+            &[(Distribution::DeliveredPerRun, 4)],
+        );
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        // c + b + a
+        let mut rev = c.clone();
+        rev.merge_from(&b);
+        rev.merge_from(&a);
+
+        assert_eq!(left, right);
+        assert_eq!(left, rev);
+        assert_eq!(left.counter(Counter::SimsRun), 3);
+        assert_eq!(left.distribution(Distribution::HiddenPerRun).count(), 3);
+        assert_eq!(left.to_json(), rev.to_json());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = sample(
+            &[(Counter::PortLookups, 9)],
+            &[(Distribution::PostingsPerLookup, 2)],
+        );
+        let mut merged = a.clone();
+        merged.merge_from(&Recorder::new());
+        assert_eq!(merged, a);
+        let mut empty = Recorder::new();
+        empty.merge_from(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn span_timers_count_calls_deterministically() {
+        let mut r = Recorder::new();
+        let got = r.time(Stage::Fig7, || 41 + 1);
+        assert_eq!(got, 42);
+        r.add_span(Stage::Fig7, 1_000);
+        let t = r.stage(Stage::Fig7);
+        assert_eq!(t.calls, 2);
+        assert!(t.nanos >= 1_000);
+    }
+
+    #[test]
+    fn json_excludes_wall_clock_and_is_merge_stable() {
+        let mut a = sample(&[(Counter::SimsRun, 1)], &[]);
+        let mut b = a.clone();
+        // Different wall-clock spans, same call counts: the JSON must
+        // not differ.
+        a.add_span(Stage::Fig7, 123);
+        b.add_span(Stage::Fig7, 456_789);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"schema\": \"hide-metrics/1\""));
+        assert!(a.to_json().contains("\"fig7\": {\"calls\": 1}"));
+        assert!(!a.to_json().contains("nanos"));
+    }
+
+    #[test]
+    fn json_has_stable_shape_when_empty() {
+        let json = Recorder::new().to_json();
+        for c in Counter::ALL {
+            assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+        for d in Distribution::ALL {
+            assert!(json.contains(d.name()), "missing {}", d.name());
+        }
+        for s in Stage::ALL {
+            assert!(json.contains(s.name()), "missing {}", s.name());
+        }
+    }
+
+    #[test]
+    fn summary_mentions_recorded_metrics_only() {
+        let mut r = sample(
+            &[(Counter::FramesHidden, 3)],
+            &[(Distribution::HiddenPerRun, 3)],
+        );
+        r.add_span(Stage::Extensions, 5_000_000);
+        let summary = r.render_summary();
+        assert!(summary.contains("frames_hidden"));
+        assert!(summary.contains("hidden_per_run"));
+        assert!(summary.contains("extensions"));
+        assert!(!summary.contains("sims_run"));
+    }
+}

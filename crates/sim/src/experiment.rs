@@ -8,10 +8,19 @@
 //! * [`suspend_fractions`] — Fig. 9 (fraction of time in suspend mode),
 //! * [`savings_summary`] — the headline savings ranges quoted in the
 //!   abstract and conclusion.
+//!
+//! Every runner has a checked `try_*` twin taking a
+//! [`Recorder`]: each (trace, solution) cell records into its own local
+//! recorder, and the locals are folded back **in input order** after
+//! the parallel map, so the merged metrics are byte-identical at any
+//! `--jobs` count. The plain functions are thin panicking shims kept
+//! for callers that know their traces are valid.
 
+use crate::error::SimError;
 use crate::simulation::SimulationBuilder;
 use crate::solution::Solution;
 use hide_energy::profile::DeviceProfile;
+use hide_obs::Recorder;
 use hide_traces::record::Trace;
 
 /// The useful-frame percentages Figs. 7 and 8 sweep, in figure order.
@@ -62,6 +71,23 @@ pub fn energy_comparison(
     traces: &[Trace],
     fractions: &[f64],
 ) -> Vec<ScenarioComparison> {
+    try_energy_comparison(profile, traces, fractions, &mut Recorder::new())
+        .expect("traces produce valid timelines")
+}
+
+/// Checked, instrumented [`energy_comparison`]: every cell's metrics
+/// land in `recorder` (merged in input order, so the recording is
+/// byte-identical at any `--jobs` count).
+///
+/// # Errors
+///
+/// Returns [`SimError::Energy`] when a trace is degenerate.
+pub fn try_energy_comparison(
+    profile: DeviceProfile,
+    traces: &[Trace],
+    fractions: &[f64],
+    recorder: &mut Recorder,
+) -> Result<Vec<ScenarioComparison>, SimError> {
     let mut solutions = Vec::with_capacity(2 + fractions.len());
     solutions.push(Solution::ReceiveAll);
     solutions.push(Solution::client_side_lower_bound());
@@ -72,15 +98,22 @@ pub fn energy_comparison(
         .enumerate()
         .flat_map(|(ti, _)| solutions.iter().map(move |&s| (ti, s)))
         .collect();
-    let results = hide_par::par_map(&cells, |&(ti, solution)| {
-        SimulationBuilder::new(&traces[ti], profile)
+    let runs = hide_par::par_map(&cells, |&(ti, solution)| {
+        let mut local = Recorder::new();
+        let result = SimulationBuilder::new(&traces[ti], profile)
             .solution(solution)
-            .run()
+            .try_run_observed(&mut local);
+        (result, local)
     });
+    let mut results = Vec::with_capacity(runs.len());
+    for (result, local) in runs {
+        recorder.merge_from(&local);
+        results.push(result?);
+    }
 
     // Cells for one trace are contiguous; the receive-all cell leads
     // each chunk and anchors the per-scenario saving.
-    results
+    Ok(results
         .chunks(solutions.len())
         .zip(traces)
         .map(|(chunk, trace)| {
@@ -105,7 +138,7 @@ pub fn energy_comparison(
                 bars,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// One scenario's suspend-time fractions (Fig. 9): receive-all,
@@ -121,6 +154,21 @@ pub struct SuspendFractionRow {
 /// Runs the Fig. 9 experiment, fanning the (trace, solution) cells out
 /// in parallel like [`energy_comparison`].
 pub fn suspend_fractions(profile: DeviceProfile, traces: &[Trace]) -> Vec<SuspendFractionRow> {
+    try_suspend_fractions(profile, traces, &mut Recorder::new())
+        .expect("traces produce valid timelines")
+}
+
+/// Checked, instrumented [`suspend_fractions`]: per-cell metrics merge
+/// into `recorder` in input order.
+///
+/// # Errors
+///
+/// Returns [`SimError::Energy`] when a trace is degenerate.
+pub fn try_suspend_fractions(
+    profile: DeviceProfile,
+    traces: &[Trace],
+    recorder: &mut Recorder,
+) -> Result<Vec<SuspendFractionRow>, SimError> {
     let solutions = [
         Solution::ReceiveAll,
         Solution::client_side_lower_bound(),
@@ -132,20 +180,26 @@ pub fn suspend_fractions(profile: DeviceProfile, traces: &[Trace]) -> Vec<Suspen
         .enumerate()
         .flat_map(|(ti, _)| solutions.iter().map(move |&s| (ti, s)))
         .collect();
-    let fractions = hide_par::par_map(&cells, |&(ti, s)| {
+    let runs = hide_par::par_map(&cells, |&(ti, s)| {
+        let mut local = Recorder::new();
         let r = SimulationBuilder::new(&traces[ti], profile)
             .solution(s)
-            .run();
-        (s.label(), r.energy.suspend_fraction())
+            .try_run_observed(&mut local);
+        (r.map(|r| (s.label(), r.energy.suspend_fraction())), local)
     });
-    fractions
+    let mut fractions = Vec::with_capacity(runs.len());
+    for (row, local) in runs {
+        recorder.merge_from(&local);
+        fractions.push(row?);
+    }
+    Ok(fractions
         .chunks(solutions.len())
         .zip(traces)
         .map(|(chunk, trace)| SuspendFractionRow {
             scenario: trace.scenario.clone(),
             fractions: chunk.to_vec(),
         })
-        .collect()
+        .collect())
 }
 
 /// Per-trace volume statistics behind Fig. 6.
@@ -194,23 +248,49 @@ pub fn unicast_sensitivity(
     trace: &Trace,
     rates: &[f64],
 ) -> Vec<UnicastSensitivityRow> {
+    try_unicast_sensitivity(profile, trace, rates, &mut Recorder::new())
+        .expect("trace produces valid timelines")
+}
+
+/// Checked, instrumented [`unicast_sensitivity`]: per-rate metrics
+/// merge into `recorder` in input order.
+///
+/// # Errors
+///
+/// Returns [`SimError::Energy`] when the trace is degenerate.
+pub fn try_unicast_sensitivity(
+    profile: DeviceProfile,
+    trace: &Trace,
+    rates: &[f64],
+    recorder: &mut Recorder,
+) -> Result<Vec<UnicastSensitivityRow>, SimError> {
     use hide_traces::unicast::UnicastTrace;
-    hide_par::par_map(rates, |&rate| {
+    let runs = hide_par::par_map(rates, |&rate| {
+        let mut local = Recorder::new();
         let unicast = UnicastTrace::poisson(trace.duration, rate, 99);
-        let all = SimulationBuilder::new(trace, profile)
-            .unicast(&unicast)
-            .run();
-        let hide = SimulationBuilder::new(trace, profile)
-            .solution(Solution::hide(0.10))
-            .unicast(&unicast)
-            .run();
-        UnicastSensitivityRow {
-            unicast_rate: rate,
-            receive_all_mw: all.energy.average_power_mw(),
-            hide_mw: hide.energy.average_power_mw(),
-            saving: hide.energy.saving_vs(&all.energy),
-        }
-    })
+        let row = (|| -> Result<UnicastSensitivityRow, SimError> {
+            let all = SimulationBuilder::new(trace, profile)
+                .unicast(&unicast)
+                .try_run_observed(&mut local)?;
+            let hide = SimulationBuilder::new(trace, profile)
+                .solution(Solution::hide(0.10))
+                .unicast(&unicast)
+                .try_run_observed(&mut local)?;
+            Ok(UnicastSensitivityRow {
+                unicast_rate: rate,
+                receive_all_mw: all.energy.average_power_mw(),
+                hide_mw: hide.energy.average_power_mw(),
+                saving: hide.energy.saving_vs(&all.energy),
+            })
+        })();
+        (row, local)
+    });
+    let mut rows = Vec::with_capacity(runs.len());
+    for (row, local) in runs {
+        recorder.merge_from(&local);
+        rows.push(row?);
+    }
+    Ok(rows)
 }
 
 /// The headline savings ranges quoted in the paper's abstract: min/max
@@ -238,18 +318,35 @@ pub struct SavingsSummary {
 /// requested HIDE bars (they always exist when produced by
 /// [`energy_comparison`] with that fraction included).
 pub fn savings_summary(comparisons: &[ScenarioComparison], fraction: f64) -> SavingsSummary {
+    try_savings_summary(comparisons, fraction).expect("required bars present")
+}
+
+/// Checked [`savings_summary`].
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingBar`] when a comparison lacks the
+/// `client-side` or requested HIDE bar.
+pub fn try_savings_summary(
+    comparisons: &[ScenarioComparison],
+    fraction: f64,
+) -> Result<SavingsSummary, SimError> {
     let label = Solution::hide(fraction).label();
     let mut min_saving = f64::INFINITY;
     let mut max_saving = f64::NEG_INFINITY;
     let mut extra_sum = 0.0;
     for c in comparisons {
-        let hide = c.bar(&label).expect("HIDE bar present");
-        let cs = c.bar("client-side").expect("client-side bar present");
+        let hide = c.bar(&label).ok_or_else(|| SimError::MissingBar {
+            label: label.clone(),
+        })?;
+        let cs = c.bar("client-side").ok_or_else(|| SimError::MissingBar {
+            label: "client-side".to_string(),
+        })?;
         min_saving = min_saving.min(hide.saving_vs_receive_all);
         max_saving = max_saving.max(hide.saving_vs_receive_all);
         extra_sum += hide.saving_vs_receive_all - cs.saving_vs_receive_all;
     }
-    SavingsSummary {
+    Ok(SavingsSummary {
         device: comparisons
             .first()
             .map(|c| c.device.clone())
@@ -258,7 +355,7 @@ pub fn savings_summary(comparisons: &[ScenarioComparison], fraction: f64) -> Sav
         min_saving,
         max_saving,
         mean_extra_vs_client_side: extra_sum / comparisons.len().max(1) as f64,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -18,10 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use hide_energy::profile::NEXUS_ONE;
-//! use hide_sim::solution::Solution;
-//! use hide_sim::SimulationBuilder;
-//! use hide_traces::scenario::Scenario;
+//! use hide::prelude::*;
 //!
 //! let trace = Scenario::Starbucks.generate(300.0, 1);
 //! let hide = SimulationBuilder::new(&trace, NEXUS_ONE)
@@ -33,10 +30,15 @@
 //! assert!(hide.energy.breakdown.total() < all.energy.breakdown.total());
 //! assert!(hide.energy.suspend_fraction() > all.energy.suspend_fraction());
 //! ```
+//!
+//! To collect metrics while running, pass a [`hide_obs::Recorder`] to
+//! the `try_run_observed`/`try_*` experiment variants; see the
+//! [`experiment`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiment;
 pub mod latency;
 pub mod network;
@@ -47,5 +49,6 @@ pub mod sensitivity;
 pub mod simulation;
 pub mod solution;
 
+pub use error::SimError;
 pub use simulation::{SimulationBuilder, SimulationResult};
 pub use solution::Solution;

@@ -15,6 +15,7 @@ use hide_core::CoreError;
 use hide_energy::profile::DeviceProfile;
 use hide_energy::timeline::{Overhead, Timeline, TimelineFrame};
 use hide_energy::EnergyReport;
+use hide_obs::{Counter, MetricsSink, NoopSink};
 use hide_traces::record::Trace;
 use hide_traces::useful::Usefulness;
 use hide_wifi::frame::{Beacon, BroadcastDataFrame};
@@ -85,6 +86,18 @@ impl<'a> ProtocolSimulation<'a> {
     /// Propagates protocol errors ([`CoreError`]); none occur for valid
     /// traces.
     pub fn run(&self) -> Result<ProtocolOutcome, CoreError> {
+        self.run_observed(&mut NoopSink)
+    }
+
+    /// [`run`](Self::run), streaming metrics into `sink`: per-beacon
+    /// BTIM footprint, AP delivery counts, port-table traffic and the
+    /// energy-model counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors ([`CoreError`]); none occur for valid
+    /// traces.
+    pub fn run_observed<S: MetricsSink>(&self, sink: &mut S) -> Result<ProtocolOutcome, CoreError> {
         let tau = self.profile.wakelock_secs;
         let marking = Usefulness::port_based(self.trace, self.useful_fraction);
 
@@ -140,13 +153,13 @@ impl<'a> ProtocolSimulation<'a> {
             }
 
             // DTIM beacon at the end of the interval, over real bytes.
-            let beacon_bytes = ap.dtim_beacon(i).to_bytes();
+            let beacon_bytes = ap.dtim_beacon_observed(i, sink).to_bytes();
             stats.beacons += 1;
             let beacon = Beacon::parse(&beacon_bytes).map_err(CoreError::Wifi)?;
             stats.btim_bytes += beacon.btim().map(|b| b.body_len() as u64 + 2).unwrap_or(0);
 
             let decision = client.handle_beacon(&beacon)?;
-            let delivered = ap.deliver_broadcasts();
+            let delivered = ap.deliver_broadcasts_observed(sink);
 
             if decision == WakeDecision::WakeForBroadcast {
                 stats.wake_intervals += 1;
@@ -193,7 +206,9 @@ impl<'a> ProtocolSimulation<'a> {
             port_messages: stats.port_messages,
             port_message_airtime: phy::airtime_of_total_bytes(msg_len, DataRate::R1M),
         };
-        let energy = hide_energy::evaluate(&self.profile, &timeline, &overhead);
+        ap.port_table().observe_into(sink);
+        sink.add(Counter::PortMessages, stats.port_messages);
+        let energy = hide_energy::evaluate_observed(&self.profile, &timeline, &overhead, sink);
         Ok(ProtocolOutcome { energy, stats })
     }
 
@@ -259,6 +274,29 @@ mod tests {
         assert_eq!(outcome.stats.wake_intervals, 0);
         assert_eq!(outcome.stats.frames_consumed, 0);
         assert!(outcome.energy.suspend_fraction() > 0.95);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_records_protocol_metrics() {
+        use hide_obs::{Counter, Recorder};
+        let trace = Scenario::Starbucks.generate(120.0, 89);
+        let sim = ProtocolSimulation::new(&trace, NEXUS_ONE, 0.10);
+        let plain = sim.run().unwrap();
+        let mut rec = Recorder::new();
+        let observed = sim.run_observed(&mut rec).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter(Counter::BtimBeacons), observed.stats.beacons);
+        assert_eq!(rec.counter(Counter::BtimBytes), observed.stats.btim_bytes);
+        // The AP drains its buffer every DTIM regardless of whether our
+        // client is awake, so the AP-side count is a superset of the
+        // frames our client saw.
+        assert!(rec.counter(Counter::ApFramesDelivered) >= observed.stats.frames_delivered);
+        assert_eq!(
+            rec.counter(Counter::PortMessages),
+            observed.stats.port_messages
+        );
+        assert_eq!(rec.counter(Counter::EnergyEvals), 1);
+        assert!(rec.counter(Counter::PortLookups) > 0);
     }
 
     #[test]

@@ -50,6 +50,44 @@ impl Default for ReliabilityConfig {
     }
 }
 
+impl ReliabilityConfig {
+    /// Sets the per-transmission loss probability and retry limit.
+    #[must_use]
+    pub fn with_loss(mut self, loss_probability: f64, retries: u32) -> Self {
+        self.loss_probability = loss_probability;
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the client's sync interval, seconds.
+    #[must_use]
+    pub fn with_sync_interval_secs(mut self, secs: f64) -> Self {
+        self.sync_interval_secs = secs;
+        self
+    }
+
+    /// Sets the mean time between port-set changes, seconds.
+    #[must_use]
+    pub fn with_churn_interval_secs(mut self, secs: f64) -> Self {
+        self.churn_interval_secs = secs;
+        self
+    }
+
+    /// Sets the target useful fraction of the client's port set.
+    #[must_use]
+    pub fn with_useful_fraction(mut self, fraction: f64) -> Self {
+        self.useful_fraction = fraction;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Outcome of a reliability simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityResult {
@@ -198,6 +236,25 @@ mod tests {
 
     fn trace() -> Trace {
         Scenario::CsDept.generate(1200.0, 71)
+    }
+
+    #[test]
+    fn builders_match_field_assignment() {
+        let built = ReliabilityConfig::default()
+            .with_loss(0.25, 5)
+            .with_sync_interval_secs(30.0)
+            .with_churn_interval_secs(60.0)
+            .with_useful_fraction(0.02)
+            .with_seed(7);
+        let expected = ReliabilityConfig {
+            loss_probability: 0.25,
+            retries: 5,
+            sync_interval_secs: 30.0,
+            churn_interval_secs: 60.0,
+            useful_fraction: 0.02,
+            seed: 7,
+        };
+        assert_eq!(built, expected);
     }
 
     #[test]

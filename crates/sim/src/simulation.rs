@@ -5,6 +5,7 @@ use crate::solution::Solution;
 use hide_energy::profile::DeviceProfile;
 use hide_energy::timeline::{EnergyError, Overhead, Timeline, TimelineFrame};
 use hide_energy::EnergyReport;
+use hide_obs::{Counter, Distribution, MetricsSink, NoopSink};
 use hide_traces::record::Trace;
 use hide_traces::unicast::UnicastTrace;
 use hide_traces::useful::Usefulness;
@@ -148,6 +149,25 @@ impl<'a> SimulationBuilder<'a> {
     /// Returns [`EnergyError`] when the trace is degenerate (zero
     /// duration or unsorted frames).
     pub fn try_run(&self) -> Result<SimulationResult, EnergyError> {
+        self.try_run_observed(&mut NoopSink)
+    }
+
+    /// [`SimulationBuilder::try_run`] with instrumentation: counts the
+    /// run, its trace/delivered/hidden/wake frames and UDP Port
+    /// Messages, feeds the per-run delivered and hidden counts into
+    /// their distributions, and forwards the sink into the energy model
+    /// ([`hide_energy::evaluate_observed`]). [`SimulationBuilder::try_run`]
+    /// delegates here with a [`NoopSink`], so the uninstrumented path
+    /// monomorphizes to identical code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError`] when the trace is degenerate (zero
+    /// duration or unsorted frames).
+    pub fn try_run_observed<S: MetricsSink>(
+        &self,
+        sink: &mut S,
+    ) -> Result<SimulationResult, EnergyError> {
         let tau = self.profile.wakelock_secs;
 
         // Build the reception timeline for the chosen solution. Every
@@ -277,7 +297,17 @@ impl<'a> SimulationBuilder<'a> {
             Overhead::NONE
         };
 
-        let energy = hide_energy::evaluate(&self.profile, &timeline, &overhead);
+        sink.incr(Counter::SimsRun);
+        sink.add(Counter::TraceFrames, self.trace.len() as u64);
+        sink.add(Counter::FramesDelivered, received_frames as u64);
+        let hidden = (self.trace.len() - received_frames.min(self.trace.len())) as u64;
+        sink.add(Counter::FramesHidden, hidden);
+        sink.add(Counter::FramesWake, wake_frames as u64);
+        sink.add(Counter::PortMessages, overhead.port_messages);
+        sink.observe(Distribution::DeliveredPerRun, received_frames as u64);
+        sink.observe(Distribution::HiddenPerRun, hidden);
+
+        let energy = hide_energy::evaluate_observed(&self.profile, &timeline, &overhead, sink);
         Ok(SimulationResult {
             solution: self.solution,
             scenario: self.trace.scenario.clone(),

@@ -75,6 +75,37 @@ impl DcfConfig {
         }
     }
 
+    /// Sets the contention-window range (builder style).
+    #[must_use]
+    pub fn with_contention_window(mut self, cw_min: u32, cw_max: u32) -> Self {
+        self.cw_min = cw_min;
+        self.cw_max = cw_max;
+        self
+    }
+
+    /// Sets the channel data rate in bit/s (builder style).
+    #[must_use]
+    pub fn with_channel_rate_bps(mut self, rate: f64) -> Self {
+        self.channel_rate_bps = rate;
+        self
+    }
+
+    /// Sets the average data payload size in bits (builder style).
+    #[must_use]
+    pub fn with_payload_bits(mut self, bits: f64) -> Self {
+        self.payload_bits = bits;
+        self
+    }
+
+    /// Sets slot time, SIFS and DIFS in microseconds (builder style).
+    #[must_use]
+    pub fn with_timing_us(mut self, slot: f64, sifs: f64, difs: f64) -> Self {
+        self.slot_time_us = slot;
+        self.sifs_us = sifs;
+        self.difs_us = difs;
+        self
+    }
+
     /// Number of backoff stages `m = log2(cw_max / cw_min)`.
     pub fn backoff_stages(&self) -> u32 {
         (self.cw_max / self.cw_min).ilog2()
@@ -296,9 +327,26 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_field_assignment() {
+        let built = DcfConfig::table_ii()
+            .with_contention_window(16, 512)
+            .with_channel_rate_bps(2e6)
+            .with_payload_bits(4000.0)
+            .with_timing_us(9.0, 16.0, 34.0);
+        let mut fields = DcfConfig::table_ii();
+        fields.cw_min = 16;
+        fields.cw_max = 512;
+        fields.channel_rate_bps = 2e6;
+        fields.payload_bits = 4000.0;
+        fields.slot_time_us = 9.0;
+        fields.sifs_us = 16.0;
+        fields.difs_us = 34.0;
+        assert_eq!(built, fields);
+    }
+
+    #[test]
     fn larger_payload_improves_efficiency() {
-        let mut big = DcfConfig::table_ii();
-        big.payload_bits = 8000.0;
+        let big = DcfConfig::table_ii().with_payload_bits(8000.0);
         let s_small = solve(&DcfConfig::table_ii(), 10).unwrap().throughput;
         let s_big = solve(&big, 10).unwrap().throughput;
         assert!(s_big > s_small);

@@ -16,6 +16,7 @@
 use crate::bitmap::{PartialVirtualBitmap, TrimmedBitmap};
 use crate::error::WifiError;
 use crate::mac::Aid;
+use hide_obs::{Counter, Distribution, MetricsSink};
 
 /// Element ID of the standard Traffic Indication Map.
 pub const ELEMENT_ID_TIM: u8 = 5;
@@ -219,6 +220,19 @@ impl Btim {
     /// trimmed span without materializing the encoding.
     pub fn body_len(&self) -> usize {
         1 + self.bitmap.trimmed_span().1
+    }
+
+    /// Records this element's on-air footprint into a metrics sink: one
+    /// `BtimBeacons` tick, the full encoded length (body plus 2-byte
+    /// ID/length header) as `BtimBytes`, the number of broadcast flags
+    /// set as `BtimBitsSet`, and the per-beacon byte count into the
+    /// `BtimBytesPerBeacon` distribution.
+    pub fn observe<S: MetricsSink>(&self, sink: &mut S) {
+        let bytes = (2 + self.body_len()) as u64;
+        sink.incr(Counter::BtimBeacons);
+        sink.add(Counter::BtimBytes, bytes);
+        sink.add(Counter::BtimBitsSet, self.bitmap.count() as u64);
+        sink.observe(Distribution::BtimBytesPerBeacon, bytes);
     }
 }
 
@@ -488,6 +502,25 @@ mod tests {
         flags.set(aid(2000));
         let btim = Btim::new(flags);
         assert!(btim.body_len() <= 3);
+    }
+
+    #[test]
+    fn btim_observe_counts_on_air_footprint() {
+        let mut flags = PartialVirtualBitmap::new();
+        flags.set(aid(1));
+        flags.set(aid(5));
+        let btim = Btim::new(flags);
+        let mut rec = hide_obs::Recorder::new();
+        btim.observe(&mut rec);
+        btim.observe(&mut rec);
+        let bytes = (2 + btim.body_len()) as u64;
+        assert_eq!(rec.counter(Counter::BtimBeacons), 2);
+        assert_eq!(rec.counter(Counter::BtimBytes), 2 * bytes);
+        assert_eq!(rec.counter(Counter::BtimBitsSet), 4);
+        let h = rec.distribution(Distribution::BtimBytesPerBeacon);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), bytes);
+        assert_eq!(h.max(), bytes);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Top-level error type unifying every layer's failures.
+
+use hide_core::CoreError;
+use hide_energy::EnergyError;
+use hide_sim::SimError;
+use hide_traces::io::TraceIoError;
+use hide_wifi::WifiError;
+use std::fmt;
+
+/// Any failure the HIDE workspace can report, in one enum.
+///
+/// Binaries (and library callers that cross layer boundaries) can use
+/// `Result<_, HideError>` with `?` throughout: every crate-level error
+/// converts via [`From`]. [`CoreError`] already wraps [`WifiError`],
+/// and [`SimError`] wraps [`EnergyError`], so conversions flatten to
+/// the most specific variant available.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HideError {
+    /// 802.11 encoding/decoding or model failure.
+    Wifi(WifiError),
+    /// HIDE protocol failure at the AP or client.
+    Protocol(CoreError),
+    /// The energy model rejected a timeline.
+    Energy(EnergyError),
+    /// Trace serialization or parsing failure.
+    TraceIo(TraceIoError),
+    /// Simulation or experiment failure.
+    Sim(SimError),
+    /// Filesystem failure (CSV or metrics output).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HideError::Wifi(e) => write!(f, "wifi: {e}"),
+            HideError::Protocol(e) => write!(f, "protocol: {e}"),
+            HideError::Energy(e) => write!(f, "energy model: {e}"),
+            HideError::TraceIo(e) => write!(f, "trace io: {e}"),
+            HideError::Sim(e) => write!(f, "simulation: {e}"),
+            HideError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HideError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HideError::Wifi(e) => Some(e),
+            HideError::Protocol(e) => Some(e),
+            HideError::Energy(e) => Some(e),
+            HideError::TraceIo(e) => Some(e),
+            HideError::Sim(e) => Some(e),
+            HideError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<WifiError> for HideError {
+    fn from(e: WifiError) -> Self {
+        HideError::Wifi(e)
+    }
+}
+
+impl From<CoreError> for HideError {
+    fn from(e: CoreError) -> Self {
+        HideError::Protocol(e)
+    }
+}
+
+impl From<EnergyError> for HideError {
+    fn from(e: EnergyError) -> Self {
+        HideError::Energy(e)
+    }
+}
+
+impl From<TraceIoError> for HideError {
+    fn from(e: TraceIoError) -> Self {
+        HideError::TraceIo(e)
+    }
+}
+
+impl From<SimError> for HideError {
+    fn from(e: SimError) -> Self {
+        HideError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for HideError {
+    fn from(e: std::io::Error) -> Self {
+        HideError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_and_chains() {
+        let cases: Vec<HideError> = vec![
+            WifiError::InvalidAid(0).into(),
+            EnergyError::NonPositiveDuration(0.0).into(),
+            SimError::MissingBar {
+                label: "client-side".into(),
+            }
+            .into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_some());
+        }
+    }
+
+    #[test]
+    fn sim_energy_error_flattens_through_question_mark() {
+        fn inner() -> Result<(), SimError> {
+            Err(EnergyError::NonPositiveDuration(-1.0).into())
+        }
+        fn outer() -> Result<(), HideError> {
+            inner()?;
+            Ok(())
+        }
+        assert!(matches!(outer(), Err(HideError::Sim(SimError::Energy(_)))));
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`traces`] — synthetic broadcast-traffic traces for the five scenarios
 //! * [`sim`] — the trace-driven simulator and experiment runners
 //! * [`analysis`] — the Section-V capacity and delay overhead analysis
+//! * [`obs`] — deterministic counters, histograms and span timers
+//!
+//! plus the unifying pieces that only make sense at the top:
+//! [`HideError`] (every layer's error, one enum) and [`prelude`].
 //!
 //! # Quickstart
 //!
@@ -28,25 +32,35 @@
 //! assert!(hide.energy.breakdown.total() < all.energy.breakdown.total());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use hide_analysis as analysis;
 pub use hide_core as protocol;
 pub use hide_energy as energy;
+pub use hide_obs as obs;
 pub use hide_sim as sim;
 pub use hide_traces as traces;
 pub use hide_wifi as wifi;
 
+pub mod error;
+
+pub use error::HideError;
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::error::HideError;
     pub use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
     pub use hide_analysis::delay::{DelayAnalysis, DelayConfig};
     pub use hide_core::ap::AccessPoint;
     pub use hide_core::client::{HideClient, LegacyClient, OpenPortRegistry, WakeDecision};
     pub use hide_energy::battery::Battery;
     pub use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
+    pub use hide_obs::{Counter, Distribution, Histogram, MetricsSink, NoopSink, Recorder, Stage};
     pub use hide_sim::network::{fleet, NetworkSimulation};
     pub use hide_sim::protocol_sim::ProtocolSimulation;
     pub use hide_sim::solution::Solution;
-    pub use hide_sim::{SimulationBuilder, SimulationResult};
+    pub use hide_sim::{SimError, SimulationBuilder, SimulationResult};
     pub use hide_traces::scenario::Scenario;
     pub use hide_traces::unicast::UnicastTrace;
     pub use hide_traces::useful::Usefulness;
