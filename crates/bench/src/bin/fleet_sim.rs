@@ -1,0 +1,212 @@
+//! Fleet-scale driver: thousands of BSSes with client lifecycle churn,
+//! emitting byte-identical `hide-metrics/1` JSON at any `--jobs` count.
+//!
+//! ```text
+//! fleet_sim [--bss N] [--clients N] [--adoption F] [--duration SECS]
+//!           [--seed N] [--jobs N] [--scenario NAME]
+//!           [--refresh-interval SECS] [--refresh-loss P]
+//!           [--port-churn P] [--stale-timeout SECS]
+//!           [--metrics PATH] [--summary PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the fleet for a seconds-long CI sanity run and
+//! asserts the two tier-1 invariants inline: a loss-free control run
+//! reports zero missed wakeups, and `--jobs 1` versus all-cores
+//! produces identical metrics and summary JSON.
+
+use hide::fleet::{ChurnConfig, FleetConfig, FleetResult};
+use hide_traces::scenario::Scenario;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn parse_scenario(name: &str) -> Option<Scenario> {
+    Scenario::ALL
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut cfg = FleetConfig {
+        bss_count: if smoke { 200 } else { 1000 },
+        clients_per_bss: if smoke { 8 } else { 100 },
+        adoption: 0.75,
+        duration_secs: if smoke { 10.0 } else { 60.0 },
+        seed: 42,
+        churn: ChurnConfig {
+            mean_present_secs: 120.0,
+            mean_absent_secs: 30.0,
+            mean_active_secs: 10.0,
+            mean_suspended_secs: 45.0,
+            refresh_interval_secs: 5.0,
+            refresh_loss: 0.1,
+            port_churn: 0.2,
+            stale_timeout_secs: 12.0,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    if let Some(n) = parse_flag(&args, "--bss") {
+        cfg.bss_count = n;
+    }
+    if let Some(n) = parse_flag(&args, "--clients") {
+        cfg.clients_per_bss = n;
+    }
+    if let Some(f) = parse_flag(&args, "--adoption") {
+        cfg.adoption = f;
+    }
+    if let Some(d) = parse_flag(&args, "--duration") {
+        cfg.duration_secs = d;
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        cfg.seed = s;
+    }
+    if let Some(v) = parse_flag(&args, "--refresh-interval") {
+        cfg.churn.refresh_interval_secs = v;
+    }
+    if let Some(v) = parse_flag(&args, "--refresh-loss") {
+        cfg.churn.refresh_loss = v;
+    }
+    if let Some(v) = parse_flag(&args, "--port-churn") {
+        cfg.churn.port_churn = v;
+    }
+    if let Some(v) = parse_flag(&args, "--stale-timeout") {
+        cfg.churn.stale_timeout_secs = v;
+    }
+    if let Some(name) = parse_flag::<String>(&args, "--scenario") {
+        match parse_scenario(&name) {
+            Some(s) => cfg.scenario = s,
+            None => {
+                eprintln!(
+                    "unknown scenario {name:?}; valid: {}",
+                    Scenario::ALL.map(|s| s.label()).join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs: usize = parse_flag(&args, "--jobs").unwrap_or(cores);
+
+    eprintln!(
+        "fleet: {} BSS x {} clients, {:.0}% adoption, {} s horizon, \
+         scenario {}, seed {}, jobs {}",
+        cfg.bss_count,
+        cfg.clients_per_bss,
+        cfg.adoption * 100.0,
+        cfg.duration_secs,
+        cfg.scenario.label(),
+        cfg.seed,
+        jobs,
+    );
+    let t0 = Instant::now();
+    let result = match cfg.try_run_with_jobs(jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_sim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    report(&result, wall);
+
+    if let Some(path) = parse_flag::<String>(&args, "--metrics") {
+        if let Err(e) = std::fs::write(&path, result.metrics_json()) {
+            eprintln!("fleet_sim: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = parse_flag::<String>(&args, "--summary") {
+        if let Err(e) = std::fs::write(&path, result.summary_json()) {
+            eprintln!("fleet_sim: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("summary written to {path}");
+    }
+
+    if smoke {
+        return smoke_checks(&cfg, &result, jobs);
+    }
+    ExitCode::SUCCESS
+}
+
+fn report(result: &FleetResult, wall: f64) {
+    let r = &result.report;
+    println!(
+        "events {}  frames {}  assoc {}  disassoc {}  refreshes {} (lost {})  \
+         expired {}",
+        r.events,
+        r.frames,
+        r.associations,
+        r.disassociations,
+        r.refreshes_sent,
+        r.refreshes_lost,
+        r.entries_expired,
+    );
+    println!(
+        "energy {:.3} J vs baseline {:.3} J -> saving {:.2}%  \
+         port-msg airtime share {:.5}",
+        r.total_energy_j,
+        r.baseline_energy_j,
+        result.fleet_saving * 100.0,
+        result.port_message_airtime_share,
+    );
+    println!(
+        "wakeups {} (hide {})  missed rate {:.4}  spurious rate {:.4}",
+        r.wakeups, r.hide_wakeups, result.missed_wakeup_rate, result.spurious_wakeup_rate,
+    );
+    println!(
+        "wall {wall:.2} s  ({:.0} events/sec)",
+        r.events as f64 / wall.max(1e-9)
+    );
+}
+
+/// CI invariants: determinism across jobs counts and the loss-free
+/// missed-wakeup guarantee.
+fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCode {
+    eprintln!("smoke: re-running at jobs=1 for the determinism check...");
+    let serial = match cfg.try_run_with_jobs(1) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_sim: smoke rerun failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if serial.metrics_json() != result.metrics_json()
+        || serial.summary_json() != result.summary_json()
+    {
+        eprintln!("fleet_sim: SMOKE FAIL: jobs=1 and jobs={jobs} outputs differ");
+        return ExitCode::FAILURE;
+    }
+    let mut lossless = cfg.clone();
+    lossless.churn.refresh_loss = 0.0;
+    eprintln!("smoke: loss-free control run...");
+    let control = match lossless.try_run_with_jobs(jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_sim: smoke control failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if control.report.missed_wakeups != 0 {
+        eprintln!(
+            "fleet_sim: SMOKE FAIL: {} missed wakeups with zero refresh loss",
+            control.report.missed_wakeups
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("smoke: ok (deterministic across jobs, loss-free run missed 0 wakeups)");
+    ExitCode::SUCCESS
+}

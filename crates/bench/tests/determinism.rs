@@ -2,11 +2,15 @@
 //! any `--jobs` count produces byte-identical results — including the
 //! `hide-metrics/1` JSON the observability layer serializes.
 //!
-//! Single `#[test]` on purpose — the job count is process-global, so
-//! concurrent tests inside this binary would race on it.
+//! The experiment-engine test is a single `#[test]` on purpose — its
+//! job count is process-global, so concurrent copies inside this
+//! binary would race on it. The fleet test is exempt: it passes the
+//! job count explicitly through `try_run_with_jobs`, never touching
+//! the global.
 
 use hide_bench as harness;
 use hide_energy::profile::NEXUS_ONE;
+use hide_fleet::{ChurnConfig, FleetConfig};
 use hide_obs::Recorder;
 use hide_sim::experiment::{self, PAPER_FRACTIONS};
 use hide_traces::scenario::Scenario;
@@ -80,4 +84,61 @@ fn parallel_and_sequential_runs_are_identical() {
 
     std::fs::remove_dir_all(&seq_dir).ok();
     std::fs::remove_dir_all(&par_dir).ok();
+}
+
+/// The fleet simulator inherits the same guarantee at deployment
+/// scale: 1000 churning BSSes produce byte-identical `hide-metrics/1`
+/// JSON (and derived-scalar summary JSON) at `--jobs 1` and
+/// `--jobs 8`, with refresh loss and port churn active. A loss-free
+/// control run must report zero missed wakeups — the AP's view can
+/// only fall behind the truth when refreshes are actually lost.
+#[test]
+fn fleet_runs_are_identical_across_job_counts() {
+    let cfg = FleetConfig {
+        bss_count: 1000,
+        clients_per_bss: 8,
+        adoption: 0.75,
+        duration_secs: 15.0,
+        seed: harness::TRACE_SEED,
+        churn: ChurnConfig {
+            mean_present_secs: 60.0,
+            mean_absent_secs: 15.0,
+            mean_active_secs: 8.0,
+            mean_suspended_secs: 20.0,
+            refresh_interval_secs: 4.0,
+            refresh_loss: 0.2,
+            port_churn: 0.25,
+            stale_timeout_secs: 9.0,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+
+    let serial = cfg.try_run_with_jobs(1).expect("valid fleet config");
+    let parallel = cfg.try_run_with_jobs(8).expect("valid fleet config");
+
+    let seq_json = serial.metrics_json();
+    assert_eq!(
+        seq_json,
+        parallel.metrics_json(),
+        "fleet metrics JSON differs between job counts"
+    );
+    assert_eq!(
+        serial.summary_json(),
+        parallel.summary_json(),
+        "fleet summary JSON differs between job counts"
+    );
+    assert_eq!(serial.report, parallel.report);
+    assert!(seq_json.contains("\"schema\": \"hide-metrics/1\""));
+    assert!(seq_json.contains("\"fleet_bss_runs\""));
+    assert!(serial.report.events > 0 && serial.report.refreshes_lost > 0);
+
+    let mut lossless = cfg;
+    lossless.churn.refresh_loss = 0.0;
+    let control = lossless.try_run_with_jobs(8).expect("valid fleet config");
+    assert_eq!(
+        control.report.missed_wakeups, 0,
+        "missed wakeups with zero refresh loss"
+    );
+    assert!(control.report.useful_opportunities > 0);
 }

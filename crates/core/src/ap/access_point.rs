@@ -184,6 +184,34 @@ impl AccessPoint {
     /// Returns [`CoreError::UnknownClient`] when the sender is not
     /// associated.
     pub fn handle_udp_port_message(&mut self, msg: &UdpPortMessage) -> Result<Ack, CoreError> {
+        self.handle_port_message_inner(msg, None)
+    }
+
+    /// [`AccessPoint::handle_udp_port_message`] with a refresh
+    /// timestamp: the table entries it installs become eligible for
+    /// [`AccessPoint::expire_stale_port_entries`] once `now` falls
+    /// behind the expiry cutoff. Discrete-event simulations use this
+    /// form so a client that stops refreshing (left without
+    /// disassociating, or kept losing its messages) eventually ages out
+    /// of the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when the sender is not
+    /// associated.
+    pub fn handle_udp_port_message_at(
+        &mut self,
+        msg: &UdpPortMessage,
+        now: f64,
+    ) -> Result<Ack, CoreError> {
+        self.handle_port_message_inner(msg, Some(now))
+    }
+
+    fn handle_port_message_inner(
+        &mut self,
+        msg: &UdpPortMessage,
+        now: Option<f64>,
+    ) -> Result<Ack, CoreError> {
         let record = self
             .clients
             .get_mut(&msg.client())
@@ -192,6 +220,10 @@ impl AccessPoint {
         let aid = record.aid;
         self.port_messages_received += 1;
 
+        let refresh = |table: &mut ClientPortTable, ports: &[u16]| match now {
+            Some(at) => table.update_client_at(aid, ports, at),
+            None => table.update_client(aid, ports),
+        };
         if msg.more_fragments() {
             // Accumulate; the table refresh happens on the final
             // fragment so a half-received report never goes live.
@@ -201,11 +233,20 @@ impl AccessPoint {
                 .extend_from_slice(msg.ports());
         } else if let Some(mut ports) = self.pending_fragments.remove(&msg.client()) {
             ports.extend_from_slice(msg.ports());
-            self.port_table.update_client(aid, &ports);
+            refresh(&mut self.port_table, &ports);
         } else {
-            self.port_table.update_client(aid, msg.ports());
+            refresh(&mut self.port_table, msg.ports());
         }
         Ok(Ack::new(msg.client()))
+    }
+
+    /// Expires port-table entries whose last timestamped refresh is
+    /// strictly before `cutoff` (see [`ClientPortTable::expire_stale`]).
+    /// Expired clients stay associated — only their port interests are
+    /// forgotten, so they fall back to flagged-for-nothing until their
+    /// next UDP Port Message lands.
+    pub fn expire_stale_port_entries(&mut self, cutoff: f64) -> crate::ap::ExpiryReport {
+        self.port_table.expire_stale(cutoff)
     }
 
     /// Buffers a broadcast frame for delivery after the next DTIM.
@@ -555,6 +596,59 @@ mod tests {
         assert_eq!(ap.ps_poll(mac).unwrap(), 0);
         let beacon = ap.dtim_beacon(1);
         assert!(!beacon.tim().unwrap().traffic_for(aid));
+    }
+
+    #[test]
+    fn timed_port_message_expires_when_refresh_stops() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        ap.handle_udp_port_message_at(&port_msg(mac, ap.bssid(), &[5353]), 0.0)
+            .unwrap();
+        assert!(ap.is_useful_for(aid, &frame(5353)));
+        // Still fresh at a cutoff behind the refresh.
+        assert!(ap.expire_stale_port_entries(0.0).is_empty());
+        let report = ap.expire_stale_port_entries(10.0);
+        assert_eq!(report.clients, vec![aid]);
+        assert_eq!(report.entries_removed, 1);
+        // Expired but still associated and HIDE-enabled.
+        assert_eq!(ap.aid_of(mac), Some(aid));
+        assert!(ap.is_hide_enabled(mac));
+        assert!(!ap.is_useful_for(aid, &frame(5353)));
+        // The next refresh brings the interests back.
+        ap.handle_udp_port_message_at(&port_msg(mac, ap.bssid(), &[5353]), 20.0)
+            .unwrap();
+        assert!(ap.is_useful_for(aid, &frame(5353)));
+    }
+
+    #[test]
+    fn untimed_port_message_never_expires() {
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+            .unwrap();
+        assert!(ap.expire_stale_port_entries(f64::MAX).is_empty());
+        assert!(ap.is_useful_for(aid, &frame(5353)));
+    }
+
+    #[test]
+    fn timed_fragmented_report_stamps_on_final_fragment() {
+        use hide_wifi::frame::UdpPortMessage as Msg;
+        let mut ap = AccessPoint::new(MacAddr::station(0));
+        let mac = MacAddr::station(1);
+        let aid = ap.associate(mac).unwrap();
+        let ports: Vec<u16> = (1000..1300).collect();
+        let msgs = Msg::paginate(mac, ap.bssid(), ports.clone());
+        assert!(msgs.len() > 1);
+        for (i, m) in msgs.iter().enumerate() {
+            ap.handle_udp_port_message_at(m, i as f64).unwrap();
+        }
+        assert_eq!(ap.port_table().ports_of(aid).len(), ports.len());
+        assert_eq!(
+            ap.port_table().last_refresh_of(aid),
+            Some((msgs.len() - 1) as f64)
+        );
     }
 
     #[test]

@@ -11,4 +11,4 @@ pub use buffer::BroadcastBuffer;
 pub use flags::{
     calculate_broadcast_flags, calculate_broadcast_flags_into, calculate_broadcast_flags_observed,
 };
-pub use port_table::{BTreePortTable, ClientPortTable, TableOpCounts};
+pub use port_table::{BTreePortTable, ClientPortTable, ExpiryReport, TableOpCounts};

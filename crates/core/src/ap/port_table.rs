@@ -42,6 +42,24 @@ pub struct TableOpCounts {
     pub lookup_misses: u64,
 }
 
+/// What [`ClientPortTable::expire_stale`] removed: the affected
+/// clients (sorted by AID, so callers iterate deterministically) and
+/// the number of `(port, client)` entries dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpiryReport {
+    /// Clients whose entries were expired, ascending by AID.
+    pub clients: Vec<Aid>,
+    /// Total `(port, client)` pairs removed.
+    pub entries_removed: u64,
+}
+
+impl ExpiryReport {
+    /// `true` when nothing was expired.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
 /// The AP's table of open UDP ports per client.
 ///
 /// # Example
@@ -66,6 +84,10 @@ pub struct ClientPortTable {
     by_port: FxHashMap<u16, Vec<Aid>>,
     /// client → sorted list of its open ports.
     by_client: FxHashMap<Aid, Vec<u16>>,
+    /// client → time its entries were last refreshed. Only clients
+    /// updated through [`ClientPortTable::update_client_at`] appear
+    /// here; untimestamped clients are exempt from expiry.
+    last_refresh: FxHashMap<Aid, f64>,
     inserts: AtomicU64,
     deletes: AtomicU64,
     lookups: AtomicU64,
@@ -99,9 +121,53 @@ impl ClientPortTable {
         }
     }
 
+    /// [`ClientPortTable::update_client`] plus a refresh timestamp, so
+    /// the entries become eligible for [`ClientPortTable::expire_stale`]
+    /// once `now` falls behind the cutoff. This is the time-aware form
+    /// a discrete-event AP uses for UDP Port Message refreshes.
+    pub fn update_client_at(&mut self, client: Aid, ports: &[u16], now: f64) {
+        self.update_client(client, ports);
+        if self.by_client.contains_key(&client) {
+            self.last_refresh.insert(client, now);
+        }
+    }
+
+    /// Time `client`'s entries were last refreshed via
+    /// [`ClientPortTable::update_client_at`], if ever.
+    pub fn last_refresh_of(&self, client: Aid) -> Option<f64> {
+        self.last_refresh.get(&client).copied()
+    }
+
+    /// Drops every timestamped client whose last refresh is strictly
+    /// before `cutoff` — the AP-side aging that keeps the table from
+    /// accumulating entries for clients that silently left (Section
+    /// V.B's refresh contract). Clients stored through the untimestamped
+    /// [`ClientPortTable::update_client`] are never expired.
+    pub fn expire_stale(&mut self, cutoff: f64) -> ExpiryReport {
+        let mut stale: Vec<Aid> = self
+            .last_refresh
+            .iter()
+            .filter(|&(_, &at)| at < cutoff)
+            .map(|(&client, _)| client)
+            .collect();
+        // FxHashMap iteration order is arbitrary; sort so removal order
+        // (and the report) is deterministic.
+        stale.sort_unstable();
+        let mut entries_removed = 0u64;
+        for &client in &stale {
+            entries_removed += self.ports_of(client).len() as u64;
+            self.remove_client(client);
+        }
+        ExpiryReport {
+            clients: stale,
+            entries_removed,
+        }
+    }
+
     /// Removes every entry for `client` (disassociation, or the delete
     /// half of a refresh).
     pub fn remove_client(&mut self, client: Aid) {
+        self.last_refresh.remove(&client);
         let Some(old_ports) = self.by_client.remove(&client) else {
             return;
         };
@@ -219,6 +285,7 @@ impl Clone for ClientPortTable {
         ClientPortTable {
             by_port: self.by_port.clone(),
             by_client: self.by_client.clone(),
+            last_refresh: self.last_refresh.clone(),
             inserts: AtomicU64::new(self.inserts.load(Ordering::Relaxed)),
             deletes: AtomicU64::new(self.deletes.load(Ordering::Relaxed)),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
@@ -423,8 +490,67 @@ mod tests {
     fn clone_preserves_contents() {
         let mut table = ClientPortTable::new();
         table.update_client(aid(1), &[80]);
+        table.update_client_at(aid(2), &[81], 5.0);
         let copy = table.clone();
         assert_eq!(copy.clients_for_port(80), vec![aid(1)]);
+        assert_eq!(copy.last_refresh_of(aid(2)), Some(5.0));
+    }
+
+    #[test]
+    fn expire_stale_drops_old_timestamped_entries() {
+        let mut table = ClientPortTable::new();
+        table.update_client_at(aid(1), &[80, 443], 0.0);
+        table.update_client_at(aid(2), &[80], 10.0);
+        let report = table.expire_stale(5.0);
+        assert_eq!(report.clients, vec![aid(1)]);
+        assert_eq!(report.entries_removed, 2);
+        assert!(!report.is_empty());
+        assert_eq!(table.clients_for_port(80), vec![aid(2)]);
+        assert!(table.ports_of(aid(1)).is_empty());
+        assert_eq!(table.last_refresh_of(aid(1)), None);
+    }
+
+    #[test]
+    fn expire_stale_spares_untimestamped_clients() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80]);
+        let report = table.expire_stale(f64::MAX);
+        assert!(report.is_empty());
+        assert_eq!(report.entries_removed, 0);
+        assert_eq!(table.clients_for_port(80), vec![aid(1)]);
+    }
+
+    #[test]
+    fn expire_stale_report_is_sorted() {
+        let mut table = ClientPortTable::new();
+        for v in [9u16, 3, 6, 1] {
+            table.update_client_at(aid(v), &[5353], 0.0);
+        }
+        let report = table.expire_stale(1.0);
+        assert_eq!(report.clients, vec![aid(1), aid(3), aid(6), aid(9)]);
+        assert_eq!(report.entries_removed, 4);
+        assert_eq!(table.port_count(), 0);
+    }
+
+    #[test]
+    fn refresh_renews_timestamp() {
+        let mut table = ClientPortTable::new();
+        table.update_client_at(aid(1), &[80], 0.0);
+        table.update_client_at(aid(1), &[80], 20.0);
+        assert_eq!(table.last_refresh_of(aid(1)), Some(20.0));
+        assert!(table.expire_stale(10.0).is_empty());
+        // Plain update clears the stamp: the client is exempt again.
+        table.update_client(aid(1), &[80]);
+        assert_eq!(table.last_refresh_of(aid(1)), None);
+        assert!(table.expire_stale(f64::MAX).is_empty());
+    }
+
+    #[test]
+    fn empty_refresh_leaves_no_stamp() {
+        let mut table = ClientPortTable::new();
+        table.update_client_at(aid(1), &[], 3.0);
+        assert_eq!(table.last_refresh_of(aid(1)), None);
+        assert_eq!(table.client_count(), 0);
     }
 
     #[test]

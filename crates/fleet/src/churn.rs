@@ -1,0 +1,189 @@
+//! The client lifecycle (churn) model.
+//!
+//! Every client cycles through two independent alternating-renewal
+//! processes with exponential dwell times:
+//!
+//! * **presence** — associated with the BSS or absent (roamed away,
+//!   out of range). Joining runs the real `hide_wifi::assoc` exchange;
+//!   leaving sends a Disassociation frame.
+//! * **activity** — while present, screen-on *active* (radio awake,
+//!   receives everything) or *suspended* (power-save; woken only by
+//!   DTIM indications).
+//!
+//! HIDE clients additionally refresh their UDP Port Message every
+//! [`ChurnConfig::refresh_interval_secs`], each delivery lost with
+//! probability [`ChurnConfig::refresh_loss`]; with probability
+//! [`ChurnConfig::port_churn`] a refresh also re-samples the client's
+//! listened-on port set (apps starting/stopping). The AP ages out
+//! entries not refreshed within [`ChurnConfig::stale_timeout_secs`].
+//! The loss/staleness interplay is what produces missed and spurious
+//! wakeups — outcomes the static `sim::network` layer cannot express.
+
+use crate::error::FleetError;
+
+/// Churn and refresh knobs for every client in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean associated dwell before leaving, seconds.
+    pub mean_present_secs: f64,
+    /// Mean absent dwell before (re)joining, seconds.
+    pub mean_absent_secs: f64,
+    /// Mean screen-on dwell before suspending, seconds.
+    pub mean_active_secs: f64,
+    /// Mean suspended dwell before the user wakes the device, seconds.
+    pub mean_suspended_secs: f64,
+    /// UDP Port Message refresh period (the paper's sync interval).
+    pub refresh_interval_secs: f64,
+    /// Probability each refresh is lost before reaching the AP.
+    pub refresh_loss: f64,
+    /// Probability a refresh re-samples the client's port set.
+    pub port_churn: f64,
+    /// AP-side port-table entry lifetime without a refresh, seconds.
+    pub stale_timeout_secs: f64,
+    /// Ports each HIDE client listens on (drawn from the scenario mix).
+    pub ports_per_client: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            mean_present_secs: 600.0,
+            mean_absent_secs: 120.0,
+            mean_active_secs: 30.0,
+            mean_suspended_secs: 300.0,
+            refresh_interval_secs: 10.0,
+            refresh_loss: 0.0,
+            port_churn: 0.0,
+            stale_timeout_secs: 60.0,
+            ports_per_client: 4,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Checks every knob for sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FleetError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let intervals = [
+            ("mean_present_secs", self.mean_present_secs),
+            ("mean_absent_secs", self.mean_absent_secs),
+            ("mean_active_secs", self.mean_active_secs),
+            ("mean_suspended_secs", self.mean_suspended_secs),
+            ("refresh_interval_secs", self.refresh_interval_secs),
+            ("stale_timeout_secs", self.stale_timeout_secs),
+        ];
+        for (what, value) in intervals {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(FleetError::InvalidInterval { what, value });
+            }
+        }
+        let probabilities = [
+            ("refresh_loss", self.refresh_loss),
+            ("port_churn", self.port_churn),
+        ];
+        for (what, value) in probabilities {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(FleetError::InvalidProbability { what, value });
+            }
+        }
+        if self.stale_timeout_secs <= self.refresh_interval_secs {
+            return Err(FleetError::StaleTimeoutTooShort {
+                stale_timeout_secs: self.stale_timeout_secs,
+                refresh_interval_secs: self.refresh_interval_secs,
+            });
+        }
+        if self.ports_per_client == 0 {
+            return Err(FleetError::NoPorts);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ChurnConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_intervals() {
+        let c = ChurnConfig {
+            mean_present_secs: 0.0,
+            ..ChurnConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidInterval {
+                what: "mean_present_secs",
+                ..
+            })
+        ));
+        let c = ChurnConfig {
+            refresh_interval_secs: f64::INFINITY,
+            ..ChurnConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidInterval {
+                what: "refresh_interval_secs",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let c = ChurnConfig {
+                refresh_loss: bad,
+                ..ChurnConfig::default()
+            };
+            assert!(matches!(
+                c.validate(),
+                Err(FleetError::InvalidProbability {
+                    what: "refresh_loss",
+                    ..
+                })
+            ));
+        }
+        let c = ChurnConfig {
+            port_churn: 2.0,
+            ..ChurnConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidProbability {
+                what: "port_churn",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_stale_timeout_at_or_below_refresh() {
+        let defaults = ChurnConfig::default();
+        let c = ChurnConfig {
+            stale_timeout_secs: defaults.refresh_interval_secs,
+            ..defaults
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::StaleTimeoutTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_ports() {
+        let c = ChurnConfig {
+            ports_per_client: 0,
+            ..ChurnConfig::default()
+        };
+        assert_eq!(c.validate(), Err(FleetError::NoPorts));
+    }
+}

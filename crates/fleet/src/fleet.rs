@@ -1,0 +1,318 @@
+//! The multi-BSS fleet: shard-by-BSS parallel execution with a
+//! deterministic, input-order merge.
+//!
+//! Every BSS runs as an independent shard (its seeds derive from the
+//! fleet seed and its index, never from thread identity), producing a
+//! [`BssReport`] and a private [`Recorder`]. The shards are merged in
+//! BSS-index order, so the aggregate counters, histograms, and energy
+//! sums — and the JSON they serialize to — are byte-identical at any
+//! `--jobs` count.
+
+use crate::bss::{run_bss, BssReport};
+use crate::churn::ChurnConfig;
+use crate::error::FleetError;
+use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
+use hide_obs::Recorder;
+use hide_traces::scenario::Scenario;
+
+/// Full description of a fleet experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of independent BSSes (APs) in the fleet.
+    pub bss_count: usize,
+    /// Clients per BSS.
+    pub clients_per_bss: usize,
+    /// Fraction of clients running HIDE, clamped to `[0, 1]`.
+    pub adoption: f64,
+    /// Simulated horizon per BSS, seconds.
+    pub duration_secs: f64,
+    /// Broadcast traffic scenario every BSS draws from (each BSS gets
+    /// its own decorrelated stream).
+    pub scenario: Scenario,
+    /// Device energy constants shared by every client.
+    pub profile: DeviceProfile,
+    /// Master seed; all per-BSS randomness derives from it.
+    pub seed: u64,
+    /// Client lifecycle knobs.
+    pub churn: ChurnConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            bss_count: 4,
+            clients_per_bss: 16,
+            adoption: 0.75,
+            duration_secs: 30.0,
+            scenario: Scenario::Starbucks,
+            profile: NEXUS_ONE,
+            seed: 42,
+            churn: ChurnConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Checks the whole configuration, including the churn model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FleetError`] naming the first offending knob.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.bss_count == 0 {
+            return Err(FleetError::NoBsses);
+        }
+        if self.clients_per_bss == 0 {
+            return Err(FleetError::NoClients);
+        }
+        if !(self.duration_secs.is_finite() && self.duration_secs > 0.0) {
+            return Err(FleetError::InvalidDuration(self.duration_secs));
+        }
+        if self.adoption.is_nan() {
+            return Err(FleetError::InvalidProbability {
+                what: "adoption",
+                value: self.adoption,
+            });
+        }
+        self.churn.validate()
+    }
+
+    /// Runs the fleet with the process-default jobs count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error before any work starts, or the first
+    /// shard's protocol failure.
+    pub fn try_run(&self) -> Result<FleetResult, FleetError> {
+        self.try_run_with_jobs(hide_par::default_jobs())
+    }
+
+    /// Runs the fleet on exactly `jobs` worker threads (`0` or `1`
+    /// runs inline). The result is byte-identical for every `jobs`
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error before any work starts, or the first
+    /// (lowest-index) shard's protocol failure.
+    pub fn try_run_with_jobs(&self, jobs: usize) -> Result<FleetResult, FleetError> {
+        self.validate()?;
+        let indices: Vec<usize> = (0..self.bss_count).collect();
+        let shards = hide_par::par_map_jobs(jobs, &indices, |_, &i| run_bss(self, i));
+
+        let mut report = BssReport::default();
+        let mut recorder = Recorder::new();
+        for shard in shards {
+            let (bss, rec) = shard?;
+            report.merge_from(&bss);
+            recorder.merge_from(&rec);
+        }
+        Ok(FleetResult::assemble(self, report, recorder))
+    }
+}
+
+/// Aggregated outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Field-wise sum of every BSS's tallies.
+    pub report: BssReport,
+    /// Fleet-wide fractional energy saving vs the receive-all baseline.
+    pub fleet_saving: f64,
+    /// Missed wakeups over useful opportunities (0 when no opportunity
+    /// arose). The loss-free invariant: this is exactly 0 when
+    /// `refresh_loss` is 0.
+    pub missed_wakeup_rate: f64,
+    /// Spurious wakeups over HIDE wakeups (0 when none occurred).
+    pub spurious_wakeup_rate: f64,
+    /// Share of total fleet airtime consumed by UDP Port Messages
+    /// (Eq. 21): refresh airtime over `duration × bss_count`.
+    pub port_message_airtime_share: f64,
+    /// Merged observability recorder (counters, histograms, stages).
+    pub recorder: Recorder,
+}
+
+impl FleetResult {
+    fn assemble(cfg: &FleetConfig, report: BssReport, recorder: Recorder) -> Self {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let fleet_saving = if report.baseline_energy_j > 0.0 {
+            1.0 - report.total_energy_j / report.baseline_energy_j
+        } else {
+            0.0
+        };
+        FleetResult {
+            fleet_saving,
+            missed_wakeup_rate: ratio(report.missed_wakeups, report.useful_opportunities),
+            spurious_wakeup_rate: ratio(report.spurious_wakeups, report.hide_wakeups),
+            port_message_airtime_share: report.refresh_airtime_secs
+                / (cfg.duration_secs * cfg.bss_count as f64),
+            report,
+            recorder,
+        }
+    }
+
+    /// The merged `hide-metrics/1` JSON document. Byte-identical across
+    /// reruns and `jobs` counts (wall-clock spans are excluded by the
+    /// schema).
+    pub fn metrics_json(&self) -> String {
+        self.recorder.to_json()
+    }
+
+    /// A small deterministic JSON document with the derived fleet
+    /// scalars (energy, rates, Eq. 21 share). Formatted with fixed
+    /// precision so it is byte-stable too.
+    pub fn summary_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            concat!(
+                "{{\"schema\":\"hide-fleet-summary/1\",",
+                "\"total_energy_j\":{:.9},",
+                "\"baseline_energy_j\":{:.9},",
+                "\"fleet_saving\":{:.9},",
+                "\"missed_wakeup_rate\":{:.9},",
+                "\"spurious_wakeup_rate\":{:.9},",
+                "\"port_message_airtime_share\":{:.9},",
+                "\"refresh_airtime_secs\":{:.9},",
+                "\"events\":{},\"frames\":{},",
+                "\"associations\":{},\"disassociations\":{},",
+                "\"refreshes_sent\":{},\"refreshes_lost\":{},",
+                "\"entries_expired\":{},\"wakeups\":{},",
+                "\"missed_wakeups\":{},\"spurious_wakeups\":{}}}"
+            ),
+            r.total_energy_j,
+            r.baseline_energy_j,
+            self.fleet_saving,
+            self.missed_wakeup_rate,
+            self.spurious_wakeup_rate,
+            self.port_message_airtime_share,
+            r.refresh_airtime_secs,
+            r.events,
+            r.frames,
+            r.associations,
+            r.disassociations,
+            r.refreshes_sent,
+            r.refreshes_lost,
+            r.entries_expired,
+            r.wakeups,
+            r.missed_wakeups,
+            r.spurious_wakeups,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetConfig {
+        FleetConfig {
+            bss_count: 6,
+            clients_per_bss: 8,
+            duration_secs: 12.0,
+            churn: ChurnConfig {
+                mean_present_secs: 20.0,
+                mean_absent_secs: 5.0,
+                mean_active_secs: 3.0,
+                mean_suspended_secs: 8.0,
+                refresh_interval_secs: 2.0,
+                stale_timeout_secs: 7.0,
+                port_churn: 0.3,
+                ..ChurnConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let ok = FleetConfig::default();
+        assert!(ok.validate().is_ok());
+        let c = FleetConfig {
+            bss_count: 0,
+            ..ok.clone()
+        };
+        assert_eq!(c.validate(), Err(FleetError::NoBsses));
+        let c = FleetConfig {
+            clients_per_bss: 0,
+            ..ok.clone()
+        };
+        assert_eq!(c.validate(), Err(FleetError::NoClients));
+        let c = FleetConfig {
+            duration_secs: 0.0,
+            ..ok.clone()
+        };
+        assert_eq!(c.validate(), Err(FleetError::InvalidDuration(0.0)));
+        let c = FleetConfig {
+            adoption: f64::NAN,
+            ..ok
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FleetError::InvalidProbability {
+                what: "adoption",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_output() {
+        let cfg = small();
+        let serial = cfg.try_run_with_jobs(1).unwrap();
+        let parallel = cfg.try_run_with_jobs(4).unwrap();
+        assert_eq!(serial.metrics_json(), parallel.metrics_json());
+        assert_eq!(serial.summary_json(), parallel.summary_json());
+        assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn lossless_refresh_never_misses_wakeups() {
+        let mut cfg = small();
+        cfg.churn.refresh_loss = 0.0;
+        let result = cfg.try_run_with_jobs(2).unwrap();
+        assert_eq!(result.report.missed_wakeups, 0);
+        assert_eq!(result.missed_wakeup_rate, 0.0);
+        assert!(result.report.useful_opportunities > 0);
+    }
+
+    #[test]
+    fn lossy_refresh_eventually_misses() {
+        let mut cfg = small();
+        cfg.bss_count = 12;
+        cfg.duration_secs = 20.0;
+        cfg.churn.refresh_loss = 0.6;
+        cfg.churn.refresh_interval_secs = 3.0;
+        cfg.churn.stale_timeout_secs = 4.0;
+        let result = cfg.try_run_with_jobs(2).unwrap();
+        assert!(result.report.refreshes_lost > 0);
+        assert!(result.report.missed_wakeups > 0);
+        assert!(result.missed_wakeup_rate > 0.0);
+    }
+
+    #[test]
+    fn hide_adoption_saves_energy() {
+        let cfg = FleetConfig {
+            adoption: 1.0,
+            ..small()
+        };
+        let result = cfg.try_run().unwrap();
+        assert!(result.report.total_energy_j < result.report.baseline_energy_j);
+        assert!(result.fleet_saving > 0.0 && result.fleet_saving < 1.0);
+        assert!(result.port_message_airtime_share > 0.0);
+        assert!(result.port_message_airtime_share < 0.05);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let result = small().try_run_with_jobs(1).unwrap();
+        let json = result.summary_json();
+        assert!(json.starts_with("{\"schema\":\"hide-fleet-summary/1\""));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

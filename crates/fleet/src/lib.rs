@@ -1,0 +1,62 @@
+//! Deterministic discrete-event multi-BSS fleet simulator with client
+//! lifecycle churn.
+//!
+//! The static layers of this workspace answer "what does one DTIM
+//! cycle cost?" ([`hide_core`]) and "what does one trace replay cost
+//! for a fixed population?" ([`hide_sim`]). This crate answers the
+//! deployment question the HIDE paper poses at evaluation scale: **what
+//! happens across thousands of BSSes whose clients come and go**, with
+//! associations and disassociations running the real
+//! `hide_wifi::assoc` exchange, periodic UDP Port Message refreshes
+//! that can be lost, and an AP that ages out stale port-table entries?
+//!
+//! # Architecture
+//!
+//! * [`kernel`] — a binary-heap calendar queue with seeded
+//!   tie-breaking ([`EventQueue`]): the pop order is a pure function of
+//!   the seed, so reruns and any `--jobs` count see the same sequence.
+//! * [`churn`] — the client lifecycle model ([`ChurnConfig`]):
+//!   presence and activity as independent alternating-renewal
+//!   processes, plus refresh period, loss, port churn, and the AP's
+//!   stale timeout.
+//! * [`bss`] — one BSS under the kernel: a real
+//!   [`AccessPoint`](hide_core::ap::AccessPoint), a ground-truth port
+//!   table for wakeup classification, and a *streaming* broadcast
+//!   source ([`hide_traces::stream::FrameStream`]) so the trace is
+//!   never materialized.
+//! * [`fleet`] — shard-by-BSS execution over [`hide_par`], merged in
+//!   input order into one [`Recorder`](hide_obs::Recorder) aggregate;
+//!   the metrics JSON is byte-identical at any parallelism.
+//!
+//! # Example
+//!
+//! ```
+//! use hide_fleet::{ChurnConfig, FleetConfig};
+//!
+//! let cfg = FleetConfig {
+//!     bss_count: 2,
+//!     clients_per_bss: 4,
+//!     duration_secs: 5.0,
+//!     ..FleetConfig::default()
+//! };
+//! let result = cfg.try_run_with_jobs(1).expect("valid config");
+//! assert!(result.report.associations > 0);
+//! // Loss-free refreshes mean no missed wakeups, ever.
+//! assert_eq!(result.report.missed_wakeups, 0);
+//! # let _ = ChurnConfig::default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bss;
+pub mod churn;
+pub mod error;
+pub mod fleet;
+pub mod kernel;
+
+pub use bss::BssReport;
+pub use churn::ChurnConfig;
+pub use error::FleetError;
+pub use fleet::{FleetConfig, FleetResult};
+pub use kernel::{derive_seed, EventQueue};

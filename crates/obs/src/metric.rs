@@ -55,11 +55,33 @@ pub enum Counter {
     AbortedSuspends,
     /// Energy-model evaluations performed.
     EnergyEvals,
+    /// Per-BSS fleet simulations completed.
+    FleetBssRuns,
+    /// Discrete events processed by fleet kernels.
+    FleetEvents,
+    /// Broadcast frames that arrived at fleet APs.
+    FleetFrames,
+    /// Client associations processed by fleet APs.
+    FleetAssociations,
+    /// Client disassociations processed by fleet APs.
+    FleetDisassociations,
+    /// UDP Port Message refreshes transmitted by fleet clients.
+    FleetRefreshesSent,
+    /// Refreshes lost before reaching the AP.
+    FleetRefreshesLost,
+    /// Port-table entries dropped by staleness expiry.
+    FleetPortEntriesExpired,
+    /// Wake-ups of suspended fleet clients (flagged DTIM deliveries).
+    FleetWakeups,
+    /// Useful frames a suspended client slept through (stale AP state).
+    FleetMissedWakeups,
+    /// Wake-ups for frames the client no longer wanted (stale AP state).
+    FleetSpuriousWakeups,
 }
 
 impl Counter {
     /// Every counter, in declaration (serialization) order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 32] = [
         Counter::SimsRun,
         Counter::TraceFrames,
         Counter::FramesDelivered,
@@ -81,6 +103,17 @@ impl Counter {
         Counter::Resumes,
         Counter::AbortedSuspends,
         Counter::EnergyEvals,
+        Counter::FleetBssRuns,
+        Counter::FleetEvents,
+        Counter::FleetFrames,
+        Counter::FleetAssociations,
+        Counter::FleetDisassociations,
+        Counter::FleetRefreshesSent,
+        Counter::FleetRefreshesLost,
+        Counter::FleetPortEntriesExpired,
+        Counter::FleetWakeups,
+        Counter::FleetMissedWakeups,
+        Counter::FleetSpuriousWakeups,
     ];
 
     /// Number of counters.
@@ -110,6 +143,17 @@ impl Counter {
             Counter::Resumes => "resumes",
             Counter::AbortedSuspends => "aborted_suspends",
             Counter::EnergyEvals => "energy_evals",
+            Counter::FleetBssRuns => "fleet_bss_runs",
+            Counter::FleetEvents => "fleet_events",
+            Counter::FleetFrames => "fleet_frames",
+            Counter::FleetAssociations => "fleet_associations",
+            Counter::FleetDisassociations => "fleet_disassociations",
+            Counter::FleetRefreshesSent => "fleet_refreshes_sent",
+            Counter::FleetRefreshesLost => "fleet_refreshes_lost",
+            Counter::FleetPortEntriesExpired => "fleet_port_entries_expired",
+            Counter::FleetWakeups => "fleet_wakeups",
+            Counter::FleetMissedWakeups => "fleet_missed_wakeups",
+            Counter::FleetSpuriousWakeups => "fleet_spurious_wakeups",
         }
     }
 
@@ -136,17 +180,26 @@ pub enum Distribution {
     HiddenPerRun,
     /// Resume transitions per evaluated timeline.
     ResumesPerRun,
+    /// Broadcast frames delivered per fleet DTIM boundary.
+    FleetFramesPerDtim,
+    /// Port-table (port, client) entries per BSS at end of run.
+    FleetPortOccupancy,
+    /// Associated clients per BSS at end of run.
+    FleetClientsPerBss,
 }
 
 impl Distribution {
     /// Every distribution, in declaration (serialization) order.
-    pub const ALL: [Distribution; 6] = [
+    pub const ALL: [Distribution; 9] = [
         Distribution::BtimBytesPerBeacon,
         Distribution::PostingsPerLookup,
         Distribution::FramesPerDtim,
         Distribution::DeliveredPerRun,
         Distribution::HiddenPerRun,
         Distribution::ResumesPerRun,
+        Distribution::FleetFramesPerDtim,
+        Distribution::FleetPortOccupancy,
+        Distribution::FleetClientsPerBss,
     ];
 
     /// Number of distributions.
@@ -161,6 +214,9 @@ impl Distribution {
             Distribution::DeliveredPerRun => "delivered_per_run",
             Distribution::HiddenPerRun => "hidden_per_run",
             Distribution::ResumesPerRun => "resumes_per_run",
+            Distribution::FleetFramesPerDtim => "fleet_frames_per_dtim",
+            Distribution::FleetPortOccupancy => "fleet_port_occupancy",
+            Distribution::FleetClientsPerBss => "fleet_clients_per_bss",
         }
     }
 
@@ -204,11 +260,13 @@ pub enum Stage {
     Extensions,
     /// CSV export.
     Csv,
+    /// Fleet simulation (multi-BSS discrete-event runs).
+    Fleet,
 }
 
 impl Stage {
     /// Every stage, in declaration (serialization) order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::TraceGen,
         Stage::Table1,
         Stage::Table2,
@@ -222,6 +280,7 @@ impl Stage {
         Stage::HostCosts,
         Stage::Extensions,
         Stage::Csv,
+        Stage::Fleet,
     ];
 
     /// Number of stages.
@@ -243,6 +302,7 @@ impl Stage {
             Stage::HostCosts => "host_costs",
             Stage::Extensions => "extensions",
             Stage::Csv => "csv",
+            Stage::Fleet => "fleet",
         }
     }
 

@@ -31,8 +31,16 @@ pub struct ClientSpec {
 
 /// Builds a fleet of `n` clients with `adoption` of them HIDE-enabled,
 /// useful fractions cycling through the paper's sweep values.
+///
+/// `adoption` is clamped to `[0, 1]` (NaN counts as 0), so an
+/// out-of-range sweep value can never mislabel the population.
 pub fn fleet(n: usize, adoption: f64, base_seed: u64) -> Vec<ClientSpec> {
     let fractions = [0.10, 0.08, 0.06, 0.04, 0.02];
+    let adoption = if adoption.is_nan() {
+        0.0
+    } else {
+        adoption.clamp(0.0, 1.0)
+    };
     let hide_count = (n as f64 * adoption).round() as usize;
     (0..n)
         .map(|i| ClientSpec {
@@ -181,6 +189,21 @@ mod tests {
         assert_eq!(f.iter().filter(|c| c.hide_enabled).count(), 5);
         let g = fleet(10, 1.0, 1);
         assert!(g.iter().all(|c| c.hide_enabled));
+    }
+
+    #[test]
+    fn fleet_clamps_out_of_range_adoption() {
+        // Regression: adoption > 1 used to yield hide_count > n, which
+        // marked every client HIDE while claiming a different fraction.
+        let over = fleet(10, 1.5, 1);
+        assert_eq!(over.iter().filter(|c| c.hide_enabled).count(), 10);
+        let under = fleet(10, -0.5, 1);
+        assert_eq!(under.iter().filter(|c| c.hide_enabled).count(), 0);
+        let nan = fleet(10, f64::NAN, 1);
+        assert_eq!(nan.iter().filter(|c| c.hide_enabled).count(), 0);
+        // In-range values are untouched.
+        let half = fleet(10, 0.5, 1);
+        assert_eq!(half.iter().filter(|c| c.hide_enabled).count(), 5);
     }
 
     #[test]

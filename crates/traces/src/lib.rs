@@ -34,10 +34,12 @@ pub mod io;
 pub mod record;
 pub mod scenario;
 pub mod stats;
+pub mod stream;
 pub mod unicast;
 pub mod useful;
 
 pub use record::{Trace, TraceFrame};
 pub use scenario::Scenario;
 pub use stats::Cdf;
+pub use stream::FrameStream;
 pub use useful::Usefulness;

@@ -1,0 +1,188 @@
+//! Streaming (iterator-based) trace generation.
+//!
+//! [`crate::generate::generate`] materializes a whole `Vec<TraceFrame>`
+//! before anything consumes it. That is fine for one client and a
+//! 45-minute trace, but a fleet kernel simulating thousands of BSSes
+//! wants each BSS's broadcast arrivals *pulled* one event at a time, so
+//! the working set per BSS stays a single frame. [`FrameStream`] is the
+//! lazy form of the same two-state MMPP: it consumes its RNG in exactly
+//! the order the batch generator does, so collecting a stream
+//! reproduces [`crate::generate::generate`]'s frames bit for bit
+//! (before the batch generator's post-hoc *More Data* assignment, which
+//! needs the following frame and therefore cannot be streamed).
+//!
+//! # Example
+//!
+//! ```
+//! use hide_traces::scenario::Scenario;
+//! use hide_traces::stream::FrameStream;
+//!
+//! let stream = FrameStream::new(&Scenario::Starbucks.params(), 60.0, 7);
+//! let batch = Scenario::Starbucks.generate(60.0, 7);
+//! let streamed: Vec<_> = stream.collect();
+//! assert_eq!(streamed.len(), batch.len());
+//! assert!(streamed
+//!     .iter()
+//!     .zip(&batch.frames)
+//!     .all(|(s, b)| s.time == b.time && s.dst_port == b.dst_port));
+//! ```
+
+use crate::generate::GeneratorParams;
+use crate::record::TraceFrame;
+use hide_wifi::phy::DataRate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws an exponential variate with the given mean.
+fn exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// A lazy MMPP broadcast-frame source: an [`Iterator`] over
+/// [`TraceFrame`]s, never materializing the trace.
+///
+/// Frames arrive time-sorted with `more_data` unset (the *More Data*
+/// bit needs lookahead; AP-side delivery logic recomputes it anyway).
+#[derive(Debug, Clone)]
+pub struct FrameStream {
+    params: GeneratorParams,
+    duration: f64,
+    rng: StdRng,
+    t: f64,
+    in_burst: bool,
+    state_end: f64,
+    done: bool,
+}
+
+impl FrameStream {
+    /// Creates a stream over `params` covering `[0, duration)` seconds,
+    /// seeded exactly like [`crate::generate::generate`].
+    pub fn new(params: &GeneratorParams, duration: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Same initial phase draw as the batch generator.
+        let state_end = exp(&mut rng, params.mean_idle_secs) * rng.gen_range(0.1..1.0);
+        FrameStream {
+            params: params.clone(),
+            duration,
+            rng,
+            t: 0.0,
+            in_burst: false,
+            state_end,
+            done: false,
+        }
+    }
+
+    /// The stream's horizon in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = TraceFrame;
+
+    fn next(&mut self) -> Option<TraceFrame> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.t >= self.duration {
+                self.done = true;
+                return None;
+            }
+            if self.t >= self.state_end {
+                self.in_burst = !self.in_burst;
+                let mean = if self.in_burst {
+                    self.params.mean_burst_secs
+                } else {
+                    self.params.mean_idle_secs
+                };
+                self.state_end = self.t + exp(&mut self.rng, mean);
+                continue;
+            }
+            let rate = if self.in_burst {
+                self.params.burst_rate_fps
+            } else {
+                self.params.idle_rate_fps
+            };
+            let gap = if rate > 0.0 {
+                exp(&mut self.rng, 1.0 / rate)
+            } else {
+                self.state_end - self.t + 1e-9
+            };
+            self.t += gap;
+            if self.t >= self.duration {
+                self.done = true;
+                return None;
+            }
+            if self.t >= self.state_end {
+                // Gap crossed a state boundary; re-draw from the new
+                // state (same thinning approximation as the batch path).
+                continue;
+            }
+            let (port, typical) = self.params.port_mix.sample(&mut self.rng);
+            let jitter = self.rng.gen_range(0.75..1.25);
+            let body = ((typical as f64 * jitter) as u16).max(40);
+            let rate = if self.rng.gen_bool(0.8) {
+                DataRate::R1M
+            } else {
+                DataRate::R2M
+            };
+            return Some(TraceFrame {
+                time: self.t,
+                len_bytes: body.saturating_add(36 + 24),
+                rate,
+                dst_port: port,
+                more_data: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn stream_matches_batch_generator() {
+        for scenario in Scenario::ALL {
+            let params = scenario.params();
+            let batch = generate::generate(scenario.label(), &params, 120.0, 99);
+            let streamed: Vec<TraceFrame> = FrameStream::new(&params, 120.0, 99).collect();
+            assert_eq!(streamed.len(), batch.len(), "{scenario}");
+            for (s, b) in streamed.iter().zip(&batch.frames) {
+                assert_eq!(s.time, b.time, "{scenario}");
+                assert_eq!(s.len_bytes, b.len_bytes, "{scenario}");
+                assert_eq!(s.rate, b.rate, "{scenario}");
+                assert_eq!(s.dst_port, b.dst_port, "{scenario}");
+                // `more_data` deliberately differs: streams never set it.
+                assert!(!s.more_data);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_bounded() {
+        let frames: Vec<TraceFrame> = FrameStream::new(&Scenario::Wml.params(), 60.0, 3).collect();
+        assert!(!frames.is_empty());
+        assert!(frames.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(frames.iter().all(|f| f.time >= 0.0 && f.time < 60.0));
+    }
+
+    #[test]
+    fn stream_is_fused_after_end() {
+        let mut stream = FrameStream::new(&Scenario::Starbucks.params(), 10.0, 1);
+        while stream.next().is_some() {}
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn zero_duration_stream_is_empty() {
+        let mut stream = FrameStream::new(&Scenario::CsDept.params(), 0.0, 5);
+        assert!(stream.next().is_none());
+    }
+}

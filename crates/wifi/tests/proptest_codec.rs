@@ -1,5 +1,6 @@
 //! Property-based tests for the 802.11 wire codecs.
 
+use hide_wifi::assoc::{AssociationRequest, AssociationResponse, Disassociation};
 use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Beacon, BroadcastDataFrame, UdpPortMessage};
 use hide_wifi::ie::{Btim, InformationElement, OpenUdpPorts, Tim};
@@ -14,6 +15,19 @@ fn aid_strategy() -> impl Strategy<Value = Aid> {
 
 fn bitmap_strategy() -> impl Strategy<Value = PartialVirtualBitmap> {
     vec(aid_strategy(), 0..64).prop_map(|aids| aids.into_iter().collect())
+}
+
+fn mac_strategy() -> impl Strategy<Value = MacAddr> {
+    any::<u32>().prop_map(MacAddr::station)
+}
+
+/// SSIDs are carried in a length-prefixed element (≤ 255 bytes) and the
+/// parser decodes them as UTF-8, so the strategy draws printable ASCII
+/// that fits one element.
+fn ssid_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ._-";
+    vec(0usize..CHARSET.len(), 0..32)
+        .prop_map(|idxs| idxs.into_iter().map(|i| CHARSET[i] as char).collect())
 }
 
 proptest! {
@@ -170,5 +184,77 @@ proptest! {
         }
         let decoded = InformationElement::decode_all(&buf).unwrap();
         prop_assert_eq!(decoded, elements);
+    }
+
+    #[test]
+    fn association_request_round_trip(
+        client in mac_strategy(),
+        ap in mac_strategy(),
+        ssid in ssid_strategy(),
+        listen_interval in any::<u16>(),
+        hide in any::<bool>(),
+    ) {
+        let mut req = AssociationRequest::new(client, ap, ssid)
+            .with_listen_interval(listen_interval);
+        if hide {
+            req = req.with_hide_support();
+        }
+        let parsed = AssociationRequest::parse(&req.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn association_response_success_round_trip(
+        client in mac_strategy(),
+        ap in mac_strategy(),
+        aid in aid_strategy(),
+    ) {
+        let resp = AssociationResponse::success(ap, client, aid);
+        let parsed = AssociationResponse::parse(&resp.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, resp);
+        prop_assert!(parsed.is_success());
+        prop_assert_eq!(parsed.aid(), Some(aid));
+    }
+
+    #[test]
+    fn association_response_denial_round_trip(
+        client in mac_strategy(),
+        ap in mac_strategy(),
+        status in 1u16..=1024,
+    ) {
+        let resp = AssociationResponse::denied(ap, client, status);
+        let parsed = AssociationResponse::parse(&resp.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, resp);
+        prop_assert!(!parsed.is_success());
+        prop_assert_eq!(parsed.aid(), None);
+    }
+
+    #[test]
+    fn disassociation_round_trip(
+        from in mac_strategy(),
+        to in mac_strategy(),
+        reason in any::<u16>(),
+    ) {
+        let notice = Disassociation::new(from, to, reason);
+        let parsed = Disassociation::parse(&notice.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, notice);
+    }
+
+    #[test]
+    fn truncated_assoc_frames_never_panic(
+        client in mac_strategy(),
+        ap in mac_strategy(),
+        ssid in ssid_strategy(),
+        cut in 0usize..24,
+    ) {
+        let req = AssociationRequest::new(client, ap, ssid).with_hide_support();
+        let bytes = req.to_bytes();
+        let cut = cut.min(bytes.len());
+        // Parsing any prefix returns an error or a frame — never panics.
+        let _ = AssociationRequest::parse(&bytes[..cut]);
+        let resp = AssociationResponse::success(ap, client, Aid::new(1).unwrap());
+        let bytes = resp.to_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = AssociationResponse::parse(&bytes[..cut]);
     }
 }

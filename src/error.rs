@@ -2,6 +2,7 @@
 
 use hide_core::CoreError;
 use hide_energy::EnergyError;
+use hide_fleet::FleetError;
 use hide_sim::SimError;
 use hide_traces::io::TraceIoError;
 use hide_wifi::WifiError;
@@ -27,6 +28,8 @@ pub enum HideError {
     TraceIo(TraceIoError),
     /// Simulation or experiment failure.
     Sim(SimError),
+    /// Fleet simulator configuration or protocol failure.
+    Fleet(FleetError),
     /// Filesystem failure (CSV or metrics output).
     Io(std::io::Error),
 }
@@ -39,6 +42,7 @@ impl fmt::Display for HideError {
             HideError::Energy(e) => write!(f, "energy model: {e}"),
             HideError::TraceIo(e) => write!(f, "trace io: {e}"),
             HideError::Sim(e) => write!(f, "simulation: {e}"),
+            HideError::Fleet(e) => write!(f, "fleet: {e}"),
             HideError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -52,6 +56,7 @@ impl std::error::Error for HideError {
             HideError::Energy(e) => Some(e),
             HideError::TraceIo(e) => Some(e),
             HideError::Sim(e) => Some(e),
+            HideError::Fleet(e) => Some(e),
             HideError::Io(e) => Some(e),
         }
     }
@@ -87,6 +92,12 @@ impl From<SimError> for HideError {
     }
 }
 
+impl From<FleetError> for HideError {
+    fn from(e: FleetError) -> Self {
+        HideError::Fleet(e)
+    }
+}
+
 impl From<std::io::Error> for HideError {
     fn from(e: std::io::Error) -> Self {
         HideError::Io(e)
@@ -106,6 +117,7 @@ mod tests {
                 label: "client-side".into(),
             }
             .into(),
+            FleetError::Core(CoreError::NoFreeAid).into(),
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
         ];
         for e in cases {

@@ -9,6 +9,8 @@
 //! * [`energy`] — the Section-IV smartphone energy model
 //! * [`traces`] — synthetic broadcast-traffic traces for the five scenarios
 //! * [`sim`] — the trace-driven simulator and experiment runners
+//! * [`fleet`] — the discrete-event multi-BSS fleet simulator with
+//!   client lifecycle churn
 //! * [`analysis`] — the Section-V capacity and delay overhead analysis
 //! * [`obs`] — deterministic counters, histograms and span timers
 //!
@@ -38,6 +40,7 @@
 pub use hide_analysis as analysis;
 pub use hide_core as protocol;
 pub use hide_energy as energy;
+pub use hide_fleet as fleet;
 pub use hide_obs as obs;
 pub use hide_sim as sim;
 pub use hide_traces as traces;
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use hide_core::client::{HideClient, LegacyClient, OpenPortRegistry, WakeDecision};
     pub use hide_energy::battery::Battery;
     pub use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
+    pub use hide_fleet::{ChurnConfig, FleetConfig, FleetError, FleetResult};
     pub use hide_obs::{Counter, Distribution, Histogram, MetricsSink, NoopSink, Recorder, Stage};
     pub use hide_sim::network::{fleet, NetworkSimulation};
     pub use hide_sim::protocol_sim::ProtocolSimulation;
