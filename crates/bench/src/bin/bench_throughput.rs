@@ -19,11 +19,18 @@
 //!    (`run`, which monomorphizes over `NoopSink`) versus the same
 //!    simulations streaming into a live `hide_obs::Recorder`. The noop
 //!    path must not regress: its sink calls compile to nothing.
+//! 5. **Trace overhead** — the fleet kernel with the default
+//!    `NoopTrace` (event emission monomorphizes away) versus a live
+//!    `FlightRecorder` per shard. Written separately to
+//!    `BENCH_trace.json`; under `--smoke` the run *fails* if the
+//!    untraced path is measurably slower than the recording path,
+//!    which would mean the "zero-cost" sink is paying recording costs.
 //!
 //! By default traces are 600 s so the run finishes quickly; `--full`
 //! uses the canonical 2700 s traces of the reproduction harness;
 //! `--smoke` shrinks everything for a seconds-long CI sanity run.
 
+use hide::fleet::{ChurnConfig, FleetConfig};
 use hide_bench as harness;
 use hide_core::ap::{BTreePortTable, ClientPortTable};
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
@@ -165,6 +172,67 @@ fn main() {
          recorder {recorder_secs:.3} s ({:+.1}%)",
         (recorder_secs / noop_secs - 1.0) * 100.0
     );
+
+    // --- 5. trace overhead: NoopTrace fleet kernel vs FlightRecorder ---
+    let fleet_cfg = FleetConfig {
+        bss_count: if smoke { 50 } else { 200 },
+        clients_per_bss: 8,
+        adoption: 0.75,
+        duration_secs: if smoke { 10.0 } else { 30.0 },
+        seed: harness::TRACE_SEED,
+        churn: ChurnConfig {
+            refresh_loss: 0.1,
+            port_churn: 0.2,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let fleet_reps = if smoke { 3 } else { 10 };
+    let mut fleet_events = 0;
+    let t0 = Instant::now();
+    for _ in 0..fleet_reps {
+        let r = fleet_cfg.try_run_with_jobs(1).expect("valid fleet config");
+        fleet_events = r.report.events;
+        std::hint::black_box(r.report.wakeups);
+    }
+    let noop_trace_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for _ in 0..fleet_reps {
+        let (r, flight) = fleet_cfg
+            .try_run_traced_with_jobs(1, hide_obs::DEFAULT_TRACE_CAPACITY)
+            .expect("valid fleet config");
+        std::hint::black_box((r.report.wakeups, flight.len()));
+    }
+    let flight_secs = t0.elapsed().as_secs_f64();
+    let trace_relative = flight_secs / noop_trace_secs;
+    eprintln!(
+        "trace overhead over {fleet_reps} fleet runs ({fleet_events} events each): \
+         noop {noop_trace_secs:.3} s, flight recorder {flight_secs:.3} s ({:+.1}%)",
+        (trace_relative - 1.0) * 100.0
+    );
+    let trace_json = format!(
+        "{{\n  \"fleet\": {{\"bss\": {}, \"clients\": {}, \"duration_secs\": {}, \
+         \"reps\": {fleet_reps}, \"events\": {fleet_events}}},\n  \
+         \"noop_secs\": {noop_trace_secs:.3},\n  \"flight_secs\": {flight_secs:.3},\n  \
+         \"relative\": {trace_relative:.4},\n  \
+         \"noop_events_per_sec\": {:.0},\n  \"flight_events_per_sec\": {:.0}\n}}\n",
+        fleet_cfg.bss_count,
+        fleet_cfg.clients_per_bss,
+        fleet_cfg.duration_secs,
+        (fleet_events * fleet_reps) as f64 / noop_trace_secs.max(1e-12),
+        (fleet_events * fleet_reps) as f64 / flight_secs.max(1e-12),
+    );
+    std::fs::write("BENCH_trace.json", &trace_json).expect("write trace benchmark json");
+    // The zero-cost claim, enforced: the untraced kernel must not run
+    // slower than the one doing live ring-buffer recording. Guard on a
+    // minimum runtime so a milliseconds-long smoke run can't flake.
+    if smoke && flight_secs >= 0.05 && noop_trace_secs > flight_secs * 1.25 {
+        eprintln!(
+            "bench_throughput: SMOKE FAIL: NoopTrace path ({noop_trace_secs:.3} s) \
+             is slower than the FlightRecorder path ({flight_secs:.3} s)"
+        );
+        std::process::exit(1);
+    }
 
     let json = format!(
         "{{\n  \"trace_duration_secs\": {duration},\n  \"cores\": {cores},\n  \

@@ -6,8 +6,16 @@
 //!           [--seed N] [--jobs N] [--scenario NAME]
 //!           [--refresh-interval SECS] [--refresh-loss P]
 //!           [--port-churn P] [--stale-timeout SECS]
-//!           [--metrics PATH] [--summary PATH] [--smoke]
+//!           [--metrics PATH] [--summary PATH] [--trace PATH] [--smoke]
 //! ```
+//!
+//! `--trace PATH` turns the flight recorder on: every shard kernel's
+//! structured events (DTIM boundaries, lost/applied refreshes, port
+//! churn, expiries, per-client wake decisions with causes) are merged
+//! in BSS order and exported — as a JSONL event log when `PATH` ends
+//! in `.jsonl`, as Chrome-trace JSON (open in Perfetto or
+//! `chrome://tracing`) otherwise. Both are simulation-time only, so the
+//! file is byte-identical at any `--jobs` count.
 //!
 //! `--smoke` shrinks the fleet for a seconds-long CI sanity run and
 //! asserts the two tier-1 invariants inline: a loss-free control run
@@ -15,6 +23,7 @@
 //! produces identical metrics and summary JSON.
 
 use hide::fleet::{ChurnConfig, FleetConfig, FleetResult};
+use hide::obs::{export, Counter, DEFAULT_TRACE_CAPACITY};
 use hide_traces::scenario::Scenario;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -110,12 +119,45 @@ fn main() -> ExitCode {
         cfg.seed,
         jobs,
     );
+    let trace_path = parse_flag::<String>(&args, "--trace");
     let t0 = Instant::now();
-    let result = match cfg.try_run_with_jobs(jobs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fleet_sim: {e}");
+    let result = if let Some(path) = &trace_path {
+        let (result, flight) = match cfg.try_run_traced_with_jobs(jobs, DEFAULT_TRACE_CAPACITY) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("fleet_sim: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // JSONL for machine consumption, Chrome-trace JSON otherwise.
+        // Both contain only simulation-time data here (no wall-clock
+        // stage spans), so the bytes are independent of --jobs.
+        let rendered = if path.ends_with(".jsonl") {
+            export::to_jsonl(&flight)
+        } else {
+            export::to_chrome_trace(&flight, None)
+        };
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("fleet_sim: writing {path}: {e}");
             return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace written to {path} ({} events{})",
+            flight.len(),
+            if flight.dropped() > 0 {
+                format!(", {} dropped by the ring bound", flight.dropped())
+            } else {
+                String::new()
+            }
+        );
+        result
+    } else {
+        match cfg.try_run_with_jobs(jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet_sim: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let wall = t0.elapsed().as_secs_f64();
@@ -166,6 +208,18 @@ fn report(result: &FleetResult, wall: f64) {
     println!(
         "wakeups {} (hide {})  missed rate {:.4}  spurious rate {:.4}",
         r.wakeups, r.hide_wakeups, result.missed_wakeup_rate, result.spurious_wakeup_rate,
+    );
+    let rec = &result.recorder;
+    println!(
+        "provenance: proper {}  missed[lost {} expired {} churn {} unknown {}]  \
+         spurious[churn {} unknown {}]",
+        rec.counter(Counter::FleetWakeupsProper),
+        rec.counter(Counter::FleetMissedRefreshLost),
+        rec.counter(Counter::FleetMissedEntryExpired),
+        rec.counter(Counter::FleetMissedPortChurn),
+        rec.counter(Counter::FleetMissedUnknown),
+        rec.counter(Counter::FleetSpuriousPortChurn),
+        rec.counter(Counter::FleetSpuriousUnknown),
     );
     println!(
         "wall {wall:.2} s  ({:.0} events/sec)",

@@ -1,0 +1,508 @@
+//! `hide-metrics-diff`: structural regression gate for `hide-metrics/1`
+//! artifacts.
+//!
+//! ```text
+//! hide-metrics-diff <golden.json> <candidate.json>
+//!                   [--tol KEY=REL]... [--ignore KEY]... [--tol-default REL]
+//! ```
+//!
+//! Both files must carry the `hide-metrics/1` schema identifier. Every
+//! numeric leaf is flattened to a dotted key (`counters.fleet_events`,
+//! `distributions.frames_per_dtim.sum`, `stages.fleet.calls`; histogram
+//! buckets become `...buckets.<bucket>`), and golden and candidate are
+//! compared key by key:
+//!
+//! * a key present on one side only is a structural regression;
+//! * values must match exactly unless a tolerance applies — `--tol
+//!   KEY=REL` allows a relative drift of `REL` (|a−b| / max(a, 1)) for
+//!   `KEY` and everything under `KEY.`, `--tol-default REL` for all
+//!   keys;
+//! * `--ignore KEY` drops `KEY` and everything under it entirely.
+//!
+//! Exit status: 0 when the artifacts agree within tolerance, 1 on any
+//! regression, 2 on usage or parse errors. CI runs this against the
+//! checked-in goldens under `golden/` (see the `metrics-gate` job).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("hide-metrics-diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut files = Vec::new();
+    let mut rules = Rules::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" => {
+                let v = args.get(i + 1).ok_or("--tol expects KEY=REL")?;
+                let (key, rel) = v.split_once('=').ok_or("--tol expects KEY=REL")?;
+                let rel: f64 = rel.parse().map_err(|_| format!("bad tolerance {rel:?}"))?;
+                rules.tolerances.push((key.to_string(), rel));
+                i += 2;
+            }
+            "--tol-default" => {
+                let v = args.get(i + 1).ok_or("--tol-default expects REL")?;
+                rules.default_tol = v.parse().map_err(|_| format!("bad tolerance {v:?}"))?;
+                i += 2;
+            }
+            "--ignore" => {
+                let v = args.get(i + 1).ok_or("--ignore expects KEY")?;
+                rules.ignored.push(v.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let [golden_path, candidate_path] = files
+        .try_into()
+        .map_err(|_| "usage: hide-metrics-diff <golden> <candidate> [options]".to_string())?;
+
+    let golden = load(&golden_path)?;
+    let candidate = load(&candidate_path)?;
+    let report = diff(&golden, &candidate, &rules);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    println!(
+        "{} keys compared, {} ignored, {} regression{}",
+        report.compared,
+        report.ignored,
+        report.regressions,
+        if report.regressions == 1 { "" } else { "s" }
+    );
+    Ok(report.regressions == 0)
+}
+
+fn load(path: &str) -> Result<Vec<(String, u64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = value
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or(format!("{path}: missing \"schema\" field"))?;
+    if schema != "hide-metrics/1" {
+        return Err(format!("{path}: unsupported schema {schema:?}"));
+    }
+    let mut flat = Vec::new();
+    flatten("", &value, &mut flat);
+    Ok(flat)
+}
+
+/// Tolerance and ignore rules. A rule for `KEY` applies to the key
+/// itself and to every key under `KEY.`; the longest matching
+/// tolerance rule wins over the default.
+#[derive(Default)]
+struct Rules {
+    tolerances: Vec<(String, f64)>,
+    ignored: Vec<String>,
+    default_tol: f64,
+}
+
+impl Rules {
+    fn covers(rule: &str, key: &str) -> bool {
+        key == rule || (key.starts_with(rule) && key.as_bytes()[rule.len()] == b'.')
+    }
+
+    fn is_ignored(&self, key: &str) -> bool {
+        self.ignored.iter().any(|r| Rules::covers(r, key))
+    }
+
+    fn tolerance(&self, key: &str) -> f64 {
+        self.tolerances
+            .iter()
+            .filter(|(r, _)| Rules::covers(r, key))
+            .max_by_key(|(r, _)| r.len())
+            .map_or(self.default_tol, |&(_, rel)| rel)
+    }
+}
+
+struct DiffReport {
+    lines: Vec<String>,
+    compared: usize,
+    ignored: usize,
+    regressions: usize,
+}
+
+/// Structural comparison of two flattened artifacts. Both inputs are
+/// sorted-merged so a key present on one side only is detected in one
+/// pass.
+fn diff(golden: &[(String, u64)], candidate: &[(String, u64)], rules: &Rules) -> DiffReport {
+    let mut golden: Vec<_> = golden.to_vec();
+    let mut candidate: Vec<_> = candidate.to_vec();
+    golden.sort();
+    candidate.sort();
+
+    let mut report = DiffReport {
+        lines: Vec::new(),
+        compared: 0,
+        ignored: 0,
+        regressions: 0,
+    };
+    let (mut gi, mut ci) = (0, 0);
+    while gi < golden.len() || ci < candidate.len() {
+        let order = match (golden.get(gi), candidate.get(ci)) {
+            (Some((g, _)), Some((c, _))) => g.cmp(c),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => unreachable!(),
+        };
+        match order {
+            std::cmp::Ordering::Less => {
+                let (key, value) = &golden[gi];
+                gi += 1;
+                if rules.is_ignored(key) {
+                    report.ignored += 1;
+                } else {
+                    report.regressions += 1;
+                    report
+                        .lines
+                        .push(format!("{key}: missing from candidate (golden {value})"));
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let (key, value) = &candidate[ci];
+                ci += 1;
+                if rules.is_ignored(key) {
+                    report.ignored += 1;
+                } else {
+                    report.regressions += 1;
+                    report
+                        .lines
+                        .push(format!("{key}: not in golden (candidate {value})"));
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                let (key, g) = &golden[gi];
+                let (_, c) = &candidate[ci];
+                gi += 1;
+                ci += 1;
+                if rules.is_ignored(key) {
+                    report.ignored += 1;
+                    continue;
+                }
+                report.compared += 1;
+                if g == c {
+                    continue;
+                }
+                let rel = g.abs_diff(*c) as f64 / (*g.max(&1)) as f64;
+                let tol = rules.tolerance(key);
+                if rel > tol {
+                    report.regressions += 1;
+                    report.lines.push(format!(
+                        "{key}: golden {g}, candidate {c} \
+                         (relative drift {rel:.6} > tolerance {tol})"
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Flattens numeric leaves to dotted keys. Arrays whose elements are
+/// all `[bucket, count]` integer pairs (histogram buckets) become
+/// `prefix.<bucket> = count` so bucket insertions don't shift sibling
+/// keys; any other array indexes positionally.
+fn flatten(prefix: &str, value: &Json, out: &mut Vec<(String, u64)>) {
+    let child = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match value {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Str(_) => {}
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                flatten(&child(key), v, out);
+            }
+        }
+        Json::Arr(items) => {
+            let pairs: Option<Vec<(u64, u64)>> = items
+                .iter()
+                .map(|item| match item {
+                    Json::Arr(p) => match p.as_slice() {
+                        [Json::Num(b), Json::Num(n)] => Some((*b, *n)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            match pairs {
+                Some(pairs) => {
+                    for (bucket, count) in pairs {
+                        out.push((child(&bucket.to_string()), count));
+                    }
+                }
+                None => {
+                    for (i, item) in items.iter().enumerate() {
+                        flatten(&child(&i.to_string()), item, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `hide-metrics/1` value space: objects, arrays, strings, and
+/// non-negative integers. No dependency needed for a grammar this
+/// small.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+mod json {
+    use super::Json;
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while bytes
+            .get(*pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&want) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", want as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_obj(bytes, pos),
+            Some(b'[') => parse_arr(bytes, pos),
+            Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+            Some(b'0'..=b'9') => parse_num(bytes, pos),
+            Some(&b) => Err(format!("unexpected {:?} at byte {}", b as char, *pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            fields.push((key, parse_value(bytes, pos)?));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported (byte {})", *pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            *pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if bytes
+            .get(*pos)
+            .is_some_and(|b| matches!(b, b'.' | b'e' | b'E'))
+        {
+            return Err(format!(
+                "non-integer number at byte {start} (hide-metrics/1 is integer-only)"
+            ));
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or(format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_and_flattens_a_real_artifact() {
+        let rec = hide_obs::Recorder::new();
+        let value = json::parse(&rec.to_json()).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(Json::as_str),
+            Some("hide-metrics/1")
+        );
+        let mut flat = Vec::new();
+        flatten("", &value, &mut flat);
+        assert!(flat.iter().any(|(k, _)| k == "counters.fleet_events"));
+        assert!(flat
+            .iter()
+            .any(|(k, _)| k == "counters.fleet_missed_refresh_lost"));
+        assert!(flat.iter().any(|(k, _)| k == "stages.fleet_merge.calls"));
+        assert!(flat
+            .iter()
+            .any(|(k, _)| k == "distributions.frames_per_dtim.sum"));
+    }
+
+    #[test]
+    fn identical_artifacts_pass_and_drift_fails() {
+        let a = artifact(&[("counters.x", 10), ("counters.y", 0)]);
+        let rules = Rules::default();
+        assert_eq!(diff(&a, &a, &rules).regressions, 0);
+
+        let b = artifact(&[("counters.x", 11), ("counters.y", 0)]);
+        let report = diff(&a, &b, &rules);
+        assert_eq!(report.regressions, 1);
+        assert!(report.lines[0].contains("counters.x"));
+    }
+
+    #[test]
+    fn tolerance_rules_apply_to_subtrees_and_longest_wins() {
+        let a = artifact(&[("counters.x", 100), ("counters.x.sub", 100)]);
+        let b = artifact(&[("counters.x", 105), ("counters.x.sub", 140)]);
+        let rules = Rules {
+            tolerances: vec![("counters".into(), 0.5), ("counters.x.sub".into(), 0.01)],
+            ..Rules::default()
+        };
+        // counters.x drifts 5% under the 50% subtree rule; the longer
+        // counters.x.sub rule clamps that leaf to 1% and it fails.
+        let report = diff(&a, &b, &rules);
+        assert_eq!(report.regressions, 1);
+        assert!(report.lines[0].contains("counters.x.sub"));
+        // A prefix rule must not leak onto lexical near-matches.
+        assert!(!Rules::covers("counters.x", "counters.xy"));
+    }
+
+    #[test]
+    fn structural_differences_are_regressions_unless_ignored() {
+        let a = artifact(&[("counters.x", 1), ("stages.old.calls", 2)]);
+        let b = artifact(&[("counters.x", 1), ("stages.new.calls", 2)]);
+        assert_eq!(diff(&a, &b, &Rules::default()).regressions, 2);
+        let rules = Rules {
+            ignored: vec!["stages".into()],
+            ..Rules::default()
+        };
+        let report = diff(&a, &b, &rules);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.ignored, 2);
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn buckets_flatten_by_bucket_value_not_position() {
+        let value = json::parse(r#"{"buckets": [[3, 7], [9, 1]]}"#).unwrap();
+        let mut flat = Vec::new();
+        flatten("", &value, &mut flat);
+        assert_eq!(flat, artifact(&[("buckets.3", 7), ("buckets.9", 1)]));
+    }
+
+    #[test]
+    fn rejects_non_metrics_json() {
+        assert!(json::parse("{\"a\": 1.5}").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{\"a\": 1} x").is_err());
+    }
+}

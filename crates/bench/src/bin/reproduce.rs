@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext]
-//!           [--csv <dir>] [--jobs N] [--metrics <file.json>]
+//!           [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
@@ -21,11 +21,18 @@
 //! `hide-metrics/1` JSON — see `docs/metrics-schema.md` — and prints a
 //! summary table. The JSON is byte-identical for every `--jobs` count;
 //! wall-clock stage timings appear only in the printed summary.
+//!
+//! `--trace <file>` flight-records the reference protocol run (the
+//! real AP and client over the coffee-shop trace) and exports the
+//! event log: a JSONL stream when the path ends in `.jsonl`, otherwise
+//! Chrome-trace JSON with the run's wall-clock stage spans on a second
+//! track (open in Perfetto or `chrome://tracing`).
 
 use hide::HideError;
 use hide_bench as harness;
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
-use hide_obs::{Recorder, Stage};
+use hide_obs::{export, FlightRecorder, Recorder, Stage};
+use hide_sim::protocol_sim::ProtocolSimulation;
 use std::time::Instant;
 
 fn main() {
@@ -59,6 +66,7 @@ impl<E: Into<HideError>> From<E> for Exit {
 fn run(args: &[String]) -> Result<(), Exit> {
     let csv_dir = flag_value(args, "--csv")?.map(std::path::PathBuf::from);
     let metrics_path = flag_value(args, "--metrics")?.map(std::path::PathBuf::from);
+    let trace_path = flag_value(args, "--trace")?.map(std::path::PathBuf::from);
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).map(|v| v.parse::<usize>()) {
             Some(Ok(jobs)) => hide_par::set_default_jobs(jobs),
@@ -74,7 +82,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let flag_values: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--csv" || *a == "--jobs" || *a == "--metrics")
+        .filter(|(_, a)| *a == "--csv" || *a == "--jobs" || *a == "--metrics" || *a == "--trace")
         .map(|(i, _)| i + 1)
         .collect();
     let arg = args
@@ -87,8 +95,10 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let all = what == "all";
     let mut recorder = Recorder::new();
 
-    let needs_traces =
-        all || csv_dir.is_some() || matches!(what, "fig6" | "fig7" | "fig8" | "fig9" | "ext");
+    let needs_traces = all
+        || csv_dir.is_some()
+        || trace_path.is_some()
+        || matches!(what, "fig6" | "fig7" | "fig8" | "fig9" | "ext");
     let traces = if needs_traces {
         eprintln!(
             "generating 5 canonical traces ({} s each, seed {})...",
@@ -196,8 +206,28 @@ fn run(args: &[String]) -> Result<(), Exit> {
         return Err(Exit::Usage(format!(
             "unknown experiment '{what}'; expected one of: all table1 table2 \
              fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext \
-             [--csv <dir>] [--jobs N] [--metrics <file.json>]"
+             [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]"
         )));
+    }
+
+    if let Some(path) = &trace_path {
+        // Flight-record the reference protocol run (the same setup the
+        // `ext` cross-validation uses). Counters go to a no-op sink so
+        // the --metrics artifact is identical with or without --trace.
+        let mut flight = FlightRecorder::new();
+        ProtocolSimulation::new(&traces[0], NEXUS_ONE, 0.10)
+            .run_traced(&mut hide_obs::NoopSink, &mut flight)?;
+        let rendered = if path.extension().is_some_and(|e| e == "jsonl") {
+            export::to_jsonl(&flight)
+        } else {
+            export::to_chrome_trace(&flight, Some(&recorder))
+        };
+        std::fs::write(path, rendered).map_err(HideError::from)?;
+        println!(
+            "\ntrace written to {} ({} events)",
+            path.display(),
+            flight.len()
+        );
     }
 
     if let Some(path) = &metrics_path {

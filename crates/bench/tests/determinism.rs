@@ -133,7 +133,7 @@ fn fleet_runs_are_identical_across_job_counts() {
     assert!(seq_json.contains("\"fleet_bss_runs\""));
     assert!(serial.report.events > 0 && serial.report.refreshes_lost > 0);
 
-    let mut lossless = cfg;
+    let mut lossless = cfg.clone();
     lossless.churn.refresh_loss = 0.0;
     let control = lossless.try_run_with_jobs(8).expect("valid fleet config");
     assert_eq!(
@@ -141,4 +141,39 @@ fn fleet_runs_are_identical_across_job_counts() {
         "missed wakeups with zero refresh loss"
     );
     assert!(control.report.useful_opportunities > 0);
+
+    // The flight recorder inherits the guarantee: per-shard event logs
+    // merge in input order, so the exported trace — JSONL and Chrome
+    // JSON alike — is byte-identical at any job count, on the same
+    // 1000-BSS churning scenario.
+    let (traced, serial_flight) = cfg
+        .try_run_traced_with_jobs(1, hide_obs::DEFAULT_TRACE_CAPACITY)
+        .expect("valid fleet config");
+    let (_, parallel_flight) = cfg
+        .try_run_traced_with_jobs(8, hide_obs::DEFAULT_TRACE_CAPACITY)
+        .expect("valid fleet config");
+    let serial_jsonl = hide_obs::export::to_jsonl(&serial_flight);
+    assert_eq!(
+        serial_jsonl,
+        hide_obs::export::to_jsonl(&parallel_flight),
+        "fleet trace JSONL differs between job counts"
+    );
+    assert_eq!(
+        hide_obs::export::to_chrome_trace(&serial_flight, None),
+        hide_obs::export::to_chrome_trace(&parallel_flight, None),
+        "fleet Chrome trace differs between job counts"
+    );
+    assert_eq!(serial_flight, parallel_flight);
+    assert!(!serial_flight.is_empty(), "traced fleet run logged nothing");
+
+    // Tracing is an observer: the metrics artifact is unchanged, and
+    // with churn active every missed and spurious wakeup still carries
+    // a concrete cause — nothing in the log is `unknown`.
+    assert_eq!(traced.metrics_json(), seq_json);
+    for line in serial_jsonl.lines() {
+        assert!(
+            !line.contains("\"cause\":\"unknown\""),
+            "unattributed wakeup in trace: {line}"
+        );
+    }
 }

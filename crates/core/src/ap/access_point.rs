@@ -2,7 +2,7 @@
 
 use crate::ap::{calculate_broadcast_flags_observed, BroadcastBuffer, ClientPortTable};
 use crate::error::CoreError;
-use hide_obs::{MetricsSink, NoopSink};
+use hide_obs::{MetricsSink, NoopSink, NoopTrace, TraceEventKind, TraceSink};
 use hide_wifi::assoc::{self, AssociationRequest, AssociationResponse, Disassociation};
 use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Ack, Beacon, BroadcastDataFrame, UdpPortMessage};
@@ -308,11 +308,36 @@ impl AccessPoint {
     /// ([`Btim::observe`]). The uninstrumented entry point delegates
     /// here with a [`NoopSink`], so both compile to the same hot path.
     pub fn dtim_beacon_observed<S: MetricsSink>(&mut self, index: u64, sink: &mut S) -> Beacon {
+        self.dtim_beacon_traced(index, sink, &mut NoopTrace)
+    }
+
+    /// [`AccessPoint::dtim_beacon_observed`] with event tracing: marks
+    /// the DTIM boundary (buffered burst size, port-table occupancy)
+    /// and the emitted BTIM's on-air footprint at the beacon's
+    /// simulation time. Both plainer entry points delegate here with
+    /// no-op sinks, so all three compile to the same hot path.
+    pub fn dtim_beacon_traced<S: MetricsSink, T: TraceSink>(
+        &mut self,
+        index: u64,
+        sink: &mut S,
+        trace: &mut T,
+    ) -> Beacon {
+        let now = index as f64 * hide_wifi::timing::TIME_UNIT_SECS * 100.0;
+        if trace.is_enabled() {
+            trace.emit(
+                now,
+                TraceEventKind::DtimBoundary {
+                    buffered: self.buffer.len() as u32,
+                    table_entries: self.port_table.entry_count() as u32,
+                },
+            );
+        }
         let mut flags = PartialVirtualBitmap::new();
         calculate_broadcast_flags_observed(&self.buffer, &self.port_table, &mut flags, sink);
         let beacon = self.build_beacon(index, 0, flags);
         if let Some(btim) = beacon.btim() {
             btim.observe(sink);
+            btim.observe_traced(now, trace);
         }
         beacon
     }

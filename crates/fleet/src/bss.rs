@@ -19,7 +19,10 @@ use crate::fleet::FleetConfig;
 use crate::kernel::{derive_seed, EventQueue};
 use hide_core::ap::{AccessPoint, ClientPortTable};
 use hide_core::error::CoreError;
-use hide_obs::{Counter, Distribution, MetricsSink, Recorder, Stage};
+use hide_obs::{
+    Counter, Distribution, MetricsSink, NoopTrace, Recorder, Stage, TraceEventKind, TraceSink,
+    WakeCause, WakeClass,
+};
 use hide_traces::record::TraceFrame;
 use hide_traces::stream::FrameStream;
 use hide_wifi::assoc::{AssociationRequest, Disassociation};
@@ -128,6 +131,15 @@ struct Client {
     /// without searching the heap.
     epoch: u64,
     suspended: bool,
+    /// The most recent event that de-synchronized the AP's view of this
+    /// client from ground truth (lost refresh, expiry, churn); cleared
+    /// whenever a refresh is applied or the client (re)joins. This is
+    /// the online form of the provenance analyzer's backward walk: at a
+    /// missed wakeup the nearest de-sync event *is* the cause.
+    last_desync: Option<WakeCause>,
+    /// Whether the client has re-sampled its ports since the AP last
+    /// heard from it — the only way a *spurious* wake can arise.
+    churned_since_sync: bool,
     rng: StdRng,
 }
 
@@ -151,6 +163,26 @@ fn sample_ports(rng: &mut StdRng, universe: &[u16], k: usize) -> Vec<u16> {
     chosen
 }
 
+/// Metrics counter for a missed wakeup with the given cause.
+fn missed_cause_counter(cause: WakeCause) -> Counter {
+    match cause {
+        WakeCause::RefreshLost => Counter::FleetMissedRefreshLost,
+        WakeCause::EntryExpired => Counter::FleetMissedEntryExpired,
+        WakeCause::PortChurn => Counter::FleetMissedPortChurn,
+        WakeCause::Proper | WakeCause::Unknown => Counter::FleetMissedUnknown,
+    }
+}
+
+/// Metrics counter for a spurious wakeup with the given cause. A
+/// spurious wake needs the AP to believe in ports the client left, so
+/// port churn is the only attributable cause.
+fn spurious_cause_counter(cause: WakeCause) -> Counter {
+    match cause {
+        WakeCause::PortChurn => Counter::FleetSpuriousPortChurn,
+        _ => Counter::FleetSpuriousUnknown,
+    }
+}
+
 /// The single-BSS discrete-event engine.
 struct Engine<'a> {
     cfg: &'a FleetConfig,
@@ -161,7 +193,11 @@ struct Engine<'a> {
     clients: Vec<Client>,
     queue: EventQueue<Event>,
     stream: FrameStream,
-    buffered: Vec<TraceFrame>,
+    /// Buffered broadcast burst, each frame tagged with a per-shard id
+    /// (1-based; 0 means "no frame") so wake decisions can cite the
+    /// frame that caused them.
+    buffered: Vec<(u64, TraceFrame)>,
+    next_frame_id: u64,
     port_universe: Vec<u16>,
     report: BssReport,
     /// `E_rm + E_sp` plus the wakelock tail, charged per wakeup.
@@ -205,6 +241,8 @@ impl<'a> Engine<'a> {
                     aid: None,
                     epoch: 0,
                     suspended: false,
+                    last_desync: None,
+                    churned_since_sync: false,
                     rng,
                 }
             })
@@ -233,6 +271,7 @@ impl<'a> Engine<'a> {
             queue,
             stream,
             buffered: Vec::new(),
+            next_frame_id: 1,
             port_universe,
             report: BssReport::default(),
             wake_cost_j,
@@ -248,11 +287,22 @@ impl<'a> Engine<'a> {
     /// possibly re-sampling ports (port churn) and possibly losing the
     /// message on the way to the AP. Tx energy is charged either way —
     /// the client cannot know the message was lost.
-    fn refresh(&mut self, i: usize, aid: Aid, now: f64) -> Result<(), FleetError> {
+    fn refresh<T: TraceSink>(
+        &mut self,
+        i: usize,
+        aid: Aid,
+        now: f64,
+        trace: &mut T,
+    ) -> Result<(), FleetError> {
         let churn = &self.cfg.churn;
         let c = &mut self.clients[i];
         if churn.port_churn > 0.0 && c.rng.gen_bool(churn.port_churn) {
             c.ports = sample_ports(&mut c.rng, &self.port_universe, churn.ports_per_client);
+            c.churned_since_sync = true;
+            c.last_desync = Some(WakeCause::PortChurn);
+            if trace.is_enabled() {
+                trace.emit(now, TraceEventKind::PortChurn { aid: aid.value() });
+            }
         }
         self.truth.update_client(aid, &c.ports);
         let msg = UdpPortMessage::new(c.mac, self.bssid, c.ports.iter().copied())
@@ -264,13 +314,28 @@ impl<'a> Engine<'a> {
         let lost = churn.refresh_loss > 0.0 && c.rng.gen_bool(churn.refresh_loss);
         if lost {
             self.report.refreshes_lost += 1;
+            c.last_desync = Some(WakeCause::RefreshLost);
+            if trace.is_enabled() {
+                trace.emit(now, TraceEventKind::RefreshLost { aid: aid.value() });
+            }
         } else {
             self.ap.handle_udp_port_message_at(&msg, now)?;
+            c.last_desync = None;
+            c.churned_since_sync = false;
+            if trace.is_enabled() {
+                trace.emit(now, TraceEventKind::RefreshApplied { aid: aid.value() });
+            }
         }
         Ok(())
     }
 
-    fn handle_join(&mut self, i: usize, epoch: u64, now: f64) -> Result<(), FleetError> {
+    fn handle_join<T: TraceSink>(
+        &mut self,
+        i: usize,
+        epoch: u64,
+        now: f64,
+        trace: &mut T,
+    ) -> Result<(), FleetError> {
         let churn = &self.cfg.churn;
         let c = &mut self.clients[i];
         if epoch != c.epoch {
@@ -290,8 +355,21 @@ impl<'a> Engine<'a> {
         };
         c.aid = Some(aid);
         c.suspended = false;
+        // A (re)join is a provenance sync point: the AP starts from a
+        // clean slate for this AID.
+        c.last_desync = None;
+        c.churned_since_sync = false;
         self.report.associations += 1;
         self.truth.update_client(aid, &c.ports);
+        if trace.is_enabled() {
+            trace.emit(
+                now,
+                TraceEventKind::Join {
+                    aid: aid.value(),
+                    hide: c.hide,
+                },
+            );
+        }
 
         let active_dwell = exp(&mut c.rng, churn.mean_active_secs);
         let present_dwell = exp(&mut c.rng, churn.mean_present_secs);
@@ -299,7 +377,7 @@ impl<'a> Engine<'a> {
         if hide {
             // First refresh rides along with association, so a loss-free
             // run never has an associated-but-unknown HIDE client.
-            self.refresh(i, aid, now)?;
+            self.refresh(i, aid, now, trace)?;
             self.queue.schedule(
                 now + churn.refresh_interval_secs,
                 Event::Refresh { client: i, epoch },
@@ -312,7 +390,13 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn handle_leave(&mut self, i: usize, epoch: u64, now: f64) -> Result<(), FleetError> {
+    fn handle_leave<T: TraceSink>(
+        &mut self,
+        i: usize,
+        epoch: u64,
+        now: f64,
+        trace: &mut T,
+    ) -> Result<(), FleetError> {
         let c = &mut self.clients[i];
         if epoch != c.epoch {
             return Ok(());
@@ -320,6 +404,9 @@ impl<'a> Engine<'a> {
         let Some(aid) = c.aid else {
             return Ok(());
         };
+        if trace.is_enabled() {
+            trace.emit(now, TraceEventKind::Leave { aid: aid.value() });
+        }
         self.truth.remove_client(aid);
         let notice = Disassociation::new(c.mac, self.bssid, Disassociation::REASON_LEAVING);
         self.ap.handle_disassociation(&notice)?;
@@ -333,7 +420,13 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn handle_refresh(&mut self, i: usize, epoch: u64, now: f64) -> Result<(), FleetError> {
+    fn handle_refresh<T: TraceSink>(
+        &mut self,
+        i: usize,
+        epoch: u64,
+        now: f64,
+        trace: &mut T,
+    ) -> Result<(), FleetError> {
         let c = &self.clients[i];
         if epoch != c.epoch {
             return Ok(());
@@ -341,7 +434,7 @@ impl<'a> Engine<'a> {
         let Some(aid) = c.aid else {
             return Ok(());
         };
-        self.refresh(i, aid, now)?;
+        self.refresh(i, aid, now, trace)?;
         self.queue.schedule(
             now + self.cfg.churn.refresh_interval_secs,
             Event::Refresh { client: i, epoch },
@@ -367,27 +460,57 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// First id among the buffered frames destined to `port` (0 when
+    /// none) — the frame a wake decision cites as its trigger.
+    fn first_frame_on(&self, port: u16) -> u64 {
+        self.buffered
+            .iter()
+            .find(|(_, f)| f.dst_port == port)
+            .map(|(id, _)| *id)
+            .unwrap_or(0)
+    }
+
     /// The DTIM boundary: age the AP table, then resolve the buffered
-    /// burst against every associated client.
-    fn handle_dtim(&mut self, now: f64, rec: &mut Recorder) {
+    /// burst against every associated client, attributing every missed
+    /// and spurious wakeup to its causal event online (the nearest
+    /// de-sync recorded in the client state — equivalent to the
+    /// analyzer's backward walk over the trace).
+    fn handle_dtim<T: TraceSink>(&mut self, now: f64, rec: &mut Recorder, trace: &mut T) {
         let profile = &self.cfg.profile;
         let expired = self
             .ap
             .expire_stale_port_entries(now - self.cfg.churn.stale_timeout_secs);
         self.report.entries_expired += expired.entries_removed;
+        for &aid in &expired.clients {
+            if let Some(c) = self.clients.iter_mut().find(|c| c.aid == Some(aid)) {
+                c.last_desync = Some(WakeCause::EntryExpired);
+            }
+            if trace.is_enabled() {
+                trace.emit(now, TraceEventKind::EntryExpired { aid: aid.value() });
+            }
+        }
 
         rec.observe(Distribution::FleetFramesPerDtim, self.buffered.len() as u64);
         rec.observe(
             Distribution::FleetPortOccupancy,
             self.ap.port_table().entry_count() as u64,
         );
+        if trace.is_enabled() {
+            trace.emit(
+                now,
+                TraceEventKind::DtimBoundary {
+                    buffered: self.buffered.len() as u32,
+                    table_entries: self.ap.port_table().entry_count() as u32,
+                },
+            );
+        }
 
         let burst_rx_j: f64 = self
             .buffered
             .iter()
-            .map(|f| f.airtime() * profile.rx_power)
+            .map(|(_, f)| f.airtime() * profile.rx_power)
             .sum();
-        let mut ports: Vec<u16> = self.buffered.iter().map(|f| f.dst_port).collect();
+        let mut ports: Vec<u16> = self.buffered.iter().map(|(_, f)| f.dst_port).collect();
         ports.sort_unstable();
         ports.dedup();
 
@@ -413,25 +536,78 @@ impl<'a> Engine<'a> {
                 if !self.buffered.is_empty() {
                     self.report.wakeups += 1;
                     self.report.total_energy_j += self.wake_cost_j + burst_rx_j;
+                    if trace.is_enabled() {
+                        trace.emit(
+                            now,
+                            TraceEventKind::WakeDecision {
+                                aid: aid.value(),
+                                port: 0,
+                                frame_id: self.buffered.first().map(|(id, _)| *id).unwrap_or(0),
+                                class: WakeClass::Legacy,
+                                cause: WakeCause::Proper,
+                            },
+                        );
+                    }
                 }
                 continue;
             }
-            let flagged = ports
+            let flagged_port = ports
                 .iter()
-                .any(|&p| self.ap.port_table().client_listens_on(aid, p));
-            let useful = ports.iter().any(|&p| self.truth.client_listens_on(aid, p));
+                .copied()
+                .find(|&p| self.ap.port_table().client_listens_on(aid, p));
+            let useful_port = ports
+                .iter()
+                .copied()
+                .find(|&p| self.truth.client_listens_on(aid, p));
+            let useful = useful_port.is_some();
             if useful {
                 self.report.useful_opportunities += 1;
             }
-            if flagged {
+            if let Some(port) = flagged_port {
                 self.report.wakeups += 1;
                 self.report.hide_wakeups += 1;
                 self.report.total_energy_j += self.wake_cost_j + burst_rx_j;
-                if !useful {
+                let (class, cause) = if useful {
+                    rec.incr(Counter::FleetWakeupsProper);
+                    (WakeClass::Proper, WakeCause::Proper)
+                } else {
                     self.report.spurious_wakeups += 1;
+                    let cause = if c.churned_since_sync {
+                        WakeCause::PortChurn
+                    } else {
+                        WakeCause::Unknown
+                    };
+                    rec.incr(spurious_cause_counter(cause));
+                    (WakeClass::Spurious, cause)
+                };
+                if trace.is_enabled() {
+                    trace.emit(
+                        now,
+                        TraceEventKind::WakeDecision {
+                            aid: aid.value(),
+                            port,
+                            frame_id: self.first_frame_on(port),
+                            class,
+                            cause,
+                        },
+                    );
                 }
-            } else if useful {
+            } else if let Some(port) = useful_port {
                 self.report.missed_wakeups += 1;
+                let cause = c.last_desync.unwrap_or(WakeCause::Unknown);
+                rec.incr(missed_cause_counter(cause));
+                if trace.is_enabled() {
+                    trace.emit(
+                        now,
+                        TraceEventKind::WakeDecision {
+                            aid: aid.value(),
+                            port,
+                            frame_id: self.first_frame_on(port),
+                            class: WakeClass::Missed,
+                            cause,
+                        },
+                    );
+                }
             }
         }
         self.buffered.clear();
@@ -442,24 +618,32 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self, rec: &mut Recorder) -> Result<BssReport, FleetError> {
+    fn run<T: TraceSink>(
+        mut self,
+        rec: &mut Recorder,
+        trace: &mut T,
+    ) -> Result<BssReport, FleetError> {
         while let Some((now, event)) = self.queue.pop() {
             if now >= self.cfg.duration_secs {
                 break;
             }
             self.report.events += 1;
             match event {
-                Event::Dtim => self.handle_dtim(now, rec),
+                Event::Dtim => self.handle_dtim(now, rec, trace),
                 Event::Arrival(frame) => {
                     self.report.frames += 1;
-                    self.buffered.push(frame);
+                    let id = self.next_frame_id;
+                    self.next_frame_id += 1;
+                    self.buffered.push((id, frame));
                     if let Some(next) = self.stream.next() {
                         self.queue.schedule(next.time, Event::Arrival(next));
                     }
                 }
-                Event::Join { client, epoch } => self.handle_join(client, epoch, now)?,
-                Event::Leave { client, epoch } => self.handle_leave(client, epoch, now)?,
-                Event::Refresh { client, epoch } => self.handle_refresh(client, epoch, now)?,
+                Event::Join { client, epoch } => self.handle_join(client, epoch, now, trace)?,
+                Event::Leave { client, epoch } => self.handle_leave(client, epoch, now, trace)?,
+                Event::Refresh { client, epoch } => {
+                    self.handle_refresh(client, epoch, now, trace)?
+                }
                 Event::Suspend { client, epoch } => {
                     self.handle_suspend_resume(client, epoch, now, true)
                 }
@@ -480,9 +664,28 @@ pub(crate) fn run_bss(
     cfg: &FleetConfig,
     bss_index: usize,
 ) -> Result<(BssReport, Recorder), FleetError> {
+    run_bss_traced(cfg, bss_index, &mut NoopTrace)
+}
+
+/// [`run_bss`] with event tracing: the shard's kernel streams
+/// structured events into `trace` in simulation-time order. The metrics
+/// side is identical to the untraced run — the engine performs online
+/// provenance attribution either way — so `--trace` never changes the
+/// `hide-metrics/1` artifact.
+pub(crate) fn run_bss_traced<T: TraceSink>(
+    cfg: &FleetConfig,
+    bss_index: usize,
+    trace: &mut T,
+) -> Result<(BssReport, Recorder), FleetError> {
     let start = std::time::Instant::now();
     let mut rec = Recorder::new();
-    let report = Engine::new(cfg, bss_index).run(&mut rec)?;
+    let engine = Engine::new(cfg, bss_index);
+    let loop_start = std::time::Instant::now();
+    let report = engine.run(&mut rec, trace)?;
+    rec.add_span(
+        Stage::FleetEventLoop,
+        loop_start.elapsed().as_nanos() as u64,
+    );
 
     rec.add(Counter::FleetBssRuns, 1);
     rec.add(Counter::FleetEvents, report.events);

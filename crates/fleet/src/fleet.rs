@@ -8,12 +8,13 @@
 //! sums — and the JSON they serialize to — are byte-identical at any
 //! `--jobs` count.
 
-use crate::bss::{run_bss, BssReport};
+use crate::bss::{run_bss, run_bss_traced, BssReport};
 use crate::churn::ChurnConfig;
 use crate::error::FleetError;
 use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
-use hide_obs::Recorder;
+use hide_obs::{FlightRecorder, Recorder, Stage};
 use hide_traces::scenario::Scenario;
+use std::time::Instant;
 
 /// Full description of a fleet experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +101,7 @@ impl FleetConfig {
         let indices: Vec<usize> = (0..self.bss_count).collect();
         let shards = hide_par::par_map_jobs(jobs, &indices, |_, &i| run_bss(self, i));
 
+        let merge_start = Instant::now();
         let mut report = BssReport::default();
         let mut recorder = Recorder::new();
         for shard in shards {
@@ -107,7 +109,67 @@ impl FleetConfig {
             report.merge_from(&bss);
             recorder.merge_from(&rec);
         }
+        recorder.add_span(Stage::FleetMerge, merge_start.elapsed().as_nanos() as u64);
         Ok(FleetResult::assemble(self, report, recorder))
+    }
+
+    /// [`try_run_with_jobs`](Self::try_run_with_jobs) with the flight
+    /// recorder on: every shard records its kernel's structured events
+    /// into a private [`FlightRecorder`] (source lane = BSS index,
+    /// `capacity` events retained per shard), and the per-shard logs
+    /// are folded in input order with an ordered merge — so the
+    /// returned log, and anything exported from it, is byte-identical
+    /// at any `jobs` count. The [`FleetResult`] itself is identical to
+    /// the untraced run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error before any work starts, or the first
+    /// (lowest-index) shard's protocol failure.
+    pub fn try_run_traced_with_jobs(
+        &self,
+        jobs: usize,
+        capacity: usize,
+    ) -> Result<(FleetResult, FlightRecorder), FleetError> {
+        self.validate()?;
+        let indices: Vec<usize> = (0..self.bss_count).collect();
+        let shards = hide_par::par_map_jobs(jobs, &indices, |_, &i| {
+            let mut flight = FlightRecorder::with_capacity(capacity);
+            flight.set_source(i as u32);
+            run_bss_traced(self, i, &mut flight).map(|(bss, rec)| (bss, rec, flight))
+        });
+
+        let merge_start = Instant::now();
+        let mut report = BssReport::default();
+        let mut recorder = Recorder::new();
+        let mut logs = Vec::with_capacity(self.bss_count);
+        for shard in shards {
+            let (bss, rec, shard_flight) = shard?;
+            report.merge_from(&bss);
+            recorder.merge_from(&rec);
+            logs.push(shard_flight);
+        }
+        // Tree-fold the per-shard logs. `merge_from` is an ordered
+        // merge under the total (time, source, seq) order, so the fold
+        // shape cannot change the merged sequence — but pairing
+        // neighbors costs O(n log shards) where the sequential fold is
+        // quadratic in the shard count.
+        while logs.len() > 1 {
+            let mut next = Vec::with_capacity(logs.len().div_ceil(2));
+            let mut halves = logs.into_iter();
+            while let Some(mut left) = halves.next() {
+                if let Some(right) = halves.next() {
+                    left.merge_from(&right);
+                }
+                next.push(left);
+            }
+            logs = next;
+        }
+        let flight = logs
+            .pop()
+            .unwrap_or_else(|| FlightRecorder::with_capacity(capacity));
+        recorder.add_span(Stage::FleetMerge, merge_start.elapsed().as_nanos() as u64);
+        Ok((FleetResult::assemble(self, report, recorder), flight))
     }
 }
 

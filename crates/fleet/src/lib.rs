@@ -28,6 +28,20 @@
 //!   input order into one [`Recorder`](hide_obs::Recorder) aggregate;
 //!   the metrics JSON is byte-identical at any parallelism.
 //!
+//! # Tracing and provenance
+//!
+//! [`FleetConfig::try_run_traced_with_jobs`] additionally streams every
+//! shard kernel's structured events (DTIM boundaries, refreshes lost
+//! and applied, port churn, expiries, per-client wake decisions) into
+//! a bounded [`FlightRecorder`](hide_obs::FlightRecorder), merged in
+//! input order so the exported log is byte-identical at any `--jobs`.
+//! The engine attributes every missed and spurious wakeup to its
+//! causal event online (lost refresh, staleness expiry, or port-churn
+//! race) — the per-cause counters land in the `hide-metrics/1`
+//! artifact whether or not tracing is on, and
+//! [`hide_obs::provenance::analyze`] re-derives the same attribution
+//! from the event log as a cross-check.
+//!
 //! # Example
 //!
 //! ```

@@ -1,0 +1,161 @@
+//! Provenance classification coverage: wakeup cause attribution under
+//! controlled churn configurations, and the online-counters vs
+//! log-analyzer cross-check.
+
+use hide_fleet::{ChurnConfig, FleetConfig};
+use hide_obs::provenance::{self, ProvenanceBreakdown};
+use hide_obs::{Counter, TraceEventKind, WakeCause, WakeClass};
+
+fn base() -> FleetConfig {
+    FleetConfig {
+        bss_count: 8,
+        clients_per_bss: 8,
+        adoption: 1.0,
+        duration_secs: 20.0,
+        seed: 0xC0FFEE,
+        churn: ChurnConfig {
+            mean_present_secs: 30.0,
+            mean_absent_secs: 5.0,
+            mean_active_secs: 3.0,
+            mean_suspended_secs: 10.0,
+            refresh_interval_secs: 2.0,
+            stale_timeout_secs: 7.0,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn cause_counters(rec: &hide_obs::Recorder) -> [u64; 7] {
+    [
+        Counter::FleetWakeupsProper,
+        Counter::FleetMissedRefreshLost,
+        Counter::FleetMissedEntryExpired,
+        Counter::FleetMissedPortChurn,
+        Counter::FleetMissedUnknown,
+        Counter::FleetSpuriousPortChurn,
+        Counter::FleetSpuriousUnknown,
+    ]
+    .map(|c| rec.counter(c))
+}
+
+/// The analyzer's backward walk over the log must agree with the
+/// engine's online attribution, event by event and in aggregate.
+fn assert_analyzer_matches_counters(breakdown: &ProvenanceBreakdown, rec: &hide_obs::Recorder) {
+    let [proper, m_lost, m_exp, m_churn, m_unk, s_churn, s_unk] = cause_counters(rec);
+    assert_eq!(breakdown.proper, proper);
+    assert_eq!(breakdown.missed.refresh_lost, m_lost);
+    assert_eq!(breakdown.missed.entry_expired, m_exp);
+    assert_eq!(breakdown.missed.port_churn, m_churn);
+    assert_eq!(breakdown.missed.unknown, m_unk);
+    assert_eq!(breakdown.spurious.port_churn, s_churn);
+    assert_eq!(breakdown.spurious.unknown, s_unk);
+}
+
+#[test]
+fn loss_free_churn_free_run_attributes_every_wakeup_proper() {
+    let mut cfg = base();
+    cfg.churn.refresh_loss = 0.0;
+    cfg.churn.port_churn = 0.0;
+    let (result, flight) = cfg.try_run_traced_with_jobs(2, 1 << 16).unwrap();
+
+    assert!(result.report.hide_wakeups > 0, "run produced no wakeups");
+    assert_eq!(result.report.missed_wakeups, 0);
+    assert_eq!(result.report.spurious_wakeups, 0);
+    assert_eq!(
+        result.recorder.counter(Counter::FleetWakeupsProper),
+        result.report.hide_wakeups
+    );
+    let [_, m_lost, m_exp, m_churn, m_unk, s_churn, s_unk] = cause_counters(&result.recorder);
+    assert_eq!([m_lost, m_exp, m_churn, m_unk, s_churn, s_unk], [0; 6]);
+
+    // Every wake decision in the log is proper too.
+    for e in flight.events() {
+        if let TraceEventKind::WakeDecision { class, cause, .. } = e.kind {
+            if class != WakeClass::Legacy {
+                assert_eq!(class, WakeClass::Proper);
+                assert_eq!(cause, WakeCause::Proper);
+            }
+        }
+    }
+    let breakdown = provenance::analyze(&flight);
+    assert_eq!(breakdown.proper, result.report.hide_wakeups);
+    assert!(breakdown.fully_attributed());
+    assert_analyzer_matches_counters(&breakdown, &result.recorder);
+}
+
+#[test]
+fn lost_refreshes_attribute_exactly_the_missed_wakeups_to_refresh_lost() {
+    let mut cfg = base();
+    cfg.bss_count = 12;
+    cfg.churn.refresh_loss = 0.6;
+    cfg.churn.port_churn = 0.0;
+    // A stale timeout beyond the horizon: no expiry, so a lost refresh
+    // is the only way the AP's view can fall behind.
+    cfg.churn.stale_timeout_secs = 1_000.0;
+    let (result, flight) = cfg.try_run_traced_with_jobs(3, 1 << 16).unwrap();
+
+    assert!(result.report.refreshes_lost > 0);
+    assert!(result.report.missed_wakeups > 0, "no missed wakeups seeded");
+    let [_, m_lost, m_exp, m_churn, m_unk, s_churn, s_unk] = cause_counters(&result.recorder);
+    assert_eq!(
+        m_lost, result.report.missed_wakeups,
+        "every missed wakeup must be attributed to the lost refresh"
+    );
+    assert_eq!([m_exp, m_churn, m_unk], [0; 3]);
+    // Without port churn the AP can never believe in ports the client
+    // left, so no spurious wakes at all.
+    assert_eq!(result.report.spurious_wakeups, 0);
+    assert_eq!([s_churn, s_unk], [0; 2]);
+
+    let breakdown = provenance::analyze(&flight);
+    assert!(breakdown.fully_attributed());
+    assert_analyzer_matches_counters(&breakdown, &result.recorder);
+}
+
+#[test]
+fn churn_and_expiry_runs_stay_fully_attributed() {
+    let mut cfg = base();
+    cfg.churn.refresh_loss = 0.3;
+    cfg.churn.port_churn = 0.4;
+    cfg.churn.stale_timeout_secs = 5.0;
+    let (result, flight) = cfg.try_run_traced_with_jobs(2, 1 << 16).unwrap();
+
+    assert!(result.report.missed_wakeups + result.report.spurious_wakeups > 0);
+    let [_, _, _, _, m_unk, _, s_unk] = cause_counters(&result.recorder);
+    assert_eq!(m_unk, 0, "missed wakeup without a cause");
+    assert_eq!(s_unk, 0, "spurious wakeup without a cause");
+    let breakdown = provenance::analyze(&flight);
+    assert!(breakdown.fully_attributed());
+    assert_analyzer_matches_counters(&breakdown, &result.recorder);
+    assert_eq!(
+        breakdown.missed.total(),
+        result.report.missed_wakeups,
+        "per-cause missed tallies must sum to the report's total"
+    );
+    assert_eq!(breakdown.spurious.total(), result.report.spurious_wakeups);
+}
+
+#[test]
+fn tracing_does_not_change_the_metrics_artifact() {
+    let mut cfg = base();
+    cfg.churn.refresh_loss = 0.4;
+    cfg.churn.port_churn = 0.3;
+    let plain = cfg.try_run_with_jobs(2).unwrap();
+    let (traced, _) = cfg.try_run_traced_with_jobs(2, 1 << 16).unwrap();
+    assert_eq!(plain.metrics_json(), traced.metrics_json());
+    assert_eq!(plain.summary_json(), traced.summary_json());
+    assert_eq!(plain.report, traced.report);
+}
+
+#[test]
+fn traced_log_is_identical_across_job_counts() {
+    let cfg = base();
+    let (_, serial) = cfg.try_run_traced_with_jobs(1, 1 << 16).unwrap();
+    let (_, parallel) = cfg.try_run_traced_with_jobs(4, 1 << 16).unwrap();
+    assert_eq!(
+        hide_obs::export::to_jsonl(&serial),
+        hide_obs::export::to_jsonl(&parallel)
+    );
+    assert_eq!(serial, parallel);
+}

@@ -1,0 +1,269 @@
+//! Trace exporters: JSONL event logs and Chrome-trace/Perfetto JSON.
+//!
+//! Both formats are rendered with fixed field order and fixed float
+//! precision, so exporting the same [`FlightRecorder`] always yields
+//! the same bytes. The JSONL export contains **only** simulation-time
+//! data and is therefore byte-identical across reruns and `--jobs`
+//! counts; the Chrome export can optionally append wall-clock stage
+//! spans from a [`Recorder`], which makes it informative but
+//! non-deterministic — pass `None` when determinism matters.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+use crate::trace::{FlightRecorder, TraceEvent, TraceEventKind};
+use crate::Stage;
+
+/// Renders one event as a single JSON line (no trailing newline).
+fn write_event_jsonl(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"t\":{:.9},\"src\":{},\"seq\":{},\"kind\":\"{}\"",
+        e.time,
+        e.source,
+        e.seq,
+        e.kind.name()
+    );
+    match e.kind {
+        TraceEventKind::DtimBoundary {
+            buffered,
+            table_entries,
+        } => {
+            let _ = write!(
+                out,
+                ",\"buffered\":{buffered},\"table_entries\":{table_entries}"
+            );
+        }
+        TraceEventKind::BtimEmitted { bytes, bits_set } => {
+            let _ = write!(out, ",\"bytes\":{bytes},\"bits_set\":{bits_set}");
+        }
+        TraceEventKind::WakeDecision {
+            aid,
+            port,
+            frame_id,
+            class,
+            cause,
+        } => {
+            let _ = write!(
+                out,
+                ",\"aid\":{aid},\"port\":{port},\"frame\":{frame_id},\"class\":\"{}\",\"cause\":\"{}\"",
+                class.name(),
+                cause.name()
+            );
+        }
+        TraceEventKind::Join { aid, hide } => {
+            let _ = write!(out, ",\"aid\":{aid},\"hide\":{hide}");
+        }
+        TraceEventKind::RefreshApplied { aid }
+        | TraceEventKind::RefreshLost { aid }
+        | TraceEventKind::PortChurn { aid }
+        | TraceEventKind::EntryExpired { aid }
+        | TraceEventKind::Leave { aid } => {
+            let _ = write!(out, ",\"aid\":{aid}");
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes the event log as JSON Lines: one event object per line,
+/// in `(time, source, seq)` order, with the schema documented in
+/// `docs/metrics-schema.md`. Deterministic byte-for-byte.
+#[must_use]
+pub fn to_jsonl(rec: &FlightRecorder) -> String {
+    let mut out = String::with_capacity(rec.len() * 96);
+    for e in rec.events() {
+        write_event_jsonl(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+/// Simulation seconds → Chrome-trace microsecond timestamps.
+fn sim_micros(time: f64) -> u64 {
+    (time * 1e6).round() as u64
+}
+
+/// Serializes the event log in the Chrome trace event format (load it
+/// in `chrome://tracing` or Perfetto).
+///
+/// Simulation-time events render as instant events (`ph:"i"`) on
+/// process 1, one thread track per source lane. When `stages` is
+/// given, its wall-clock span timers render as complete events
+/// (`ph:"X"`) laid out sequentially on process 2 — useful for eyeballing
+/// where an experiment run spent its time, but wall-clock and therefore
+/// not deterministic. Pass `None` for byte-stable output.
+#[must_use]
+pub fn to_chrome_trace(rec: &FlightRecorder, stages: Option<&Recorder>) -> String {
+    let mut out = String::with_capacity(rec.len() * 144 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"simulation (sim time)\"}}",
+    );
+    if stages.is_some() {
+        out.push_str(
+            ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"stages (wall clock)\"}}",
+        );
+    }
+
+    for e in rec.events() {
+        out.push_str(",\n");
+        let name: String = match e.kind {
+            TraceEventKind::WakeDecision { class, .. } => format!("wake:{}", class.name()),
+            _ => e.kind.name().to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
+            e.source,
+            sim_micros(e.time)
+        );
+        match e.kind {
+            TraceEventKind::DtimBoundary {
+                buffered,
+                table_entries,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"buffered\":{buffered},\"table_entries\":{table_entries}"
+                );
+            }
+            TraceEventKind::BtimEmitted { bytes, bits_set } => {
+                let _ = write!(out, "\"bytes\":{bytes},\"bits_set\":{bits_set}");
+            }
+            TraceEventKind::WakeDecision {
+                aid,
+                port,
+                frame_id,
+                cause,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "\"aid\":{aid},\"port\":{port},\"frame\":{frame_id},\"cause\":\"{}\"",
+                    cause.name()
+                );
+            }
+            TraceEventKind::Join { aid, hide } => {
+                let _ = write!(out, "\"aid\":{aid},\"hide\":{hide}");
+            }
+            TraceEventKind::RefreshApplied { aid }
+            | TraceEventKind::RefreshLost { aid }
+            | TraceEventKind::PortChurn { aid }
+            | TraceEventKind::EntryExpired { aid }
+            | TraceEventKind::Leave { aid } => {
+                let _ = write!(out, "\"aid\":{aid}");
+            }
+        }
+        out.push_str("}}");
+    }
+
+    if let Some(rec) = stages {
+        let mut offset_us = 0u64;
+        for s in Stage::ALL {
+            let t = rec.stage(s);
+            if t.calls == 0 {
+                continue;
+            }
+            let dur_us = (t.nanos / 1_000).max(1);
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\
+                 \"ts\":{offset_us},\"dur\":{dur_us},\"args\":{{\"calls\":{}}}}}",
+                s.name(),
+                t.calls
+            );
+            offset_us += dur_us;
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceSink, WakeCause, WakeClass};
+    use crate::MetricsSink;
+
+    fn sample() -> FlightRecorder {
+        let mut fr = FlightRecorder::new();
+        fr.set_source(3);
+        fr.emit(
+            0.1024,
+            TraceEventKind::DtimBoundary {
+                buffered: 2,
+                table_entries: 5,
+            },
+        );
+        fr.emit(
+            0.1024,
+            TraceEventKind::BtimEmitted {
+                bytes: 4,
+                bits_set: 1,
+            },
+        );
+        fr.emit(
+            0.1024,
+            TraceEventKind::WakeDecision {
+                aid: 7,
+                port: 5353,
+                frame_id: 42,
+                class: WakeClass::Missed,
+                cause: WakeCause::RefreshLost,
+            },
+        );
+        fr.emit(0.2, TraceEventKind::Join { aid: 9, hide: true });
+        fr.emit(0.3, TraceEventKind::Leave { aid: 9 });
+        fr
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed_and_ordered() {
+        let jsonl = to_jsonl(&sample());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(lines[0].contains("\"kind\":\"dtim_boundary\""));
+        assert!(lines[0].contains("\"t\":0.102400000"));
+        assert!(lines[2].contains("\"class\":\"missed\""));
+        assert!(lines[2].contains("\"cause\":\"refresh_lost\""));
+        assert!(lines[3].contains("\"hide\":true"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        assert_eq!(to_jsonl(&sample()), to_jsonl(&sample()));
+    }
+
+    #[test]
+    fn chrome_trace_has_instant_events_per_source_track() {
+        let json = to_chrome_trace(&sample(), None);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"name\":\"wake:missed\""));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"ts\":102400"));
+        assert!(!json.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn chrome_trace_appends_stage_spans_when_given() {
+        let mut rec = Recorder::new();
+        rec.add(crate::Counter::SimsRun, 1);
+        rec.add_span(Stage::Fig7, 2_000_000);
+        rec.add_span(Stage::Fleet, 3_000_000);
+        let json = to_chrome_trace(&sample(), Some(&rec));
+        assert!(json.contains("\"name\":\"fig7\""));
+        assert!(json.contains("\"name\":\"fleet\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -12,6 +12,13 @@
 //!   fixed-bucket [`Histogram`]s keyed by [`Distribution`], and
 //!   per-[`Stage`] span timings.
 //!
+//! Event tracing follows the same shape one level down: hot paths are
+//! generic over a [`TraceSink`], [`NoopTrace`] monomorphizes to
+//! nothing, and the [`FlightRecorder`] is the real sink — a bounded
+//! ring buffer of structured [`TraceEvent`]s in simulation-time order,
+//! exportable as JSONL or Chrome-trace JSON ([`crate::export`]) and
+//! analyzable for wakeup provenance ([`crate::provenance`]).
+//!
 //! # Determinism rules
 //!
 //! The recorder is built for **byte-identical output at any `--jobs`
@@ -50,12 +57,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod hist;
 pub mod metric;
+pub mod provenance;
 pub mod recorder;
 pub mod sink;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use metric::{Counter, Distribution, Stage};
+pub use provenance::{CauseCounts, ProvenanceBreakdown};
 pub use recorder::{Recorder, StageTiming};
 pub use sink::{MetricsSink, NoopSink};
+pub use trace::{
+    FlightRecorder, NoopTrace, TraceEvent, TraceEventKind, TraceSink, WakeCause, WakeClass,
+    DEFAULT_TRACE_CAPACITY,
+};

@@ -77,11 +77,28 @@ pub enum Counter {
     FleetMissedWakeups,
     /// Wake-ups for frames the client no longer wanted (stale AP state).
     FleetSpuriousWakeups,
+    /// HIDE wake-ups whose flagged traffic was genuinely wanted
+    /// (provenance class `proper`).
+    FleetWakeupsProper,
+    /// Missed wakeups caused by a lost UDP Port Message refresh.
+    FleetMissedRefreshLost,
+    /// Missed wakeups caused by AP-side staleness expiry.
+    FleetMissedEntryExpired,
+    /// Missed wakeups caused by a port-churn race (client re-sampled
+    /// ports, the AP had not yet heard).
+    FleetMissedPortChurn,
+    /// Missed wakeups with no attributable cause.
+    FleetMissedUnknown,
+    /// Spurious wakeups caused by a port-churn race (the AP flagged
+    /// ports the client had churned away from).
+    FleetSpuriousPortChurn,
+    /// Spurious wakeups with no attributable cause.
+    FleetSpuriousUnknown,
 }
 
 impl Counter {
     /// Every counter, in declaration (serialization) order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 39] = [
         Counter::SimsRun,
         Counter::TraceFrames,
         Counter::FramesDelivered,
@@ -114,6 +131,13 @@ impl Counter {
         Counter::FleetWakeups,
         Counter::FleetMissedWakeups,
         Counter::FleetSpuriousWakeups,
+        Counter::FleetWakeupsProper,
+        Counter::FleetMissedRefreshLost,
+        Counter::FleetMissedEntryExpired,
+        Counter::FleetMissedPortChurn,
+        Counter::FleetMissedUnknown,
+        Counter::FleetSpuriousPortChurn,
+        Counter::FleetSpuriousUnknown,
     ];
 
     /// Number of counters.
@@ -154,6 +178,13 @@ impl Counter {
             Counter::FleetWakeups => "fleet_wakeups",
             Counter::FleetMissedWakeups => "fleet_missed_wakeups",
             Counter::FleetSpuriousWakeups => "fleet_spurious_wakeups",
+            Counter::FleetWakeupsProper => "fleet_wakeups_proper",
+            Counter::FleetMissedRefreshLost => "fleet_missed_refresh_lost",
+            Counter::FleetMissedEntryExpired => "fleet_missed_entry_expired",
+            Counter::FleetMissedPortChurn => "fleet_missed_port_churn",
+            Counter::FleetMissedUnknown => "fleet_missed_unknown",
+            Counter::FleetSpuriousPortChurn => "fleet_spurious_port_churn",
+            Counter::FleetSpuriousUnknown => "fleet_spurious_unknown",
         }
     }
 
@@ -262,11 +293,15 @@ pub enum Stage {
     Csv,
     /// Fleet simulation (multi-BSS discrete-event runs).
     Fleet,
+    /// The discrete-event kernel loop inside one BSS shard.
+    FleetEventLoop,
+    /// Input-order fan-in of fleet shard reports and recorders.
+    FleetMerge,
 }
 
 impl Stage {
     /// Every stage, in declaration (serialization) order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 16] = [
         Stage::TraceGen,
         Stage::Table1,
         Stage::Table2,
@@ -281,6 +316,8 @@ impl Stage {
         Stage::Extensions,
         Stage::Csv,
         Stage::Fleet,
+        Stage::FleetEventLoop,
+        Stage::FleetMerge,
     ];
 
     /// Number of stages.
@@ -303,6 +340,8 @@ impl Stage {
             Stage::Extensions => "extensions",
             Stage::Csv => "csv",
             Stage::Fleet => "fleet",
+            Stage::FleetEventLoop => "fleet_event_loop",
+            Stage::FleetMerge => "fleet_merge",
         }
     }
 

@@ -1,0 +1,231 @@
+//! Wakeup provenance: causal attribution of missed and spurious
+//! wakeups from the event log.
+//!
+//! For every `WakeDecision` classified missed or spurious, the analyzer
+//! walks the log **backward** over that client's events (same source
+//! lane, same AID) to the nearest de-synchronizing event — a lost UDP
+//! Port Message refresh, a staleness expiry, or a port-churn race — and
+//! stops at the nearest *synchronizing* event (an applied refresh or a
+//! join), beyond which the AP and ground-truth tables agreed and no
+//! earlier event can be the cause.
+//!
+//! The fleet engine performs the same attribution online (it is O(1)
+//! per wake decision there) and stamps the result into each
+//! `WakeDecision` event; this analyzer re-derives the causes
+//! independently from the log, so the two can be cross-checked — a
+//! disagreement means either the engine or the log is wrong.
+
+use crate::trace::{FlightRecorder, TraceEvent, TraceEventKind, WakeCause, WakeClass};
+
+/// Per-cause tallies for one wake classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    /// Attributed to a lost UDP Port Message refresh.
+    pub refresh_lost: u64,
+    /// Attributed to AP-side staleness expiry.
+    pub entry_expired: u64,
+    /// Attributed to a client-side port-churn race.
+    pub port_churn: u64,
+    /// No causal event found before the nearest sync point (or the
+    /// ring bound dropped it).
+    pub unknown: u64,
+}
+
+impl CauseCounts {
+    /// Sum over all causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.refresh_lost + self.entry_expired + self.port_churn + self.unknown
+    }
+
+    fn bump(&mut self, cause: WakeCause) {
+        match cause {
+            WakeCause::RefreshLost => self.refresh_lost += 1,
+            WakeCause::EntryExpired => self.entry_expired += 1,
+            WakeCause::PortChurn => self.port_churn += 1,
+            WakeCause::Proper | WakeCause::Unknown => self.unknown += 1,
+        }
+    }
+}
+
+/// The full provenance breakdown of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvenanceBreakdown {
+    /// Wake decisions classified proper.
+    pub proper: u64,
+    /// Legacy (receive-all) wakes.
+    pub legacy: u64,
+    /// Missed wakeups, by cause.
+    pub missed: CauseCounts,
+    /// Spurious wakeups, by cause.
+    pub spurious: CauseCounts,
+}
+
+impl ProvenanceBreakdown {
+    /// True when every missed and spurious wakeup found a cause.
+    #[must_use]
+    pub fn fully_attributed(&self) -> bool {
+        self.missed.unknown == 0 && self.spurious.unknown == 0
+    }
+}
+
+/// Is this event a de-sync or sync point for `(source, aid)`, and if
+/// de-sync, which cause does it carry for the given classification?
+fn cause_at(kind: &TraceEventKind, class: WakeClass) -> Option<Result<WakeCause, ()>> {
+    // `Ok(cause)` attributes; `Err(())` is a sync boundary (stop, unknown).
+    match (kind, class) {
+        (TraceEventKind::RefreshLost { .. }, WakeClass::Missed) => Some(Ok(WakeCause::RefreshLost)),
+        (TraceEventKind::EntryExpired { .. }, WakeClass::Missed) => {
+            Some(Ok(WakeCause::EntryExpired))
+        }
+        (TraceEventKind::PortChurn { .. }, _) => Some(Ok(WakeCause::PortChurn)),
+        (TraceEventKind::RefreshApplied { .. } | TraceEventKind::Join { .. }, _) => Some(Err(())),
+        _ => None,
+    }
+}
+
+/// Walks backward from `at` to the causal event for a missed or
+/// spurious wake of `(source, aid)`.
+fn attribute(events: &[&TraceEvent], at: usize, class: WakeClass) -> WakeCause {
+    let me = events[at];
+    let (source, aid) = match me.kind {
+        TraceEventKind::WakeDecision { aid, .. } => (me.source, aid),
+        _ => return WakeCause::Unknown,
+    };
+    for e in events[..at].iter().rev() {
+        if e.source != source {
+            continue;
+        }
+        let event_aid = match e.kind {
+            TraceEventKind::RefreshApplied { aid }
+            | TraceEventKind::RefreshLost { aid }
+            | TraceEventKind::PortChurn { aid }
+            | TraceEventKind::EntryExpired { aid }
+            | TraceEventKind::Join { aid, .. }
+            | TraceEventKind::Leave { aid } => aid,
+            _ => continue,
+        };
+        if event_aid != aid {
+            continue;
+        }
+        match cause_at(&e.kind, class) {
+            Some(Ok(cause)) => return cause,
+            Some(Err(())) => return WakeCause::Unknown,
+            None => continue,
+        }
+    }
+    WakeCause::Unknown
+}
+
+/// Analyzes a trace: re-derives the cause of every missed and spurious
+/// wakeup by walking the log backward, independently of the causes the
+/// engine stamped online.
+#[must_use]
+pub fn analyze(rec: &FlightRecorder) -> ProvenanceBreakdown {
+    let events: Vec<&TraceEvent> = rec.events().collect();
+    let mut out = ProvenanceBreakdown::default();
+    for (i, e) in events.iter().enumerate() {
+        let TraceEventKind::WakeDecision { class, .. } = e.kind else {
+            continue;
+        };
+        match class {
+            WakeClass::Proper => out.proper += 1,
+            WakeClass::Legacy => out.legacy += 1,
+            WakeClass::Missed => out.missed.bump(attribute(&events, i, class)),
+            WakeClass::Spurious => out.spurious.bump(attribute(&events, i, class)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+
+    fn wake(class: WakeClass) -> TraceEventKind {
+        TraceEventKind::WakeDecision {
+            aid: 1,
+            port: 5353,
+            frame_id: 0,
+            class,
+            cause: WakeCause::Unknown,
+        }
+    }
+
+    #[test]
+    fn missed_wake_attributes_to_nearest_desync() {
+        let mut fr = FlightRecorder::new();
+        fr.emit(0.0, TraceEventKind::Join { aid: 1, hide: true });
+        fr.emit(0.1, TraceEventKind::RefreshApplied { aid: 1 });
+        fr.emit(0.2, TraceEventKind::RefreshLost { aid: 1 });
+        fr.emit(0.3, wake(WakeClass::Missed));
+        let b = analyze(&fr);
+        assert_eq!(b.missed.refresh_lost, 1);
+        assert_eq!(b.missed.total(), 1);
+        assert!(b.fully_attributed());
+    }
+
+    #[test]
+    fn sync_boundary_stops_the_walk() {
+        let mut fr = FlightRecorder::new();
+        fr.emit(0.1, TraceEventKind::RefreshLost { aid: 1 });
+        fr.emit(0.2, TraceEventKind::RefreshApplied { aid: 1 });
+        fr.emit(0.3, wake(WakeClass::Missed));
+        let b = analyze(&fr);
+        assert_eq!(b.missed.unknown, 1);
+        assert!(!b.fully_attributed());
+    }
+
+    #[test]
+    fn spurious_wake_attributes_to_port_churn_only() {
+        let mut fr = FlightRecorder::new();
+        fr.emit(0.1, TraceEventKind::RefreshLost { aid: 1 });
+        fr.emit(0.2, TraceEventKind::PortChurn { aid: 1 });
+        fr.emit(0.3, wake(WakeClass::Spurious));
+        let b = analyze(&fr);
+        assert_eq!(b.spurious.port_churn, 1);
+        // A second spurious wake with only a lost refresh behind it
+        // stays unknown: losing a refresh cannot flag a *wrong* port.
+        let mut fr2 = FlightRecorder::new();
+        fr2.emit(0.1, TraceEventKind::RefreshLost { aid: 1 });
+        fr2.emit(0.3, wake(WakeClass::Spurious));
+        assert_eq!(analyze(&fr2).spurious.unknown, 1);
+    }
+
+    #[test]
+    fn attribution_is_per_client_and_per_source() {
+        let mut fr = FlightRecorder::new();
+        // De-sync on a different AID and a different source must not
+        // leak into client (src 0, aid 1).
+        fr.emit(0.1, TraceEventKind::RefreshLost { aid: 2 });
+        let mut other = FlightRecorder::new();
+        other.set_source(9);
+        other.emit(0.15, TraceEventKind::RefreshLost { aid: 1 });
+        fr.merge_from(&other);
+        fr.emit(0.3, wake(WakeClass::Missed));
+        let b = analyze(&fr);
+        assert_eq!(b.missed.unknown, 1);
+        assert_eq!(b.missed.refresh_lost, 0);
+    }
+
+    #[test]
+    fn proper_and_legacy_are_tallied() {
+        let mut fr = FlightRecorder::new();
+        fr.emit(0.1, wake(WakeClass::Proper));
+        fr.emit(
+            0.2,
+            TraceEventKind::WakeDecision {
+                aid: 2,
+                port: 0,
+                frame_id: 1,
+                class: WakeClass::Legacy,
+                cause: WakeCause::Proper,
+            },
+        );
+        let b = analyze(&fr);
+        assert_eq!(b.proper, 1);
+        assert_eq!(b.legacy, 1);
+        assert_eq!(b.missed.total() + b.spurious.total(), 0);
+    }
+}

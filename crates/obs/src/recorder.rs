@@ -46,16 +46,19 @@ impl Recorder {
     }
 
     /// Current value of a counter.
+    #[must_use]
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
     }
 
     /// The histogram behind a distribution.
+    #[must_use]
     pub fn distribution(&self, dist: Distribution) -> &Histogram {
         &self.dists[dist.index()]
     }
 
     /// Accumulated timing for a stage.
+    #[must_use]
     pub fn stage(&self, stage: Stage) -> StageTiming {
         self.stages[stage.index()]
     }
@@ -94,6 +97,7 @@ impl Recorder {
     }
 
     /// True when nothing has been recorded at all.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.counters.iter().all(|&c| c == 0)
             && self.dists.iter().all(|d| d.is_empty())
@@ -108,6 +112,7 @@ impl Recorder {
     /// the output is byte-identical across runs and `--jobs` counts.
     /// Every counter and distribution key appears in declaration order
     /// whether or not it was touched, so the shape is stable.
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"schema\": \"hide-metrics/1\",\n");
@@ -168,13 +173,16 @@ impl Recorder {
     ///
     /// Unlike [`Recorder::to_json`] this *does* include wall-clock
     /// stage timings, so it is informative but not deterministic.
+    /// Columns are wide enough for every name in the metric namespace,
+    /// including the fleet kernel stages.
+    #[must_use]
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         out.push_str("counters:\n");
         for c in Counter::ALL {
             let v = self.counter(c);
             if v > 0 {
-                let _ = writeln!(out, "  {:<22} {v}", c.name());
+                let _ = writeln!(out, "  {:<28} {v}", c.name());
             }
         }
 
@@ -188,7 +196,7 @@ impl Recorder {
                 if !h.is_empty() {
                     let _ = writeln!(
                         out,
-                        "  {:<22} {} / {:.1} / {} / {}",
+                        "  {:<28} {} / {:.1} / {} / {}",
                         d.name(),
                         h.count(),
                         h.mean(),
@@ -207,7 +215,7 @@ impl Recorder {
                 if t.calls > 0 {
                     let _ = writeln!(
                         out,
-                        "  {:<22} {:>9.3} ms  ({} call{})",
+                        "  {:<28} {:>9.3} ms  ({} call{})",
                         s.name(),
                         t.nanos as f64 / 1e6,
                         t.calls,

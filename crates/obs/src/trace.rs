@@ -1,0 +1,483 @@
+//! The event-tracing layer: a zero-cost [`TraceSink`] and the bounded
+//! [`FlightRecorder`] ring buffer behind it.
+//!
+//! Tracing follows the same pattern as metrics ([`crate::MetricsSink`]):
+//! hot paths are generic over a sink, and the default [`NoopTrace`]
+//! monomorphizes to nothing — [`TraceSink::is_enabled`] returns a
+//! compile-time `false`, so event-payload construction is guarded out
+//! and the instrumented code compiles to the uninstrumented code.
+//!
+//! Determinism rules mirror the recorder's: events carry **simulation
+//! time**, never wall clock; every recorder stamps its events with a
+//! `(source, seq)` pair; and [`FlightRecorder::merge_from`] performs an
+//! ordered merge on `(time, source, seq)`. Per-shard logs depend only
+//! on the shard's inputs, and shards are folded in input order, so the
+//! merged log — and every byte exported from it — is identical at any
+//! `--jobs` count.
+
+use std::collections::VecDeque;
+
+/// How a DTIM wake decision is classified against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WakeClass {
+    /// The client was woken and genuinely wanted the traffic.
+    Proper,
+    /// The client slept through traffic it wanted (stale AP state).
+    Missed,
+    /// The client was woken for traffic it no longer wanted.
+    Spurious,
+    /// A legacy (non-HIDE) client woken by any buffered broadcast.
+    Legacy,
+}
+
+impl WakeClass {
+    /// Stable snake_case label used in exported traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeClass::Proper => "proper",
+            WakeClass::Missed => "missed",
+            WakeClass::Spurious => "spurious",
+            WakeClass::Legacy => "legacy",
+        }
+    }
+}
+
+/// The causal event behind a wake decision, found by walking the event
+/// log backward from the decision to the nearest de-synchronizing event
+/// for that client (see [`crate::provenance`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WakeCause {
+    /// Nothing went wrong: AP state matched ground truth.
+    Proper,
+    /// A UDP Port Message refresh was lost before reaching the AP.
+    RefreshLost,
+    /// The AP aged the client's port entries out (staleness expiry).
+    EntryExpired,
+    /// The client re-sampled its ports and the AP has not yet heard.
+    PortChurn,
+    /// No causal event found in the retained window.
+    Unknown,
+}
+
+impl WakeCause {
+    /// Stable snake_case label used in exported traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeCause::Proper => "proper",
+            WakeCause::RefreshLost => "refresh_lost",
+            WakeCause::EntryExpired => "entry_expired",
+            WakeCause::PortChurn => "port_churn",
+            WakeCause::Unknown => "unknown",
+        }
+    }
+}
+
+/// Payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A DTIM boundary: the AP evaluates its buffered broadcast burst.
+    DtimBoundary {
+        /// Broadcast frames buffered since the previous boundary.
+        buffered: u32,
+        /// `(port, client)` entries live in the AP port table.
+        table_entries: u32,
+    },
+    /// A BTIM element went on air.
+    BtimEmitted {
+        /// Encoded element bytes (2-byte ID/length header included).
+        bytes: u32,
+        /// Broadcast-flag bits set in the partial virtual bitmap.
+        bits_set: u32,
+    },
+    /// A per-client wake decision at a DTIM boundary.
+    WakeDecision {
+        /// The client's association ID.
+        aid: u16,
+        /// The UDP port that decided the outcome (the flagged port for
+        /// wakes, the wanted-but-unflagged port for missed wakeups, 0
+        /// for legacy receive-all wakes).
+        port: u16,
+        /// Id of the first buffered frame on that port (0 when none).
+        frame_id: u64,
+        /// Classification against the ground-truth table.
+        class: WakeClass,
+        /// Causal attribution (online; cross-checked by the analyzer).
+        cause: WakeCause,
+    },
+    /// A client's UDP Port Message reached the AP and was applied.
+    RefreshApplied {
+        /// The client's association ID.
+        aid: u16,
+    },
+    /// A client's UDP Port Message was lost on the way to the AP.
+    RefreshLost {
+        /// The client's association ID.
+        aid: u16,
+    },
+    /// A client re-sampled its listened-on ports (ground truth moved).
+    PortChurn {
+        /// The client's association ID.
+        aid: u16,
+    },
+    /// The AP aged out a client's port entries (staleness expiry).
+    EntryExpired {
+        /// The client's association ID.
+        aid: u16,
+    },
+    /// A client associated.
+    Join {
+        /// The AID the AP assigned.
+        aid: u16,
+        /// Whether the client negotiated HIDE support.
+        hide: bool,
+    },
+    /// A client disassociated.
+    Leave {
+        /// The association ID the client held.
+        aid: u16,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable snake_case label used in exported traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::DtimBoundary { .. } => "dtim_boundary",
+            TraceEventKind::BtimEmitted { .. } => "btim_emitted",
+            TraceEventKind::WakeDecision { .. } => "wake_decision",
+            TraceEventKind::RefreshApplied { .. } => "refresh_applied",
+            TraceEventKind::RefreshLost { .. } => "refresh_lost",
+            TraceEventKind::PortChurn { .. } => "port_churn",
+            TraceEventKind::EntryExpired { .. } => "entry_expired",
+            TraceEventKind::Join { .. } => "join",
+            TraceEventKind::Leave { .. } => "leave",
+        }
+    }
+}
+
+/// One recorded event: simulation time, source lane (BSS index),
+/// per-source sequence number, and the payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Source lane — the BSS index in fleet runs, 0 elsewhere.
+    pub source: u32,
+    /// Per-source emission sequence number (ties within one source
+    /// replay in emission order).
+    pub seq: u64,
+    /// The payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The total order merged logs observe: time, then source lane,
+    /// then per-source sequence.
+    #[must_use]
+    pub fn sort_key(&self) -> (f64, u32, u64) {
+        (self.time, self.source, self.seq)
+    }
+
+    fn precedes(&self, other: &TraceEvent) -> bool {
+        match self.time.total_cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => (self.source, self.seq) <= (other.source, other.seq),
+        }
+    }
+}
+
+/// A sink for structured trace events.
+///
+/// Mirrors [`crate::MetricsSink`]: instrumented code is generic over
+/// `T: TraceSink` and passes [`NoopTrace`] when tracing is off, which
+/// monomorphizes every `emit` to nothing. Guard payload construction
+/// with [`TraceSink::is_enabled`] so a disabled sink costs no work at
+/// all:
+///
+/// ```
+/// use hide_obs::{NoopTrace, TraceEventKind, TraceSink};
+///
+/// fn hot_path<T: TraceSink>(trace: &mut T) {
+///     if trace.is_enabled() {
+///         trace.emit(0.5, TraceEventKind::EntryExpired { aid: 1 });
+///     }
+/// }
+/// hot_path(&mut NoopTrace);
+/// ```
+pub trait TraceSink {
+    /// Record one event at simulation time `time` (seconds).
+    ///
+    /// Callers must emit in nondecreasing `time` order — the
+    /// discrete-event kernels guarantee this — so a recorder's log is
+    /// sorted by construction.
+    fn emit(&mut self, time: f64, kind: TraceEventKind);
+
+    /// Whether emitted events are retained. `false` lets callers skip
+    /// building payloads entirely; the constant answer folds the guard
+    /// away after monomorphization.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost sink: events vanish, [`TraceSink::is_enabled`] is a
+/// compile-time `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTrace;
+
+impl TraceSink for NoopTrace {
+    #[inline]
+    fn emit(&mut self, _time: f64, _kind: TraceEventKind) {}
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    #[inline]
+    fn emit(&mut self, time: f64, kind: TraceEventKind) {
+        (**self).emit(time, kind);
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+/// Default per-recorder event capacity (events retained before the
+/// oldest are dropped).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// A bounded, deterministic in-memory event log.
+///
+/// Live recording keeps at most `capacity` events, dropping the oldest
+/// (and counting the drops) when full — a flight recorder keeps the
+/// most recent window, which is the window that explains a failure.
+/// [`FlightRecorder::merge_from`] never drops: per-shard logs are
+/// complete within their own bound, and the merged log is their ordered
+/// union, so fan-in order cannot change the bytes exported from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    source: u32,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty recorder retaining at most `capacity` events (floored
+    /// at 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            source: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the source lane stamped on subsequently emitted events
+    /// (the BSS index in fleet runs).
+    pub fn set_source(&mut self, source: u32) {
+        self.source = source;
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped by the ring bound (oldest-first), summed across
+    /// merges.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The live-recording retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained events in `(time, source, seq)` order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Folds another recorder's log into this one with an ordered merge
+    /// on `(time, source, seq)`.
+    ///
+    /// Merging never drops events (only live recording does), so
+    /// folding per-shard recorders in input order yields the same log
+    /// regardless of how the shards were scheduled.
+    pub fn merge_from(&mut self, other: &FlightRecorder) {
+        self.dropped += other.dropped;
+        if other.events.is_empty() {
+            return;
+        }
+        let mut merged = VecDeque::with_capacity(self.events.len() + other.events.len());
+        let mut mine = self.events.iter().copied().peekable();
+        let mut theirs = other.events.iter().copied().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(a), Some(b)) => {
+                    if a.precedes(b) {
+                        merged.push_back(mine.next().unwrap());
+                    } else {
+                        merged.push_back(theirs.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.push_back(mine.next().unwrap()),
+                (None, Some(_)) => merged.push_back(theirs.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        self.events = merged;
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&mut self, time: f64, kind: TraceEventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(TraceEvent {
+            time,
+            source: self.source,
+            seq,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(source: u32, times: &[f64]) -> FlightRecorder {
+        let mut r = FlightRecorder::new();
+        r.set_source(source);
+        for &t in times {
+            r.emit(t, TraceEventKind::EntryExpired { aid: 1 });
+        }
+        r
+    }
+
+    #[test]
+    fn noop_trace_is_disabled() {
+        let mut t = NoopTrace;
+        assert!(!t.is_enabled());
+        t.emit(1.0, TraceEventKind::RefreshLost { aid: 3 });
+        let fr = FlightRecorder::new();
+        assert!(fr.is_empty());
+        // The forwarding impl must preserve the compile-time disable.
+        let mut inner = NoopTrace;
+        let forwarded: &mut NoopTrace = &mut inner;
+        assert!(!<&mut NoopTrace as TraceSink>::is_enabled(&forwarded));
+    }
+
+    #[test]
+    fn emit_stamps_source_and_sequence() {
+        let r = rec(7, &[0.1, 0.2, 0.2]);
+        let events: Vec<&TraceEvent> = r.events().collect();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.source == 7));
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut r = FlightRecorder::with_capacity(2);
+        for t in [0.1, 0.2, 0.3, 0.4] {
+            r.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        let times: Vec<f64> = r.events().map(|e| e.time).collect();
+        assert_eq!(times, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_then_source() {
+        let a = rec(0, &[0.1, 0.5, 0.5]);
+        let b = rec(1, &[0.2, 0.5]);
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        let keys: Vec<(f64, u32, u64)> = merged.events().map(|e| e.sort_key()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0.1, 0, 0),
+                (0.2, 1, 0),
+                (0.5, 0, 1),
+                (0.5, 0, 2),
+                (0.5, 1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_order_of_disjoint_sources_is_immaterial() {
+        let shards = [rec(0, &[0.3, 0.9]), rec(1, &[0.1]), rec(2, &[0.3, 0.4])];
+        let mut fwd = FlightRecorder::new();
+        for s in &shards {
+            fwd.merge_from(s);
+        }
+        let mut rev = FlightRecorder::new();
+        for s in shards.iter().rev() {
+            rev.merge_from(s);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn merge_accumulates_drops_without_truncating() {
+        let mut a = FlightRecorder::with_capacity(2);
+        a.set_source(0);
+        for t in [0.1, 0.2, 0.3] {
+            a.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        let b = rec(1, &[0.15, 0.25, 0.35]);
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged.dropped(), 1);
+    }
+}

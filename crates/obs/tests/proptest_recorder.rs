@@ -1,0 +1,118 @@
+//! Property tests of the merge algebra the parallel fan-in relies on:
+//! [`Recorder::merge_from`] must be associative and commutative, so
+//! that any shuffled worker merge order produces byte-identical
+//! `to_json` output.
+
+use hide_obs::{Counter, Distribution, MetricsSink, Recorder, Stage};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One recorded operation, decoded from a `(selector, value)` pair so
+/// plain integer strategies drive the whole metric namespace.
+fn apply_op(rec: &mut Recorder, selector: u8, value: u64) {
+    match selector % 3 {
+        0 => {
+            let c = Counter::ALL[selector as usize % Counter::COUNT];
+            rec.add(c, value % 1_000);
+        }
+        1 => {
+            let d = Distribution::ALL[selector as usize % Distribution::COUNT];
+            // Bounded so the histogram running sum cannot overflow even
+            // across hundreds of merged observations.
+            rec.observe(d, value % 1_000_000_000);
+        }
+        _ => {
+            let s = Stage::ALL[selector as usize % Stage::COUNT];
+            rec.add_span(s, value % 1_000_000);
+        }
+    }
+}
+
+fn build(ops: &[(u8, u64)]) -> Recorder {
+    let mut rec = Recorder::new();
+    for &(selector, value) in ops {
+        apply_op(&mut rec, selector, value);
+    }
+    rec
+}
+
+/// SplitMix64 step — the same generator the fleet kernel uses for seed
+/// derivation; here it turns one u64 into a permutation.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates order derived from a seed (vendored proptest has no
+/// shuffle strategy, so the permutation is data, not a strategy).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+fn shards() -> impl Strategy<Value = Vec<Vec<(u8, u64)>>> {
+    vec(vec((any::<u8>(), any::<u64>()), 0..12), 2..6)
+}
+
+proptest! {
+    /// Folding worker recorders in any shuffled order yields the same
+    /// recorder — and the same serialized bytes — as input order.
+    #[test]
+    fn merge_is_commutative_under_shuffle(ops in shards(), seed in any::<u64>()) {
+        let recs: Vec<Recorder> = ops.iter().map(|o| build(o)).collect();
+
+        let mut in_order = Recorder::new();
+        for r in &recs {
+            in_order.merge_from(r);
+        }
+        let mut shuffled = Recorder::new();
+        for &i in &permutation(recs.len(), seed) {
+            shuffled.merge_from(&recs[i]);
+        }
+        prop_assert_eq!(&in_order, &shuffled);
+        prop_assert_eq!(in_order.to_json(), shuffled.to_json());
+        prop_assert_eq!(in_order.render_summary(), shuffled.render_summary());
+    }
+
+    /// Merge is associative: (a + b) + c == a + (b + c).
+    #[test]
+    fn merge_is_associative(
+        a in vec((any::<u8>(), any::<u64>()), 0..12),
+        b in vec((any::<u8>(), any::<u64>()), 0..12),
+        c in vec((any::<u8>(), any::<u64>()), 0..12),
+    ) {
+        let (ra, rb, rc) = (build(&a), build(&b), build(&c));
+
+        let mut left = ra.clone();
+        left.merge_from(&rb);
+        left.merge_from(&rc);
+
+        let mut bc = rb.clone();
+        bc.merge_from(&rc);
+        let mut right = ra.clone();
+        right.merge_from(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    /// The empty recorder is the identity element.
+    #[test]
+    fn empty_recorder_is_identity(ops in vec((any::<u8>(), any::<u64>()), 0..16)) {
+        let r = build(&ops);
+        let mut left = Recorder::new();
+        left.merge_from(&r);
+        let mut right = r.clone();
+        right.merge_from(&Recorder::new());
+        prop_assert_eq!(&left, &r);
+        prop_assert_eq!(&right, &r);
+    }
+}

@@ -15,7 +15,9 @@ use hide_core::CoreError;
 use hide_energy::profile::DeviceProfile;
 use hide_energy::timeline::{Overhead, Timeline, TimelineFrame};
 use hide_energy::EnergyReport;
-use hide_obs::{Counter, MetricsSink, NoopSink};
+use hide_obs::{
+    Counter, MetricsSink, NoopSink, NoopTrace, TraceEventKind, TraceSink, WakeCause, WakeClass,
+};
 use hide_traces::record::Trace;
 use hide_traces::useful::Usefulness;
 use hide_wifi::frame::{Beacon, BroadcastDataFrame};
@@ -98,6 +100,27 @@ impl<'a> ProtocolSimulation<'a> {
     /// Propagates protocol errors ([`CoreError`]); none occur for valid
     /// traces.
     pub fn run_observed<S: MetricsSink>(&self, sink: &mut S) -> Result<ProtocolOutcome, CoreError> {
+        self.run_traced(sink, &mut NoopTrace)
+    }
+
+    /// [`run_observed`](Self::run_observed) with event tracing: every
+    /// DTIM boundary, emitted BTIM, and wake decision streams into
+    /// `trace` at simulation time. All protocol wakes here are proper
+    /// by construction (a single client whose refreshes are never
+    /// lost), so every `WakeDecision` carries class `Proper`; the frame
+    /// id is the running delivered-frame count of the first consumed
+    /// frame. The untraced entry points delegate here with no-op sinks,
+    /// so all three compile to the same hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors ([`CoreError`]); none occur for valid
+    /// traces.
+    pub fn run_traced<S: MetricsSink, T: TraceSink>(
+        &self,
+        sink: &mut S,
+        trace: &mut T,
+    ) -> Result<ProtocolOutcome, CoreError> {
         let tau = self.profile.wakelock_secs;
         let marking = Usefulness::port_based(self.trace, self.useful_fraction);
 
@@ -153,7 +176,7 @@ impl<'a> ProtocolSimulation<'a> {
             }
 
             // DTIM beacon at the end of the interval, over real bytes.
-            let beacon_bytes = ap.dtim_beacon_observed(i, sink).to_bytes();
+            let beacon_bytes = ap.dtim_beacon_traced(i, sink, trace).to_bytes();
             stats.beacons += 1;
             let beacon = Beacon::parse(&beacon_bytes).map_err(CoreError::Wifi)?;
             stats.btim_bytes += beacon.btim().map(|b| b.body_len() as u64 + 2).unwrap_or(0);
@@ -168,11 +191,16 @@ impl<'a> ProtocolSimulation<'a> {
                 // accounting follows the paper: only useful frames are
                 // charged, Eq. 1).
                 let mut t = interval_end;
+                let mut first_consumed: Option<(u16, u64)> = None;
                 for frame in &delivered {
                     let consumed = client.consumes(frame);
                     stats.frames_delivered += 1;
                     if consumed {
                         stats.frames_consumed += 1;
+                        if trace.is_enabled() && first_consumed.is_none() {
+                            first_consumed =
+                                Some((frame.udp_dst_port().unwrap_or(0), stats.frames_delivered));
+                        }
                         let airtime = phy::airtime_of_total_bytes(frame.len_bytes(), DataRate::R1M);
                         if t <= self.trace.duration {
                             timeline_frames.push(TimelineFrame {
@@ -184,6 +212,19 @@ impl<'a> ProtocolSimulation<'a> {
                         }
                         t += airtime;
                     }
+                }
+                if trace.is_enabled() {
+                    let (port, frame_id) = first_consumed.unwrap_or((0, 0));
+                    trace.emit(
+                        interval_end,
+                        TraceEventKind::WakeDecision {
+                            aid: client.aid().map(|a| a.value()).unwrap_or(0),
+                            port,
+                            frame_id,
+                            class: WakeClass::Proper,
+                            cause: WakeCause::Proper,
+                        },
+                    );
                 }
                 // Awake now; re-sync before suspending again if due.
                 client.resume();

@@ -16,7 +16,7 @@
 use crate::bitmap::{PartialVirtualBitmap, TrimmedBitmap};
 use crate::error::WifiError;
 use crate::mac::Aid;
-use hide_obs::{Counter, Distribution, MetricsSink};
+use hide_obs::{Counter, Distribution, MetricsSink, TraceEventKind, TraceSink};
 
 /// Element ID of the standard Traffic Indication Map.
 pub const ELEMENT_ID_TIM: u8 = 5;
@@ -233,6 +233,21 @@ impl Btim {
         sink.add(Counter::BtimBytes, bytes);
         sink.add(Counter::BtimBitsSet, self.bitmap.count() as u64);
         sink.observe(Distribution::BtimBytesPerBeacon, bytes);
+    }
+
+    /// Emits a `BtimEmitted` trace event at simulation time `now` —
+    /// the event-granular sibling of [`Btim::observe`]. A disabled sink
+    /// skips even the payload computation.
+    pub fn observe_traced<T: TraceSink>(&self, now: f64, trace: &mut T) {
+        if trace.is_enabled() {
+            trace.emit(
+                now,
+                TraceEventKind::BtimEmitted {
+                    bytes: (2 + self.body_len()) as u32,
+                    bits_set: self.bitmap.count() as u32,
+                },
+            );
+        }
     }
 }
 

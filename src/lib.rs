@@ -60,7 +60,10 @@ pub mod prelude {
     pub use hide_energy::battery::Battery;
     pub use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
     pub use hide_fleet::{ChurnConfig, FleetConfig, FleetError, FleetResult};
-    pub use hide_obs::{Counter, Distribution, Histogram, MetricsSink, NoopSink, Recorder, Stage};
+    pub use hide_obs::{
+        Counter, Distribution, FlightRecorder, Histogram, MetricsSink, NoopSink, NoopTrace,
+        Recorder, Stage, TraceEvent, TraceEventKind, TraceSink, WakeCause, WakeClass,
+    };
     pub use hide_sim::network::{fleet, NetworkSimulation};
     pub use hide_sim::protocol_sim::ProtocolSimulation;
     pub use hide_sim::solution::Solution;
