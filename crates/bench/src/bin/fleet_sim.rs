@@ -6,7 +6,8 @@
 //!           [--seed N] [--jobs N] [--scenario NAME]
 //!           [--refresh-interval SECS] [--refresh-loss P]
 //!           [--port-churn P] [--stale-timeout SECS]
-//!           [--metrics PATH] [--summary PATH] [--trace PATH] [--smoke]
+//!           [--metrics PATH] [--summary PATH] [--trace PATH]
+//!           [--energy-attribution] [--attribution-out PATH] [--smoke]
 //! ```
 //!
 //! `--trace PATH` turns the flight recorder on: every shard kernel's
@@ -16,6 +17,15 @@
 //! in `.jsonl`, as Chrome-trace JSON (open in Perfetto or
 //! `chrome://tracing`) otherwise. Both are simulation-time only, so the
 //! file is byte-identical at any `--jobs` count.
+//!
+//! `--energy-attribution` turns the per-client joule ledger on in the
+//! outputs: the `--metrics` artifact gains an integer-only `"energy"`
+//! section (fleet totals per wake class and cause, in nanojoules) and
+//! the human summary prints the per-cause joule split.
+//! `--attribution-out PATH` additionally exports the per-client rows —
+//! CSV when `PATH` ends in `.csv`, JSON Lines otherwise. Both outputs
+//! merge shard ledgers in BSS order, so they are byte-identical at any
+//! `--jobs` count.
 //!
 //! `--smoke` shrinks the fleet for a seconds-long CI sanity run and
 //! asserts the two tier-1 invariants inline: a loss-free control run
@@ -161,14 +171,39 @@ fn main() -> ExitCode {
         }
     };
     let wall = t0.elapsed().as_secs_f64();
+    let energy_attr = args.iter().any(|a| a == "--energy-attribution");
     report(&result, wall);
+    if energy_attr {
+        report_attribution(&result);
+    }
 
     if let Some(path) = parse_flag::<String>(&args, "--metrics") {
-        if let Err(e) = std::fs::write(&path, result.metrics_json()) {
+        let rendered = if energy_attr {
+            result.metrics_json_with_energy()
+        } else {
+            result.metrics_json()
+        };
+        if let Err(e) = std::fs::write(&path, rendered) {
             eprintln!("fleet_sim: writing {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = parse_flag::<String>(&args, "--attribution-out") {
+        let ledger = result.attribution();
+        let rendered = if path.ends_with(".csv") {
+            ledger.to_csv()
+        } else {
+            ledger.to_jsonl()
+        };
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("fleet_sim: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "attribution ledger written to {path} ({} client lanes)",
+            ledger.len()
+        );
     }
     if let Some(path) = parse_flag::<String>(&args, "--summary") {
         if let Err(e) = std::fs::write(&path, result.summary_json()) {
@@ -227,6 +262,35 @@ fn report(result: &FleetResult, wall: f64) {
     );
 }
 
+/// Human-readable per-cause joule split of the attribution ledger.
+fn report_attribution(result: &FleetResult) {
+    let ledger = result.attribution();
+    let t = ledger.totals();
+    let j = |nj: u64| nj as f64 / 1e9;
+    println!(
+        "attribution: {} client lanes, spent {:.3} J  \
+         [proper {:.3}  legacy {:.3}  spurious {:.3}  beacon {:.3}  \
+         burst-rx {:.3}  refresh-tx {:.3}]",
+        ledger.len(),
+        j(ledger.spent_nj()),
+        j(t.proper_nj),
+        j(t.legacy_nj),
+        j(t.spurious_nj.total()),
+        j(t.beacon_nj),
+        j(t.burst_rx_nj),
+        j(t.refresh_tx_nj),
+    );
+    println!(
+        "  missed (forgone, not spent) {:.3} J  \
+         [lost {:.3}  expired {:.3}  churn {:.3}  unknown {:.3}]",
+        j(t.missed_forgone_nj.total()),
+        j(t.missed_forgone_nj.refresh_lost),
+        j(t.missed_forgone_nj.entry_expired),
+        j(t.missed_forgone_nj.port_churn),
+        j(t.missed_forgone_nj.unknown),
+    );
+}
+
 /// CI invariants: determinism across jobs counts and the loss-free
 /// missed-wakeup guarantee.
 fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCode {
@@ -240,6 +304,8 @@ fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCod
     };
     if serial.metrics_json() != result.metrics_json()
         || serial.summary_json() != result.summary_json()
+        || serial.metrics_json_with_energy() != result.metrics_json_with_energy()
+        || serial.attribution().to_csv() != result.attribution().to_csv()
     {
         eprintln!("fleet_sim: SMOKE FAIL: jobs=1 and jobs={jobs} outputs differ");
         return ExitCode::FAILURE;

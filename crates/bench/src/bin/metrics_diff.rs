@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! hide-metrics-diff <golden.json> <candidate.json>
+//!                   [--profile FILE.toml]
 //!                   [--tol KEY=REL]... [--ignore KEY]... [--tol-default REL]
 //! ```
 //!
@@ -18,6 +19,27 @@
 //!   `KEY` and everything under `KEY.`, `--tol-default REL` for all
 //!   keys;
 //! * `--ignore KEY` drops `KEY` and everything under it entirely.
+//!
+//! `--profile FILE.toml` loads the same rules from a checked-in TOML
+//! file (see `golden/tolerances.toml`), replacing long ad-hoc flag
+//! lists in CI:
+//!
+//! ```toml
+//! default_tolerance = 0.0
+//!
+//! [[rule]]            # loosen a whole subtree
+//! key = "stages"
+//! tolerance = 0.05
+//!
+//! [[rule]]            # or drop one entirely
+//! key = "distributions.noisy"
+//! ignore = true
+//! ```
+//!
+//! Profile rules load before the command-line flags, and the longest
+//! matching key still wins; when a profile rule and a flag name the
+//! *same* key, the flag wins. `--tol-default` likewise overrides the
+//! profile's `default_tolerance`.
 //!
 //! Exit status: 0 when the artifacts agree within tolerance, 1 on any
 //! regression, 2 on usage or parse errors. CI runs this against the
@@ -40,9 +62,26 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut files = Vec::new();
     let mut rules = Rules::default();
+    // Profile rules load first: same-key command-line rules are pushed
+    // after them, and `Rules::tolerance` resolves length ties in favor
+    // of the later rule, so flags override the checked-in profile.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--profile" {
+            let path = args
+                .get(i + 1)
+                .ok_or("--profile expects a TOML file path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            profile::apply(&text, &mut rules).map_err(|e| format!("{path}: {e}"))?;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => i += 2, // handled in the pre-pass
             "--tol" => {
                 let v = args.get(i + 1).ok_or("--tol expects KEY=REL")?;
                 let (key, rel) = v.split_once('=').ok_or("--tol expects KEY=REL")?;
@@ -127,6 +166,126 @@ impl Rules {
             .filter(|(r, _)| Rules::covers(r, key))
             .max_by_key(|(r, _)| r.len())
             .map_or(self.default_tol, |&(_, rel)| rel)
+    }
+}
+
+/// Tolerance-profile parser: the TOML subset the checked-in profiles
+/// use. Top-level `default_tolerance = F`, then `[[rule]]` blocks each
+/// carrying `key = "..."` plus either `tolerance = F` or
+/// `ignore = true`. Comments (`#`) and blank lines are allowed;
+/// anything else is a parse error — a profile gates CI, so unknown
+/// syntax must fail loudly rather than be skipped.
+mod profile {
+    use super::Rules;
+
+    #[derive(Default)]
+    struct PendingRule {
+        line: usize,
+        key: Option<String>,
+        tolerance: Option<f64>,
+        ignore: Option<bool>,
+    }
+
+    fn flush(pending: PendingRule, rules: &mut Rules) -> Result<(), String> {
+        let at = pending.line;
+        let key = pending
+            .key
+            .ok_or(format!("rule at line {at}: missing `key`"))?;
+        match (pending.tolerance, pending.ignore.unwrap_or(false)) {
+            (Some(_), true) => Err(format!(
+                "rule at line {at}: `tolerance` and `ignore = true` are mutually exclusive"
+            )),
+            (Some(rel), false) => {
+                rules.tolerances.push((key, rel));
+                Ok(())
+            }
+            (None, true) => {
+                rules.ignored.push(key);
+                Ok(())
+            }
+            (None, false) => Err(format!(
+                "rule at line {at}: needs `tolerance = REL` or `ignore = true`"
+            )),
+        }
+    }
+
+    fn parse_tolerance(v: &str, at: usize) -> Result<f64, String> {
+        let rel: f64 = v
+            .parse()
+            .map_err(|_| format!("line {at}: bad tolerance {v:?}"))?;
+        if rel.is_finite() && rel >= 0.0 {
+            Ok(rel)
+        } else {
+            Err(format!("line {at}: tolerance must be finite and >= 0"))
+        }
+    }
+
+    fn parse_key(v: &str, at: usize) -> Result<String, String> {
+        let inner = v
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or(format!("line {at}: key must be a quoted string"))?;
+        if inner.is_empty() || inner.contains('"') {
+            return Err(format!("line {at}: bad key {v:?}"));
+        }
+        Ok(inner.to_string())
+    }
+
+    /// Parses `text` and appends its rules to `rules`.
+    pub fn apply(text: &str, rules: &mut Rules) -> Result<(), String> {
+        let mut pending: Option<PendingRule> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let at = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[rule]]" {
+                if let Some(done) = pending.take() {
+                    flush(done, rules)?;
+                }
+                pending = Some(PendingRule {
+                    line: at,
+                    ..PendingRule::default()
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {at}: unsupported table {line:?}"));
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or(format!("line {at}: expected `name = value`"))?;
+            let (k, v) = (k.trim(), v.trim());
+            match (&mut pending, k) {
+                (None, "default_tolerance") => {
+                    rules.default_tol = parse_tolerance(v, at)?;
+                }
+                (None, other) => {
+                    return Err(format!("line {at}: unknown top-level key {other:?}"));
+                }
+                (Some(rule), "key") => {
+                    rule.key = Some(parse_key(v, at)?);
+                }
+                (Some(rule), "tolerance") => {
+                    rule.tolerance = Some(parse_tolerance(v, at)?);
+                }
+                (Some(rule), "ignore") => {
+                    rule.ignore = Some(match v {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(format!("line {at}: `ignore` must be true or false")),
+                    });
+                }
+                (Some(_), other) => {
+                    return Err(format!("line {at}: unknown rule key {other:?}"));
+                }
+            }
+        }
+        if let Some(done) = pending.take() {
+            flush(done, rules)?;
+        }
+        Ok(())
     }
 }
 
@@ -497,6 +656,116 @@ mod tests {
         let mut flat = Vec::new();
         flatten("", &value, &mut flat);
         assert_eq!(flat, artifact(&[("buckets.3", 7), ("buckets.9", 1)]));
+    }
+
+    #[test]
+    fn profile_toml_parses_all_rule_forms() {
+        let text = r#"
+            # tolerance profile for the CI metrics gate
+            default_tolerance = 0.01
+
+            [[rule]]
+            key = "stages"        # loosen wall-clock-adjacent call counts
+            tolerance = 0.25
+
+            [[rule]]
+            key = "counters.fleet_missed_refresh_lost"
+            tolerance = 0.0
+
+            [[rule]]
+            key = "distributions.noisy"
+            ignore = true
+        "#;
+        let mut rules = Rules::default();
+        profile::apply(text, &mut rules).unwrap();
+        assert_eq!(rules.default_tol, 0.01);
+        assert_eq!(
+            rules.tolerances,
+            vec![
+                ("stages".to_string(), 0.25),
+                ("counters.fleet_missed_refresh_lost".to_string(), 0.0),
+            ]
+        );
+        assert_eq!(rules.ignored, vec!["distributions.noisy".to_string()]);
+        // Subtree resolution works through profile-loaded rules too.
+        assert_eq!(rules.tolerance("stages.fleet.calls"), 0.25);
+        assert_eq!(rules.tolerance("counters.fleet_missed_refresh_lost"), 0.0);
+        assert_eq!(rules.tolerance("counters.other"), 0.01);
+        assert!(rules.is_ignored("distributions.noisy.sum"));
+    }
+
+    #[test]
+    fn profile_rules_yield_to_cli_rules_on_the_same_key() {
+        // Profile loads first; a CLI rule on the identical key is
+        // pushed later and wins the longest-match tie. A *longer*
+        // profile rule still beats a shorter CLI rule.
+        let mut rules = Rules::default();
+        profile::apply(
+            "[[rule]]\nkey = \"counters.x\"\ntolerance = 0.5\n\
+             [[rule]]\nkey = \"counters.x.deep\"\ntolerance = 0.9\n",
+            &mut rules,
+        )
+        .unwrap();
+        rules.tolerances.push(("counters.x".into(), 0.1)); // CLI --tol
+        assert_eq!(rules.tolerance("counters.x"), 0.1);
+        assert_eq!(rules.tolerance("counters.x.other"), 0.1);
+        assert_eq!(rules.tolerance("counters.x.deep"), 0.9);
+    }
+
+    #[test]
+    fn profile_parse_errors_are_loud() {
+        let cases: &[(&str, &str)] = &[
+            ("default_tolerance = fast", "bad tolerance"),
+            ("default_tolerance = -0.5", "finite and >= 0"),
+            ("wrong_top = 1", "unknown top-level key"),
+            ("[[rule]]\ntolerance = 0.1", "missing `key`"),
+            ("[[rule]]\nkey = \"a\"", "needs `tolerance"),
+            ("[[rule]]\nkey = unquoted\nignore = true", "quoted string"),
+            ("[[rule]]\nkey = \"a\"\nignore = maybe", "true or false"),
+            (
+                "[[rule]]\nkey = \"a\"\ntolerance = 0.1\nignore = true",
+                "mutually exclusive",
+            ),
+            ("[table]", "unsupported table"),
+            ("[[rule]]\nkey = \"a\"\nwhat = 1", "unknown rule key"),
+            ("just words", "expected `name = value`"),
+        ];
+        for (text, want) in cases {
+            let err = profile::apply(text, &mut Rules::default()).unwrap_err();
+            assert!(err.contains(want), "{text:?} -> {err:?} (wanted {want:?})");
+        }
+    }
+
+    #[test]
+    fn profile_driven_diff_matches_flag_driven_diff() {
+        let a = artifact(&[
+            ("counters.fleet_missed_refresh_lost", 5),
+            ("stages.fleet.calls", 100),
+            ("energy.spent_nj", 1_000_000),
+        ]);
+        let b = artifact(&[
+            ("counters.fleet_missed_refresh_lost", 5),
+            ("stages.fleet.calls", 110),
+            ("energy.spent_nj", 1_000_001),
+        ]);
+        let mut profiled = Rules::default();
+        profile::apply(
+            "default_tolerance = 0.0\n\
+             [[rule]]\nkey = \"stages\"\ntolerance = 0.25\n\
+             [[rule]]\nkey = \"energy\"\ntolerance = 0.0\n",
+            &mut profiled,
+        )
+        .unwrap();
+        let flagged = Rules {
+            tolerances: vec![("stages".into(), 0.25), ("energy".into(), 0.0)],
+            ..Rules::default()
+        };
+        let pr = diff(&a, &b, &profiled);
+        let fr = diff(&a, &b, &flagged);
+        assert_eq!(pr.regressions, fr.regressions);
+        // stages drift passes under 25%; the energy drift is pinned.
+        assert_eq!(pr.regressions, 1);
+        assert!(pr.lines[0].contains("energy.spent_nj"));
     }
 
     #[test]

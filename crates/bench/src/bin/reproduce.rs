@@ -4,6 +4,7 @@
 //! ```text
 //! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext]
 //!           [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]
+//!           [--energy-attribution] [--attribution-out <file>]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
@@ -27,6 +28,16 @@
 //! event log: a JSONL stream when the path ends in `.jsonl`, otherwise
 //! Chrome-trace JSON with the run's wall-clock stage spans on a second
 //! track (open in Perfetto or `chrome://tracing`).
+//!
+//! `--energy-attribution` joins that flight-recorded wake stream
+//! against the Nexus One profile (trace-join pricing, see
+//! `crates/energy/src/attribution.rs`): the `--metrics` artifact gains
+//! an integer-only `"energy"` section and a per-client summary prints.
+//! The reference protocol run wakes only on wanted traffic, so the
+//! ledger holds proper-wake energy — a pricing cross-check rather than
+//! a failure audit (the fleet driver exercises the missed/spurious
+//! columns). `--attribution-out <file>` exports the per-client rows as
+//! CSV (`.csv`) or JSON Lines.
 
 use hide::HideError;
 use hide_bench as harness;
@@ -67,6 +78,13 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let csv_dir = flag_value(args, "--csv")?.map(std::path::PathBuf::from);
     let metrics_path = flag_value(args, "--metrics")?.map(std::path::PathBuf::from);
     let trace_path = flag_value(args, "--trace")?.map(std::path::PathBuf::from);
+    let attribution_path = flag_value(args, "--attribution-out")?.map(std::path::PathBuf::from);
+    let energy_attr = args.iter().any(|a| a == "--energy-attribution");
+    if attribution_path.is_some() && !energy_attr {
+        return Err(Exit::Usage(
+            "--attribution-out requires --energy-attribution".to_string(),
+        ));
+    }
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         match args.get(i + 1).map(|v| v.parse::<usize>()) {
             Some(Ok(jobs)) => hide_par::set_default_jobs(jobs),
@@ -82,7 +100,13 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let flag_values: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--csv" || *a == "--jobs" || *a == "--metrics" || *a == "--trace")
+        .filter(|(_, a)| {
+            *a == "--csv"
+                || *a == "--jobs"
+                || *a == "--metrics"
+                || *a == "--trace"
+                || *a == "--attribution-out"
+        })
         .map(|(i, _)| i + 1)
         .collect();
     let arg = args
@@ -98,6 +122,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let needs_traces = all
         || csv_dir.is_some()
         || trace_path.is_some()
+        || energy_attr
         || matches!(what, "fig6" | "fig7" | "fig8" | "fig9" | "ext");
     let traces = if needs_traces {
         eprintln!(
@@ -206,32 +231,75 @@ fn run(args: &[String]) -> Result<(), Exit> {
         return Err(Exit::Usage(format!(
             "unknown experiment '{what}'; expected one of: all table1 table2 \
              fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext \
-             [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]"
+             [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>] \
+             [--energy-attribution] [--attribution-out <file>]"
         )));
     }
 
-    if let Some(path) = &trace_path {
+    let mut attribution = None;
+    if trace_path.is_some() || energy_attr {
         // Flight-record the reference protocol run (the same setup the
         // `ext` cross-validation uses). Counters go to a no-op sink so
         // the --metrics artifact is identical with or without --trace.
         let mut flight = FlightRecorder::new();
         ProtocolSimulation::new(&traces[0], NEXUS_ONE, 0.10)
             .run_traced(&mut hide_obs::NoopSink, &mut flight)?;
-        let rendered = if path.extension().is_some_and(|e| e == "jsonl") {
-            export::to_jsonl(&flight)
+        if let Some(path) = &trace_path {
+            let rendered = if path.extension().is_some_and(|e| e == "jsonl") {
+                export::to_jsonl(&flight)
+            } else {
+                export::to_chrome_trace(&flight, Some(&recorder))
+            };
+            std::fs::write(path, rendered).map_err(HideError::from)?;
+            println!(
+                "\ntrace written to {} ({} events)",
+                path.display(),
+                flight.len()
+            );
+        }
+        if energy_attr {
+            // Trace join: per-client wake counts priced under the
+            // Nexus One profile with pre-rounded integer prices.
+            let counts = hide_obs::provenance::per_client(&flight);
+            let ledger = hide_energy::AttributionLedger::price(&counts, &NEXUS_ONE);
+            let totals = ledger.totals();
+            println!("\n===== energy attribution (trace join, Nexus One) =====");
+            println!(
+                "{} client lanes, {:.3} J across proper wakes \
+                 (spurious {:.3} J, missed forgone {:.3} J)",
+                ledger.len(),
+                totals.proper_nj as f64 / 1e9,
+                totals.spurious_nj.total() as f64 / 1e9,
+                totals.missed_forgone_nj.total() as f64 / 1e9,
+            );
+            attribution = Some(ledger);
+        }
+    }
+
+    if let Some(path) = &attribution_path {
+        let Some(ledger) = &attribution else {
+            return Err(Exit::Usage(
+                "--attribution-out requires --energy-attribution".to_string(),
+            ));
+        };
+        let rendered = if path.extension().is_some_and(|e| e == "csv") {
+            ledger.to_csv()
         } else {
-            export::to_chrome_trace(&flight, Some(&recorder))
+            ledger.to_jsonl()
         };
         std::fs::write(path, rendered).map_err(HideError::from)?;
-        println!(
-            "\ntrace written to {} ({} events)",
-            path.display(),
-            flight.len()
-        );
+        println!("attribution ledger written to {}", path.display());
     }
 
     if let Some(path) = &metrics_path {
-        std::fs::write(path, recorder.to_json()).map_err(HideError::from)?;
+        let rendered = match &attribution {
+            Some(ledger) => {
+                let energy = ledger.to_metrics_section();
+                recorder.to_json_with_sections(&[("energy", &energy)])
+            }
+            None => recorder.to_json(),
+        };
+        std::fs::write(path, rendered).map_err(HideError::from)?;
         println!("\n===== metrics summary =====");
         print!("{}", recorder.render_summary());
         println!("metrics json written to {}", path.display());

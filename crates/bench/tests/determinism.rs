@@ -133,6 +133,40 @@ fn fleet_runs_are_identical_across_job_counts() {
     assert!(seq_json.contains("\"fleet_bss_runs\""));
     assert!(serial.report.events > 0 && serial.report.refreshes_lost > 0);
 
+    // The per-client energy ledger inherits the guarantee at the same
+    // scale: integer-nanojoule shard ledgers merge in input order, so
+    // the energy-extended metrics artifact and both per-client exports
+    // (what `fleet_sim --energy-attribution --attribution-out` writes)
+    // are byte-identical across job counts.
+    let energy_json = serial.metrics_json_with_energy();
+    assert_eq!(
+        energy_json,
+        parallel.metrics_json_with_energy(),
+        "energy-attribution metrics JSON differs between job counts"
+    );
+    assert!(energy_json.contains("\"energy\": {\"clients\":"));
+    assert_eq!(
+        serial.attribution().to_csv(),
+        parallel.attribution().to_csv(),
+        "attribution CSV differs between job counts"
+    );
+    assert_eq!(
+        serial.attribution().to_jsonl(),
+        parallel.attribution().to_jsonl(),
+        "attribution JSONL differs between job counts"
+    );
+    // Differential invariant at deployment scale: the ledger's spent
+    // column reproduces the aggregate joule tally (±0.5 nJ per charge).
+    let spent_j = serial.attribution().spent_nj() as f64 / 1e9;
+    let total_j = serial.report.total_energy_j;
+    assert!(
+        (spent_j - total_j).abs() / total_j < 1e-5,
+        "attributed {spent_j} J vs aggregate {total_j} J"
+    );
+    // With refresh loss active some missed-wakeup energy must appear,
+    // and it stays out of the spent column by construction.
+    assert!(serial.attribution().totals().missed_forgone_nj.total() > 0);
+
     let mut lossless = cfg.clone();
     lossless.churn.refresh_loss = 0.0;
     let control = lossless.try_run_with_jobs(8).expect("valid fleet config");

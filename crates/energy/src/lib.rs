@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod battery;
 pub mod breakdown;
 pub mod closed_form;
@@ -55,6 +56,7 @@ pub mod profile;
 pub mod radio;
 pub mod timeline;
 
+pub use attribution::{AttributionLedger, CauseEnergy, ClientEnergy, WakePricing};
 pub use breakdown::{EnergyBreakdown, EnergyReport};
 pub use profile::DeviceProfile;
 pub use timeline::{EnergyError, Overhead, Timeline, TimelineFrame};

@@ -1,0 +1,153 @@
+//! Property-based tests of the attribution ledger's algebra.
+//!
+//! The fleet merge relies on ledger addition being exactly associative
+//! and commutative (integer nanojoules, no floats), and the pricing
+//! join must be non-negative everywhere and monotone in the wake
+//! counts it prices.
+
+use hide_energy::attribution::AttributionLedger;
+use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
+use hide_obs::provenance::ProvenanceLedger;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random ledger: up to 12 rows over a small key space (so merges
+/// actually collide), with bounded per-field charges.
+fn ledgers() -> impl Strategy<Value = AttributionLedger> {
+    vec(
+        (
+            (0u32..4, 1u16..6),
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+        ),
+        0..12,
+    )
+    .prop_map(|rows| {
+        let mut out = AttributionLedger::new();
+        for (key, proper, beacon, rx, missed) in rows {
+            let e = out.entry(key);
+            e.proper_nj += proper;
+            e.beacon_nj += beacon;
+            e.burst_rx_nj += rx;
+            e.missed_forgone_nj.refresh_lost += missed;
+        }
+        out
+    })
+}
+
+/// A random per-client wake-count ledger.
+fn wake_counts() -> impl Strategy<Value = ProvenanceLedger> {
+    vec(((0u32..4, 1u16..6), 0u64..500, 0u64..500, 0u64..500), 0..12).prop_map(|rows| {
+        let mut out = ProvenanceLedger::new();
+        for (key, proper, spurious, missed) in rows {
+            let w = out.entry(key);
+            w.proper += proper;
+            w.spurious.port_churn += spurious;
+            w.missed.refresh_lost += missed;
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Merge is exactly associative and commutative — the property the
+    /// deterministic shard fan-in rests on. Integer addition makes this
+    /// bit-exact, not approximate.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in ledgers(), b in ledgers(), c in ledgers()
+    ) {
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(&left, &right);
+        // c + b + a
+        let mut rev = c.clone();
+        rev.merge_from(&b);
+        rev.merge_from(&a);
+        prop_assert_eq!(&left, &rev);
+        // Identity, and exports agree when the ledgers do.
+        let mut with_empty = left.clone();
+        with_empty.merge_from(&AttributionLedger::new());
+        prop_assert_eq!(with_empty.to_csv(), left.to_csv());
+        prop_assert_eq!(with_empty.to_jsonl(), left.to_jsonl());
+        prop_assert_eq!(
+            with_empty.to_metrics_section(),
+            left.to_metrics_section()
+        );
+    }
+
+    /// Merging can only add energy: totals are superadditive-exact
+    /// (sum of parts), and spent/missed columns never go negative
+    /// (they are u64 built from non-negative prices).
+    #[test]
+    fn merge_totals_add_exactly(a in ledgers(), b in ledgers()) {
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        prop_assert_eq!(merged.spent_nj(), a.spent_nj() + b.spent_nj());
+        let (ta, tb, tm) = (a.totals(), b.totals(), merged.totals());
+        prop_assert_eq!(
+            tm.missed_forgone_nj.total(),
+            ta.missed_forgone_nj.total() + tb.missed_forgone_nj.total()
+        );
+        prop_assert!(merged.len() <= a.len() + b.len());
+        prop_assert!(merged.len() >= a.len().max(b.len()));
+    }
+
+    /// Priced energy is monotone in the spurious-wake count: adding
+    /// spurious wakes to any client lane strictly increases total
+    /// spent joules, and never touches the missed column.
+    #[test]
+    fn spent_is_monotone_in_spurious_wakes(
+        counts in wake_counts(),
+        key in (0u32..4, 1u16..6),
+        extra in 1u64..100,
+        s4 in any::<bool>(),
+    ) {
+        let profile = if s4 { GALAXY_S4 } else { NEXUS_ONE };
+        let base = AttributionLedger::price(&counts, &profile);
+        let mut more = counts.clone();
+        more.entry(key).spurious.port_churn += extra;
+        let bumped = AttributionLedger::price(&more, &profile);
+        prop_assert!(bumped.spent_nj() > base.spent_nj());
+        prop_assert_eq!(
+            bumped.spent_nj() - base.spent_nj(),
+            extra * hide_energy::WakePricing::from_profile(&profile).wake_nj
+        );
+        prop_assert_eq!(
+            bumped.totals().missed_forgone_nj.total(),
+            base.totals().missed_forgone_nj.total()
+        );
+    }
+
+    /// Pricing never produces negative or absent energy: every wake
+    /// count maps to a finite non-negative charge, and zero wakes of a
+    /// class map to exactly zero energy in that column.
+    #[test]
+    fn pricing_is_nonnegative_and_zero_preserving(counts in wake_counts(), s4 in any::<bool>()) {
+        let profile = if s4 { GALAXY_S4 } else { NEXUS_ONE };
+        let priced = AttributionLedger::price(&counts, &profile);
+        for (key, e) in priced.rows() {
+            let w = counts.get(*key).expect("priced row must come from a counted row");
+            // u64 charges are non-negative by construction; check the
+            // zero-preservation direction explicitly.
+            if w.spurious.total() == 0 {
+                prop_assert_eq!(e.spurious_nj.total(), 0);
+            }
+            if w.missed.total() == 0 {
+                prop_assert_eq!(e.missed_forgone_nj.total(), 0);
+            }
+            if w.total() == 0 {
+                prop_assert_eq!(e.spent_nj(), 0);
+            }
+        }
+    }
+}

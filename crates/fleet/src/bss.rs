@@ -19,6 +19,7 @@ use crate::fleet::FleetConfig;
 use crate::kernel::{derive_seed, EventQueue};
 use hide_core::ap::{AccessPoint, ClientPortTable};
 use hide_core::error::CoreError;
+use hide_energy::attribution::{joules_to_nj, AttributionLedger, WakePricing};
 use hide_obs::{
     Counter, Distribution, MetricsSink, NoopTrace, Recorder, Stage, TraceEventKind, TraceSink,
     WakeCause, WakeClass,
@@ -74,6 +75,11 @@ pub struct BssReport {
     /// Airtime consumed by UDP Port Messages, seconds (Eq. 21
     /// numerator).
     pub refresh_airtime_secs: f64,
+    /// Per-client, per-cause energy ledger (integer nanojoules), keyed
+    /// by `(bss_index, aid)`. Mirrors every charge made into
+    /// [`BssReport::total_energy_j`] plus the counterfactual
+    /// forgone-suspend cost of missed wakeups.
+    pub attribution: AttributionLedger,
 }
 
 impl BssReport {
@@ -95,6 +101,7 @@ impl BssReport {
         self.total_energy_j += other.total_energy_j;
         self.baseline_energy_j += other.baseline_energy_j;
         self.refresh_airtime_secs += other.refresh_airtime_secs;
+        self.attribution.merge_from(&other.attribution);
     }
 }
 
@@ -202,6 +209,13 @@ struct Engine<'a> {
     report: BssReport,
     /// `E_rm + E_sp` plus the wakelock tail, charged per wakeup.
     wake_cost_j: f64,
+    /// The same wake prices pre-rounded to integer nanojoules, charged
+    /// into the per-client ledger so engine-online attribution equals a
+    /// trace-join (`count × price`) bit-for-bit.
+    pricing: WakePricing,
+    /// This shard's trace-source lane (the BSS index), the first half of
+    /// every ledger key.
+    source: u32,
 }
 
 impl<'a> Engine<'a> {
@@ -261,6 +275,7 @@ impl<'a> Engine<'a> {
         let profile = &cfg.profile;
         let wake_cost_j =
             profile.wake_cycle_energy() + profile.wakelock_secs * profile.active_idle_power;
+        let pricing = WakePricing::from_profile(profile);
 
         Engine {
             cfg,
@@ -275,6 +290,8 @@ impl<'a> Engine<'a> {
             port_universe,
             report: BssReport::default(),
             wake_cost_j,
+            pricing,
+            source: bss_index as u32,
         }
     }
 
@@ -311,6 +328,10 @@ impl<'a> Engine<'a> {
         self.report.refreshes_sent += 1;
         self.report.refresh_airtime_secs += airtime;
         self.report.total_energy_j += airtime * self.cfg.profile.tx_power;
+        self.report
+            .attribution
+            .entry((self.source, aid.value()))
+            .refresh_tx_nj += joules_to_nj(airtime * self.cfg.profile.tx_power);
         let lost = churn.refresh_loss > 0.0 && c.rng.gen_bool(churn.refresh_loss);
         if lost {
             self.report.refreshes_lost += 1;
@@ -514,18 +535,25 @@ impl<'a> Engine<'a> {
         ports.sort_unstable();
         ports.dedup();
 
+        // Pre-rounded burst price: every client in this DTIM is charged
+        // the same integer, keeping the ledger merge-exact.
+        let burst_rx_nj = joules_to_nj(burst_rx_j);
+        let pricing = self.pricing;
         for c in &self.clients {
             let Some(aid) = c.aid else {
                 continue;
             };
+            let key = (self.source, aid.value());
             // Every associated client receives the DTIM beacon.
             self.report.total_energy_j += profile.beacon_energy;
             self.report.baseline_energy_j += profile.beacon_energy;
+            self.report.attribution.entry(key).beacon_nj += pricing.beacon_nj;
 
             if !c.suspended {
                 // Radio already awake: the burst is heard either way.
                 self.report.total_energy_j += burst_rx_j;
                 self.report.baseline_energy_j += burst_rx_j;
+                self.report.attribution.entry(key).burst_rx_nj += burst_rx_nj;
                 continue;
             }
             if !self.buffered.is_empty() {
@@ -536,6 +564,9 @@ impl<'a> Engine<'a> {
                 if !self.buffered.is_empty() {
                     self.report.wakeups += 1;
                     self.report.total_energy_j += self.wake_cost_j + burst_rx_j;
+                    let e = self.report.attribution.entry(key);
+                    e.charge_wake(WakeClass::Legacy, WakeCause::Proper, &pricing);
+                    e.burst_rx_nj += burst_rx_nj;
                     if trace.is_enabled() {
                         trace.emit(
                             now,
@@ -580,6 +611,9 @@ impl<'a> Engine<'a> {
                     rec.incr(spurious_cause_counter(cause));
                     (WakeClass::Spurious, cause)
                 };
+                let e = self.report.attribution.entry(key);
+                e.charge_wake(class, cause, &pricing);
+                e.burst_rx_nj += burst_rx_nj;
                 if trace.is_enabled() {
                     trace.emit(
                         now,
@@ -596,6 +630,10 @@ impl<'a> Engine<'a> {
                 self.report.missed_wakeups += 1;
                 let cause = c.last_desync.unwrap_or(WakeCause::Unknown);
                 rec.incr(missed_cause_counter(cause));
+                self.report
+                    .attribution
+                    .entry(key)
+                    .charge_wake(WakeClass::Missed, cause, &pricing);
                 if trace.is_enabled() {
                     trace.emit(
                         now,
@@ -745,6 +783,19 @@ mod tests {
         assert!(report.baseline_energy_j >= report.total_energy_j * 0.5);
         assert_eq!(rec.counter(Counter::FleetBssRuns), 1);
         assert_eq!(rec.counter(Counter::FleetEvents), report.events);
+        // The ledger mirrors every spent-energy charge: summed over the
+        // clients it reproduces the aggregate joule tally to within the
+        // per-charge ±0.5 nJ rounding.
+        assert!(!report.attribution.is_empty());
+        let spent_j = report.attribution.spent_nj() as f64 / 1e9;
+        let rel = (spent_j - report.total_energy_j).abs() / report.total_energy_j;
+        assert!(
+            rel < 1e-5,
+            "ledger {spent_j} vs aggregate {}",
+            report.total_energy_j
+        );
+        // All ledger keys live on this shard's source lane.
+        assert!(report.attribution.rows().iter().all(|((s, _), _)| *s == 0));
     }
 
     #[test]

@@ -225,6 +225,21 @@ impl FleetResult {
         self.recorder.to_json()
     }
 
+    /// The merged per-client energy ledger (integer nanojoules, keyed
+    /// by `(bss_index, aid)`), fanned in from the shards in input
+    /// order.
+    pub fn attribution(&self) -> &hide_energy::AttributionLedger {
+        &self.report.attribution
+    }
+
+    /// [`metrics_json`](Self::metrics_json) with the fleet-wide
+    /// `"energy"` attribution section spliced in — still integer-only
+    /// and byte-identical across reruns and `jobs` counts.
+    pub fn metrics_json_with_energy(&self) -> String {
+        let energy = self.report.attribution.to_metrics_section();
+        self.recorder.to_json_with_sections(&[("energy", &energy)])
+    }
+
     /// A small deterministic JSON document with the derived fleet
     /// scalars (energy, rates, Eq. 21 share). Formatted with fixed
     /// precision so it is byte-stable too.
@@ -330,6 +345,50 @@ mod tests {
         assert_eq!(serial.metrics_json(), parallel.metrics_json());
         assert_eq!(serial.summary_json(), parallel.summary_json());
         assert_eq!(serial.report, parallel.report);
+        // The attribution ledger merges shard-by-shard in input order,
+        // so its exports are byte-identical too.
+        assert_eq!(
+            serial.metrics_json_with_energy(),
+            parallel.metrics_json_with_energy()
+        );
+        assert_eq!(
+            serial.attribution().to_csv(),
+            parallel.attribution().to_csv()
+        );
+        assert_eq!(
+            serial.attribution().to_jsonl(),
+            parallel.attribution().to_jsonl()
+        );
+    }
+
+    #[test]
+    fn attributed_energy_matches_aggregate() {
+        let result = small().try_run_with_jobs(2).unwrap();
+        let ledger = result.attribution();
+        assert!(!ledger.is_empty());
+        let spent_j = ledger.spent_nj() as f64 / 1e9;
+        let total = result.report.total_energy_j;
+        assert!(
+            (spent_j - total).abs() / total < 1e-5,
+            "ledger {spent_j} vs aggregate {total}"
+        );
+        // The spliced artifact still parses as balanced integer-only JSON.
+        let json = result.metrics_json_with_energy();
+        assert!(json.contains("\"energy\": {\"clients\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn traced_attribution_wake_columns_match_trace_join() {
+        // Engine-online charging and the provenance trace join price
+        // wakes with the same pre-rounded integers, so the wake columns
+        // agree exactly (radio columns are invisible to the trace).
+        let mut cfg = small();
+        cfg.churn.refresh_loss = 0.4;
+        let (result, flight) = cfg.try_run_traced_with_jobs(2, 1 << 16).unwrap();
+        let counts = hide_obs::provenance::per_client(&flight);
+        let priced = hide_energy::AttributionLedger::price(&counts, &cfg.profile);
+        assert!(result.attribution().wake_columns_eq(&priced));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Fleet-level attribution invariants: the differential check against
+//! the aggregate joule tally, the loss-free zero-missed-energy
+//! guarantee, and the engine-online vs trace-join exact equality.
+
+use hide_energy::AttributionLedger;
+use hide_fleet::{ChurnConfig, FleetConfig};
+use hide_obs::provenance;
+use proptest::prelude::*;
+
+fn base(seed: u64) -> FleetConfig {
+    FleetConfig {
+        bss_count: 4,
+        clients_per_bss: 6,
+        adoption: 1.0,
+        duration_secs: 15.0,
+        seed,
+        churn: ChurnConfig {
+            mean_present_secs: 30.0,
+            mean_absent_secs: 5.0,
+            mean_active_secs: 3.0,
+            mean_suspended_secs: 10.0,
+            refresh_interval_secs: 2.0,
+            stale_timeout_secs: 7.0,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Pinned differential epsilon: every ledger charge rounds once to a
+/// whole nanojoule, so the relative gap to the f64 aggregate stays far
+/// below this at any realistic charge count.
+const DIFFERENTIAL_REL_EPS: f64 = 1e-5;
+
+#[test]
+fn differential_spent_equals_aggregate_energy() {
+    let mut cfg = base(0xA77);
+    cfg.churn.refresh_loss = 0.3;
+    cfg.churn.port_churn = 0.3;
+    let result = cfg.try_run_with_jobs(2).unwrap();
+    let spent_j = result.attribution().spent_nj() as f64 / 1e9;
+    let total_j = result.report.total_energy_j;
+    assert!(total_j > 0.0);
+    assert!(
+        (spent_j - total_j).abs() / total_j < DIFFERENTIAL_REL_EPS,
+        "ledger {spent_j} J vs aggregate {total_j} J"
+    );
+}
+
+proptest! {
+    // Fleet runs are comparatively expensive; a handful of seeds per
+    // property keeps the suite fast while still sweeping the RNG space.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A loss-free fleet attributes zero missed-wakeup energy — the
+    /// joule-space restatement of the tier-1 "no missed wakeups without
+    /// refresh loss" invariant — at every seed.
+    #[test]
+    fn lossfree_fleet_has_zero_missed_energy(seed in 0u64..1 << 48) {
+        let mut cfg = base(seed);
+        cfg.churn.refresh_loss = 0.0;
+        cfg.churn.port_churn = 0.25; // churn alone must not cost missed energy
+        let result = cfg.try_run_with_jobs(2).unwrap();
+        let totals = result.attribution().totals();
+        prop_assert_eq!(totals.missed_forgone_nj.total(), 0);
+        prop_assert_eq!(result.report.missed_wakeups, 0);
+        // The fleet still does real work and spends real energy.
+        prop_assert!(result.attribution().spent_nj() > 0);
+    }
+
+    /// The engine's online ledger and the flight-recorder trace join
+    /// price wakes identically — same integer prices, same counts — at
+    /// every seed, including lossy ones.
+    #[test]
+    fn online_ledger_matches_trace_join(seed in 0u64..1 << 48) {
+        let mut cfg = base(seed);
+        cfg.churn.refresh_loss = 0.4;
+        let (result, flight) = cfg.try_run_traced_with_jobs(2, 1 << 16).unwrap();
+        let counts = provenance::per_client(&flight);
+        let priced = AttributionLedger::price(&counts, &cfg.profile);
+        prop_assert!(result.attribution().wake_columns_eq(&priced));
+    }
+
+    /// The differential invariant holds across seeds, not just the
+    /// pinned scenario.
+    #[test]
+    fn differential_holds_across_seeds(seed in 0u64..1 << 48) {
+        let mut cfg = base(seed);
+        cfg.churn.refresh_loss = 0.2;
+        let result = cfg.try_run_with_jobs(2).unwrap();
+        let spent_j = result.attribution().spent_nj() as f64 / 1e9;
+        let total_j = result.report.total_energy_j;
+        prop_assert!(total_j > 0.0);
+        prop_assert!((spent_j - total_j).abs() / total_j < DIFFERENTIAL_REL_EPS);
+    }
+}

@@ -67,7 +67,7 @@ pub mod trace;
 
 pub use hist::Histogram;
 pub use metric::{Counter, Distribution, Stage};
-pub use provenance::{CauseCounts, ProvenanceBreakdown};
+pub use provenance::{CauseCounts, ClientKey, ClientWakes, ProvenanceBreakdown, ProvenanceLedger};
 pub use recorder::{Recorder, StageTiming};
 pub use sink::{MetricsSink, NoopSink};
 pub use trace::{

@@ -114,8 +114,25 @@ impl Recorder {
     /// whether or not it was touched, so the shape is stable.
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.to_json_with_sections(&[])
+    }
+
+    /// Like [`Recorder::to_json`], but splices extra top-level sections
+    /// into the artifact between the schema line and `"counters"`.
+    ///
+    /// Each `(name, body)` pair renders as `"name": body,` on its own
+    /// line; `body` must be a single-line JSON value the caller has
+    /// already serialized (the fleet engine uses this for the
+    /// integer-only `"energy"` attribution section). Section order is
+    /// caller-defined and therefore deterministic.
+    #[must_use]
+    pub fn to_json_with_sections(&self, sections: &[(&str, &str)]) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n  \"schema\": \"hide-metrics/1\",\n");
+
+        for (name, body) in sections {
+            let _ = writeln!(out, "  \"{name}\": {body},");
+        }
 
         out.push_str("  \"counters\": {\n");
         for (i, c) in Counter::ALL.iter().enumerate() {
@@ -364,6 +381,19 @@ mod tests {
         for s in Stage::ALL {
             assert!(json.contains(s.name()), "missing {}", s.name());
         }
+    }
+
+    #[test]
+    fn json_with_sections_splices_after_schema() {
+        let r = sample(&[(Counter::SimsRun, 1)], &[]);
+        let json = r.to_json_with_sections(&[("energy", "{\"total_nj\": 42}")]);
+        let schema_at = json.find("\"schema\"").unwrap();
+        let energy_at = json.find("\"energy\": {\"total_nj\": 42},").unwrap();
+        let counters_at = json.find("\"counters\"").unwrap();
+        assert!(schema_at < energy_at && energy_at < counters_at);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // No sections == plain to_json.
+        assert_eq!(r.to_json_with_sections(&[]), r.to_json());
     }
 
     #[test]
