@@ -1,0 +1,82 @@
+//! Calendar-queue scaling: the fleet kernel's hierarchical timing
+//! wheel ([`hide_fleet::EventQueue`]) against the retained binary-heap
+//! baseline ([`hide_fleet::HeapEventQueue`]) at 1k / 100k / 1M resident
+//! events, under two schedule horizons:
+//!
+//! * `near` — every reschedule lands within ~1 s (the fleet's DTIM /
+//!   refresh cadence, dense low-rung traffic);
+//! * `wide` — horizons spread over five decades up to a day (churn
+//!   dwells and far-future timers, exercising the top rungs and the
+//!   reladder path).
+//!
+//! Each measured iteration is one steady-state pop + reschedule at
+//! constant queue depth, i.e. the hold pattern a discrete-event kernel
+//! sustains, so nanoseconds/iteration compare directly across depths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hide_fleet::{EventQueue, HeapEventQueue};
+use std::hint::black_box;
+
+/// Deterministic horizon stream (SplitMix64), decoupled from the
+/// queues' internal tie seeds so both structures replay identical
+/// schedules.
+struct Horizons {
+    state: u64,
+    wide: bool,
+}
+
+impl Horizons {
+    fn next(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        if self.wide {
+            // Log-uniform over [1 ms, ~1 day]: five decades of horizon.
+            1e-3 * 10f64.powf(u * 5.0)
+        } else {
+            // Uniform over (0, 1 s]: DTIM/refresh cadence.
+            1e-3 + u
+        }
+    }
+}
+
+macro_rules! bench_queue {
+    ($c:expr, $label:literal, $ty:ident, $depth:expr, $wide:expr) => {{
+        let depth: usize = $depth;
+        let mut queue = $ty::with_seed(42);
+        let mut horizons = Horizons {
+            state: 7,
+            wide: $wide,
+        };
+        for i in 0..depth {
+            queue.schedule(horizons.next(), i as u32);
+        }
+        let name = format!(
+            "event_queue_scale/{}/{}/{}k",
+            $label,
+            if $wide { "wide" } else { "near" },
+            depth / 1000
+        );
+        $c.bench_function(&name, |b| {
+            b.iter(|| {
+                let (t, ev) = queue.pop().expect("queue is held at constant depth");
+                queue.schedule(t + horizons.next(), ev);
+                black_box(t)
+            })
+        });
+    }};
+}
+
+fn event_queue_scale(c: &mut Criterion) {
+    for &depth in &[1_000usize, 100_000, 1_000_000] {
+        for &wide in &[false, true] {
+            bench_queue!(c, "wheel", EventQueue, depth, wide);
+            bench_queue!(c, "heap", HeapEventQueue, depth, wide);
+        }
+    }
+}
+
+criterion_group!(benches, event_queue_scale);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! bench_throughput [--full|--smoke] [--out <path>]
 //! ```
 //!
-//! Four measurements:
+//! Six measurements:
 //!
 //! 1. **Experiment cells/sec** — the Figs. 7/8/9 simulation matrix at
 //!    `--jobs 1` versus all cores, plus the parallel speedup.
@@ -25,6 +25,12 @@
 //!    `BENCH_trace.json`; under `--smoke` the run *fails* if the
 //!    untraced path is measurably slower than the recording path,
 //!    which would mean the "zero-cost" sink is paying recording costs.
+//! 6. **Fleet-kernel events/sec floor** — single-shard throughput on
+//!    the BENCH_fleet per-event workload (100 clients/BSS, churn-heavy
+//!    refresh cadence), best of three runs. Under `--smoke` the run
+//!    *fails* if events/sec drops below the checked-in floor in
+//!    `golden/perf_floors.toml`, so a hot-path regression in the
+//!    timing wheel or the SoA engine cannot land silently.
 //!
 //! By default traces are 600 s so the run finishes quickly; `--full`
 //! uses the canonical 2700 s traces of the reproduction harness;
@@ -234,6 +240,51 @@ fn main() {
         std::process::exit(1);
     }
 
+    // --- 6. fleet-kernel events/sec against the checked-in floor ---
+    let kernel_cfg = FleetConfig {
+        bss_count: if smoke { 100 } else { 400 },
+        clients_per_bss: 100,
+        adoption: 0.75,
+        duration_secs: 60.0,
+        seed: 42,
+        churn: ChurnConfig {
+            refresh_interval_secs: 5.0,
+            refresh_loss: 0.1,
+            port_churn: 0.2,
+            stale_timeout_secs: 12.0,
+            ..ChurnConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let kernel_reps = 3;
+    let mut kernel_events = 0;
+    let mut kernel_best_secs = f64::INFINITY;
+    for _ in 0..kernel_reps {
+        let t0 = Instant::now();
+        let r = kernel_cfg.try_run_with_jobs(1).expect("valid fleet config");
+        let secs = t0.elapsed().as_secs_f64();
+        kernel_events = r.report.events;
+        if secs < kernel_best_secs {
+            kernel_best_secs = secs;
+        }
+        std::hint::black_box(r.report.wakeups);
+    }
+    let kernel_events_per_sec = kernel_events as f64 / kernel_best_secs.max(1e-12);
+    let kernel_floor = perf_floor("fleet_events_per_sec_floor");
+    eprintln!(
+        "fleet kernel @ {} BSS x {} clients, jobs=1: {kernel_events} events in \
+         {kernel_best_secs:.3} s (best of {kernel_reps}) = {kernel_events_per_sec:.0} \
+         events/s (floor {kernel_floor:.0})",
+        kernel_cfg.bss_count, kernel_cfg.clients_per_bss,
+    );
+    if smoke && kernel_events_per_sec < kernel_floor {
+        eprintln!(
+            "bench_throughput: SMOKE FAIL: fleet kernel at {kernel_events_per_sec:.0} \
+             events/s is below the golden/perf_floors.toml floor of {kernel_floor:.0}"
+        );
+        std::process::exit(1);
+    }
+
     let json = format!(
         "{{\n  \"trace_duration_secs\": {duration},\n  \"cores\": {cores},\n  \
          \"experiment_matrix\": {{\"cells\": {cells}, \
@@ -244,16 +295,45 @@ fn main() {
          \"speedup\": {:.2}}},\n  \
          \"obs_overhead\": {{\"runs\": {reps}, \"noop_secs\": {noop_secs:.3}, \
          \"recorder_secs\": {recorder_secs:.3}, \"relative\": {:.4}}},\n  \
+         \"fleet_kernel\": {{\"bss\": {}, \"clients_per_bss\": {}, \
+         \"duration_secs\": {}, \"reps\": {kernel_reps}, \
+         \"events\": {kernel_events}, \"best_secs\": {kernel_best_secs:.3}, \
+         \"events_per_sec\": {kernel_events_per_sec:.0}, \
+         \"floor\": {kernel_floor:.0}}},\n  \
          \"port_table\": [{table_rows}]\n}}\n",
         cells as f64 / matrix_seq,
         cells as f64 / matrix_par,
         matrix_seq / matrix_par,
         all_seq / all_par,
         recorder_secs / noop_secs,
+        kernel_cfg.bss_count,
+        kernel_cfg.clients_per_bss,
+        kernel_cfg.duration_secs,
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
     eprintln!("written to {out_path}");
+}
+
+/// Read one `key = value` number out of the checked-in perf-floor
+/// profile. The file is flat TOML, so a comment-stripping line scan is
+/// the whole parser; the path is resolved from the crate manifest so
+/// the gate works from any working directory.
+fn perf_floor(key: &str) -> f64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../golden/perf_floors.toml");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == key {
+                return v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("parse {key} in {path}: {e}"));
+            }
+        }
+    }
+    panic!("{key} not found in {path}");
 }
 
 #[derive(Clone, Copy)]

@@ -7,7 +7,8 @@
 //!           [--refresh-interval SECS] [--refresh-loss P]
 //!           [--port-churn P] [--stale-timeout SECS]
 //!           [--metrics PATH] [--summary PATH] [--trace PATH]
-//!           [--energy-attribution] [--attribution-out PATH] [--smoke]
+//!           [--energy-attribution] [--attribution-out PATH]
+//!           [--profile-stages] [--smoke]
 //! ```
 //!
 //! `--trace PATH` turns the flight recorder on: every shard kernel's
@@ -26,6 +27,16 @@
 //! CSV when `PATH` ends in `.csv`, JSON Lines otherwise. Both outputs
 //! merge shard ledgers in BSS order, so they are byte-identical at any
 //! `--jobs` count.
+//!
+//! `--profile-stages` runs the fleet with per-stage wall-time
+//! profiling and prints a breakdown table (setup, queue pops, DTIM
+//! sweeps, churn, refreshes, arrivals, merge) plus one
+//! `hide-fleet-stages/1` JSON line to stdout. Wall-clock is inherently
+//! nondeterministic, so this output is separate from — and never
+//! spliced into — the golden-gated `hide-metrics/1` artifact; the
+//! `--metrics`/`--summary` files stay byte-identical with the flag on.
+//! Incompatible with `--trace` (the profiled path uses the no-op
+//! sink).
 //!
 //! `--smoke` shrinks the fleet for a seconds-long CI sanity run and
 //! asserts the two tier-1 invariants inline: a loss-free control run
@@ -130,8 +141,24 @@ fn main() -> ExitCode {
         jobs,
     );
     let trace_path = parse_flag::<String>(&args, "--trace");
+    let profile_stages = args.iter().any(|a| a == "--profile-stages");
+    if profile_stages && trace_path.is_some() {
+        eprintln!("fleet_sim: --profile-stages is incompatible with --trace");
+        return ExitCode::FAILURE;
+    }
     let t0 = Instant::now();
-    let result = if let Some(path) = &trace_path {
+    let result = if profile_stages {
+        let (result, profile) = match cfg.try_run_profiled_with_jobs(jobs) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("fleet_sim: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", profile.render());
+        println!("{}", profile.to_json());
+        result
+    } else if let Some(path) = &trace_path {
         let (result, flight) = match cfg.try_run_traced_with_jobs(jobs, DEFAULT_TRACE_CAPACITY) {
             Ok(out) => out,
             Err(e) => {

@@ -8,7 +8,8 @@ use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Ack, Beacon, BroadcastDataFrame, UdpPortMessage};
 use hide_wifi::ie::{Btim, InformationElement, Tim};
 use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Record the AP keeps per associated client.
 #[derive(Debug, Clone)]
@@ -39,6 +40,13 @@ pub struct AccessPoint {
     /// Partially received fragmented port reports, keyed by sender.
     pending_fragments: BTreeMap<MacAddr, Vec<u16>>,
     ssid: String,
+    /// AID values released by disassociations and not yet re-assigned.
+    /// Every element is below `next_fresh_aid`, so the heap minimum is
+    /// the lowest free AID whenever the heap is non-empty.
+    freed_aids: BinaryHeap<Reverse<u16>>,
+    /// Lowest AID value never assigned so far (`MAX_AID + 1` once the
+    /// space has been fully touched).
+    next_fresh_aid: u16,
 }
 
 impl AccessPoint {
@@ -54,6 +62,8 @@ impl AccessPoint {
             port_messages_received: 0,
             pending_fragments: BTreeMap::new(),
             ssid: "hide-net".to_string(),
+            freed_aids: BinaryHeap::new(),
+            next_fresh_aid: 1,
         }
     }
 
@@ -94,10 +104,21 @@ impl AccessPoint {
         if let Some(record) = self.clients.get(&mac) {
             return Ok(record.aid);
         }
-        let aid = (1..=MAX_AID)
-            .map(|v| Aid::new(v).expect("range is valid"))
-            .find(|aid| !self.by_aid.contains_key(aid))
-            .ok_or(CoreError::NoFreeAid)?;
+        // Lowest free AID in O(log free): freed values all sit below
+        // the fresh watermark, so the heap minimum (when present) beats
+        // every never-assigned value — the same answer the linear
+        // "first v in 1..=MAX_AID not in by_aid" scan produces.
+        let v = if let Some(Reverse(v)) = self.freed_aids.pop() {
+            v
+        } else if self.next_fresh_aid <= MAX_AID {
+            let v = self.next_fresh_aid;
+            self.next_fresh_aid += 1;
+            v
+        } else {
+            return Err(CoreError::NoFreeAid);
+        };
+        let aid = Aid::new(v).expect("range is valid");
+        debug_assert!(!self.by_aid.contains_key(&aid));
         self.clients.insert(
             mac,
             ClientRecord {
@@ -156,6 +177,7 @@ impl AccessPoint {
             .remove(&mac)
             .ok_or(CoreError::UnknownClient(mac))?;
         self.by_aid.remove(&record.aid);
+        self.freed_aids.push(Reverse(record.aid.value()));
         self.port_table.remove_client(record.aid);
         self.pending_fragments.remove(&mac);
         Ok(())
@@ -231,6 +253,10 @@ impl AccessPoint {
                 .entry(msg.client())
                 .or_default()
                 .extend_from_slice(msg.ports());
+        } else if self.pending_fragments.is_empty() {
+            // Common case: nothing mid-reassembly anywhere, so skip the
+            // per-message map probe entirely.
+            refresh(&mut self.port_table, msg.ports());
         } else if let Some(mut ports) = self.pending_fragments.remove(&msg.client()) {
             ports.extend_from_slice(msg.ports());
             refresh(&mut self.port_table, &ports);

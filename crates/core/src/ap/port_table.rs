@@ -88,6 +88,21 @@ pub struct ClientPortTable {
     /// updated through [`ClientPortTable::update_client_at`] appear
     /// here; untimestamped clients are exempt from expiry.
     last_refresh: FxHashMap<Aid, f64>,
+    /// Running count of stored `(port, client)` pairs, so
+    /// [`ClientPortTable::entry_count`] is O(1) on the per-DTIM path
+    /// instead of a walk over every client's port list.
+    entries: usize,
+    /// Conservative lower bound on the minimum `last_refresh`
+    /// timestamp (never above it, may be below). Lets
+    /// [`ClientPortTable::expire_stale`] prove "nothing is stale"
+    /// without scanning: if the bound is at or past the cutoff, so is
+    /// every timestamp. The `Default` of 0.0 is sound for the
+    /// non-negative simulation clocks every caller uses.
+    min_refresh: f64,
+    /// Reusable sort/dedup buffer for
+    /// [`ClientPortTable::update_client`], so steady-state refreshes
+    /// are allocation-free.
+    scratch: Vec<u16>,
     inserts: AtomicU64,
     deletes: AtomicU64,
     lookups: AtomicU64,
@@ -105,20 +120,43 @@ impl ClientPortTable {
     /// entry, then inserts every new one (the refresh procedure of
     /// Section V.B). Duplicate ports in the input are inserted once.
     pub fn update_client(&mut self, client: Aid, ports: &[u16]) {
+        // Sort/dedup into the reusable scratch buffer — steady-state
+        // refreshes allocate nothing.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(ports);
+        scratch.sort_unstable();
+        scratch.dedup();
+        // Refresh fast path: when the new set equals the stored one,
+        // the delete-all-then-reinsert below would rebuild the exact
+        // same postings. Skip the structural churn but tick the
+        // counters exactly as the full procedure would — the deletes
+        // and inserts still *happen* per Section V.B, they just cancel.
+        if let Some(old) = self.by_client.get(&client) {
+            if *old == scratch {
+                self.last_refresh.remove(&client);
+                self.deletes
+                    .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                self.inserts
+                    .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                self.scratch = scratch;
+                return;
+            }
+        }
         self.remove_client(client);
-        let mut stored: Vec<u16> = ports.to_vec();
-        stored.sort_unstable();
-        stored.dedup();
-        for &port in &stored {
+        for &port in &scratch {
             let postings = self.by_port.entry(port).or_default();
             if let Err(at) = postings.binary_search(&client) {
                 postings.insert(at, client);
             }
-            self.inserts.fetch_add(1, Ordering::Relaxed);
         }
-        if !stored.is_empty() {
-            self.by_client.insert(client, stored);
+        self.inserts
+            .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+        self.entries += scratch.len();
+        if !scratch.is_empty() {
+            self.by_client.insert(client, scratch.clone());
         }
+        self.scratch = scratch;
     }
 
     /// [`ClientPortTable::update_client`] plus a refresh timestamp, so
@@ -128,6 +166,9 @@ impl ClientPortTable {
     pub fn update_client_at(&mut self, client: Aid, ports: &[u16], now: f64) {
         self.update_client(client, ports);
         if self.by_client.contains_key(&client) {
+            if self.last_refresh.is_empty() || now < self.min_refresh {
+                self.min_refresh = now;
+            }
             self.last_refresh.insert(client, now);
         }
     }
@@ -144,12 +185,27 @@ impl ClientPortTable {
     /// V.B's refresh contract). Clients stored through the untimestamped
     /// [`ClientPortTable::update_client`] are never expired.
     pub fn expire_stale(&mut self, cutoff: f64) -> ExpiryReport {
+        // Every timestamp is at least `min_refresh`; if that bound has
+        // not fallen behind the cutoff, no entry has either, and the
+        // per-DTIM call costs two comparisons instead of a table scan.
+        if self.last_refresh.is_empty() || self.min_refresh >= cutoff {
+            return ExpiryReport::default();
+        }
+        let mut keep_min = f64::INFINITY;
         let mut stale: Vec<Aid> = self
             .last_refresh
             .iter()
-            .filter(|&(_, &at)| at < cutoff)
+            .filter(|&(_, &at)| {
+                if at < cutoff {
+                    true
+                } else {
+                    keep_min = keep_min.min(at);
+                    false
+                }
+            })
             .map(|(&client, _)| client)
             .collect();
+        self.min_refresh = if keep_min.is_finite() { keep_min } else { 0.0 };
         // FxHashMap iteration order is arbitrary; sort so removal order
         // (and the report) is deterministic.
         stale.sort_unstable();
@@ -171,6 +227,8 @@ impl ClientPortTable {
         let Some(old_ports) = self.by_client.remove(&client) else {
             return;
         };
+        self.entries -= old_ports.len();
+        let mut deleted = 0u64;
         for port in old_ports {
             if let Some(postings) = self.by_port.get_mut(&port) {
                 if let Ok(at) = postings.binary_search(&client) {
@@ -179,9 +237,10 @@ impl ClientPortTable {
                 if postings.is_empty() {
                     self.by_port.remove(&port);
                 }
-                self.deletes.fetch_add(1, Ordering::Relaxed);
+                deleted += 1;
             }
         }
+        self.deletes.fetch_add(deleted, Ordering::Relaxed);
     }
 
     /// Looks up the clients listening on `port` (Algorithm 1, line 4),
@@ -189,6 +248,26 @@ impl ClientPortTable {
     /// [`ClientPortTable::postings_for_port`] instead.
     pub fn clients_for_port(&self, port: u16) -> Vec<Aid> {
         self.postings_for_port(port).to_vec()
+    }
+
+    /// The posting list of `port` **without** touching the `τ_lp`
+    /// counters (`None` when the port has no listeners): the raw read
+    /// behind batched flag sweeps that reconstruct the exact lookup
+    /// tallies themselves via [`ClientPortTable::charge_lookups`].
+    pub fn raw_postings(&self, port: u16) -> Option<&[Aid]> {
+        self.by_port.get(&port).map(Vec::as_slice)
+    }
+
+    /// Adds a batch of `τ_lp` accounting in one shot, equivalent to
+    /// `lookups` individual [`ClientPortTable::client_listens_on`]
+    /// calls of which `hits` found the port present and `misses` did
+    /// not. The counters are plain sums, so batched and per-call
+    /// charging snapshot identically.
+    pub fn charge_lookups(&self, lookups: u64, hits: u64, misses: u64) {
+        debug_assert_eq!(lookups, hits + misses);
+        self.lookups.fetch_add(lookups, Ordering::Relaxed);
+        self.lookup_hits.fetch_add(hits, Ordering::Relaxed);
+        self.lookup_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
     /// Borrowed posting list of the clients listening on `port`,
@@ -241,9 +320,11 @@ impl ClientPortTable {
         self.by_port.len()
     }
 
-    /// Total stored (port, client) pairs.
+    /// Total stored (port, client) pairs. O(1): the count is maintained
+    /// by every update and removal.
     pub fn entry_count(&self) -> usize {
-        self.by_client.values().map(Vec::len).sum()
+        debug_assert_eq!(self.entries, self.by_client.values().map(Vec::len).sum());
+        self.entries
     }
 
     /// Snapshot of the operation counters.
@@ -286,6 +367,9 @@ impl Clone for ClientPortTable {
             by_port: self.by_port.clone(),
             by_client: self.by_client.clone(),
             last_refresh: self.last_refresh.clone(),
+            entries: self.entries,
+            min_refresh: self.min_refresh,
+            scratch: Vec::new(),
             inserts: AtomicU64::new(self.inserts.load(Ordering::Relaxed)),
             deletes: AtomicU64::new(self.deletes.load(Ordering::Relaxed)),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
@@ -468,6 +552,45 @@ mod tests {
         assert_eq!(counts.lookups, 4);
         assert_eq!(counts.lookup_hits, 2);
         assert_eq!(counts.lookup_misses, 2);
+    }
+
+    #[test]
+    fn raw_postings_reads_without_counting() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[5353]);
+        table.reset_op_counts();
+        assert_eq!(table.raw_postings(5353), Some([aid(1)].as_slice()));
+        assert_eq!(table.raw_postings(80), None);
+        assert_eq!(table.op_counts().lookups, 0);
+    }
+
+    #[test]
+    fn charge_lookups_matches_per_call_counting() {
+        let mut counted = ClientPortTable::new();
+        counted.update_client(aid(1), &[5353]);
+        let batched = counted.clone();
+        counted.reset_op_counts();
+        batched.reset_op_counts();
+        let _ = counted.client_listens_on(aid(1), 5353); // hit
+        let _ = counted.client_listens_on(aid(2), 5353); // hit (port known)
+        let _ = counted.client_listens_on(aid(1), 80); // miss
+        batched.charge_lookups(3, 2, 1);
+        assert_eq!(counted.op_counts(), batched.op_counts());
+    }
+
+    #[test]
+    fn entry_count_tracks_updates_and_expiry() {
+        let mut table = ClientPortTable::new();
+        table.update_client(aid(1), &[80, 443]);
+        table.update_client_at(aid(2), &[80, 443, 8080], 0.0);
+        assert_eq!(table.entry_count(), 5);
+        table.update_client(aid(1), &[80]);
+        assert_eq!(table.entry_count(), 4);
+        let report = table.expire_stale(1.0);
+        assert_eq!(report.entries_removed, 3);
+        assert_eq!(table.entry_count(), 1);
+        table.remove_client(aid(1));
+        assert_eq!(table.entry_count(), 0);
     }
 
     #[test]

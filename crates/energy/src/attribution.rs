@@ -208,6 +208,24 @@ impl AttributionLedger {
         AttributionLedger { rows: Vec::new() }
     }
 
+    /// Builds a ledger directly from rows already sorted strictly
+    /// ascending by key — the zero-cost exit for producers (like the
+    /// BSS engine's dense per-AID lanes) that accumulate charges in
+    /// key order and only need the ledger shape at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the rows are not strictly sorted;
+    /// an unsorted ledger would silently break `entry`/`get`/`merge`.
+    #[must_use]
+    pub fn from_sorted_rows(rows: Vec<(ClientKey, ClientEnergy)>) -> Self {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows must be strictly ascending by (source, aid)"
+        );
+        AttributionLedger { rows }
+    }
+
     /// The rows, sorted by `(source, aid)`.
     #[must_use]
     pub fn rows(&self) -> &[(ClientKey, ClientEnergy)] {
@@ -266,7 +284,26 @@ impl AttributionLedger {
 
     /// Folds another ledger into this one: rows with equal keys add
     /// field-wise, others interleave at their sorted positions.
+    ///
+    /// Disjoint key ranges append in place: the fleet fan-in folds
+    /// shard ledgers in ascending source order, so without this fast
+    /// path every fold would re-copy all previously merged rows and
+    /// the sequential merge would go quadratic in the shard count.
     pub fn merge_from(&mut self, other: &AttributionLedger) {
+        if other.rows.is_empty() {
+            return;
+        }
+        match self.rows.last() {
+            None => {
+                self.rows = other.rows.clone();
+                return;
+            }
+            Some((last, _)) if other.rows[0].0 > *last => {
+                self.rows.extend_from_slice(&other.rows);
+                return;
+            }
+            Some(_) => {}
+        }
         let mut merged = Vec::with_capacity(self.rows.len() + other.rows.len());
         let mut a = self.rows.iter().peekable();
         let mut b = other.rows.iter().peekable();
@@ -523,6 +560,56 @@ mod tests {
         let mut with_empty = ab.clone();
         with_empty.merge_from(&AttributionLedger::new());
         assert_eq!(with_empty, ab);
+    }
+
+    #[test]
+    fn from_sorted_rows_equals_entry_built_ledger() {
+        let mut by_entry = AttributionLedger::new();
+        by_entry.entry((0, 1)).proper_nj = 10;
+        by_entry.entry((0, 5)).beacon_nj = 20;
+        let direct = AttributionLedger::from_sorted_rows(vec![
+            (
+                (0, 1),
+                ClientEnergy {
+                    proper_nj: 10,
+                    ..ClientEnergy::default()
+                },
+            ),
+            (
+                (0, 5),
+                ClientEnergy {
+                    beacon_nj: 20,
+                    ..ClientEnergy::default()
+                },
+            ),
+        ]);
+        assert_eq!(by_entry, direct);
+    }
+
+    #[test]
+    fn disjoint_merge_appends_exactly_like_the_general_path() {
+        // Shard-shaped ledgers: strictly increasing source lanes.
+        let mut shard0 = AttributionLedger::new();
+        shard0.entry((0, 1)).proper_nj = 1;
+        shard0.entry((0, 7)).beacon_nj = 2;
+        let mut shard1 = AttributionLedger::new();
+        shard1.entry((1, 2)).legacy_nj = 3;
+        let mut shard2 = AttributionLedger::new();
+        shard2.entry((2, 1)).burst_rx_nj = 4;
+
+        let mut folded = AttributionLedger::new();
+        folded.merge_from(&shard0);
+        folded.merge_from(&shard1);
+        folded.merge_from(&shard2);
+
+        // Reference: force the interleaving path by merging in an
+        // order that defeats the append fast path.
+        let mut reference = AttributionLedger::new();
+        reference.merge_from(&shard2);
+        reference.merge_from(&shard0);
+        reference.merge_from(&shard1);
+        assert_eq!(folded, reference);
+        assert_eq!(folded.len(), 4);
     }
 
     #[test]

@@ -13,13 +13,30 @@
 //! on stale interests). With zero refresh loss the two tables are
 //! updated atomically at the same events, so both failure counts are
 //! provably zero — the invariant the tier-1 tests pin down.
+//!
+//! # Hot-path layout
+//!
+//! The DTIM sweep visits every client of the BSS a hundred times a
+//! simulated second, so the population is stored **struct-of-arrays**
+//! (`Clients`): the sweep touches only the three hot columns (AID,
+//! suspended, HIDE flag) as dense parallel vectors instead of striding
+//! over per-client RNG state and port lists. Wake flags are computed
+//! **batched** before the sweep — one sorted-postings scan per burst
+//! port scatters "first flagged/useful port" marks onto client slots
+//! (the same postings idiom the port table itself uses) — and the
+//! `τ_lp` lookup tallies of the per-client short-circuit scan this
+//! replaced are reconstructed exactly from a presence prefix-sum, so
+//! the metrics artifact is unchanged byte-for-byte. Energy charges go
+//! to dense per-AID lanes and materialize into the sorted
+//! [`AttributionLedger`] once, at the end of the run.
 
 use crate::error::FleetError;
 use crate::fleet::FleetConfig;
 use crate::kernel::{derive_seed, EventQueue};
+use crate::profile::{FleetStage, NoopProfiler, StageProfiler};
 use hide_core::ap::{AccessPoint, ClientPortTable};
 use hide_core::error::CoreError;
-use hide_energy::attribution::{joules_to_nj, AttributionLedger, WakePricing};
+use hide_energy::attribution::{joules_to_nj, AttributionLedger, ClientEnergy, WakePricing};
 use hide_obs::{
     Counter, Distribution, MetricsSink, NoopTrace, Recorder, Stage, TraceEventKind, TraceSink,
     WakeCause, WakeClass,
@@ -28,13 +45,19 @@ use hide_traces::record::TraceFrame;
 use hide_traces::stream::FrameStream;
 use hide_wifi::assoc::{AssociationRequest, Disassociation};
 use hide_wifi::frame::UdpPortMessage;
-use hide_wifi::mac::{Aid, MacAddr};
+use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
 use hide_wifi::phy::{self, DataRate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// SSID every fleet BSS advertises.
 const SSID: &str = "hide-fleet";
+
+/// Sentinel in [`Engine::aid_slot`]: no client currently holds the AID.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Sentinel in the per-DTIM flag columns: no burst port matched.
+const NO_PORT_IDX: u32 = u32::MAX;
 
 /// Deterministic tallies from one BSS run. Aggregated across the fleet
 /// by field-wise addition ([`BssReport::merge_from`]).
@@ -124,30 +147,72 @@ enum Event {
     Resume { client: usize, epoch: u64 },
 }
 
-/// Live state of one client.
+/// Live state of the client population, struct-of-arrays: one slot per
+/// client, parallel columns. The per-DTIM sweep reads only `aids`,
+/// `suspended` and `hide` — three dense vectors — while the cold
+/// columns (RNGs, port lists) stay out of its cache footprint.
 #[derive(Debug)]
-struct Client {
-    mac: MacAddr,
-    hide: bool,
+struct Clients {
+    macs: Vec<MacAddr>,
+    hide: Vec<bool>,
     /// Ground-truth listened-on ports right now.
-    ports: Vec<u16>,
+    ports: Vec<Vec<u16>>,
     /// Assigned AID while associated.
-    aid: Option<Aid>,
+    aids: Vec<Option<Aid>>,
     /// Bumped on every leave; events carrying an older epoch are stale
     /// and dropped, which cancels the previous presence period's timers
-    /// without searching the heap.
-    epoch: u64,
-    suspended: bool,
+    /// without searching the queue.
+    epochs: Vec<u64>,
+    suspended: Vec<bool>,
     /// The most recent event that de-synchronized the AP's view of this
     /// client from ground truth (lost refresh, expiry, churn); cleared
     /// whenever a refresh is applied or the client (re)joins. This is
     /// the online form of the provenance analyzer's backward walk: at a
     /// missed wakeup the nearest de-sync event *is* the cause.
-    last_desync: Option<WakeCause>,
+    last_desync: Vec<Option<WakeCause>>,
     /// Whether the client has re-sampled its ports since the AP last
     /// heard from it — the only way a *spurious* wake can arise.
-    churned_since_sync: bool,
-    rng: StdRng,
+    churned_since_sync: Vec<bool>,
+    /// Memoized UDP Port Message for the slot's current port set —
+    /// rebuilt only when `ports` are re-sampled (the message depends
+    /// only on the slot's fixed MAC and its ports), so steady-state
+    /// refreshes transmit without reconstructing the frame.
+    msgs: Vec<Option<UdpPortMessage>>,
+    rngs: Vec<StdRng>,
+}
+
+impl Clients {
+    fn with_capacity(n: usize) -> Self {
+        Clients {
+            macs: Vec::with_capacity(n),
+            hide: Vec::with_capacity(n),
+            ports: Vec::with_capacity(n),
+            aids: Vec::with_capacity(n),
+            epochs: Vec::with_capacity(n),
+            suspended: Vec::with_capacity(n),
+            last_desync: Vec::with_capacity(n),
+            churned_since_sync: Vec::with_capacity(n),
+            msgs: Vec::with_capacity(n),
+            rngs: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, mac: MacAddr, hide: bool, ports: Vec<u16>, rng: StdRng) {
+        self.macs.push(mac);
+        self.hide.push(hide);
+        self.ports.push(ports);
+        self.aids.push(None);
+        self.epochs.push(0);
+        self.suspended.push(false);
+        self.last_desync.push(None);
+        self.churned_since_sync.push(false);
+        self.msgs.push(None);
+        self.rngs.push(rng);
+    }
+
+    fn len(&self) -> usize {
+        self.macs.len()
+    }
 }
 
 /// Draws an exponential variate with the given mean.
@@ -197,7 +262,12 @@ struct Engine<'a> {
     ap: AccessPoint,
     /// Ground truth of every associated client's current ports.
     truth: ClientPortTable,
-    clients: Vec<Client>,
+    clients: Clients,
+    /// AID value → client slot currently holding it ([`NO_SLOT`] when
+    /// free). Inverse of `clients.aids`, maintained at join/leave, so
+    /// postings scans and expiry reports resolve AIDs in O(1) instead
+    /// of a linear search over the population.
+    aid_slot: Vec<u32>,
     queue: EventQueue<Event>,
     stream: FrameStream,
     /// Buffered broadcast burst, each frame tagged with a per-shard id
@@ -207,6 +277,23 @@ struct Engine<'a> {
     next_frame_id: u64,
     port_universe: Vec<u16>,
     report: BssReport,
+    /// Dense per-AID energy lanes plus touched marks, grown on first
+    /// charge; materialized into `report.attribution` at the end of
+    /// the run ([`AttributionLedger::from_sorted_rows`]), replacing a
+    /// binary-search ledger insert per charge with an array write.
+    lanes: Vec<ClientEnergy>,
+    lane_touched: Vec<bool>,
+    /// Per-DTIM scratch, reused across boundaries: for each client
+    /// slot, the index into the sorted burst-port list of the first
+    /// port the AP flags it on / the first port it truly listens on
+    /// ([`NO_PORT_IDX`] when none).
+    flagged_first: Vec<u32>,
+    useful_first: Vec<u32>,
+    /// Per-DTIM scratch: `present_prefix[j]` = how many of the first
+    /// `j` burst ports exist in the AP table — the prefix-sum that
+    /// reconstructs exact `τ_lp` hit/miss tallies for the batched
+    /// sweep.
+    present_prefix: Vec<u32>,
     /// `E_rm + E_sp` plus the wakelock tail, charged per wakeup.
     wake_cost_j: f64,
     /// The same wake prices pre-rounded to integer nanojoules, charged
@@ -234,33 +321,25 @@ impl<'a> Engine<'a> {
         let churn = &cfg.churn;
         let mut queue = EventQueue::with_seed(derive_seed(seed, 3));
         let stagger = cfg.duration_secs.min(churn.mean_absent_secs);
-        let clients: Vec<Client> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 0x51ED));
-                let ports = sample_ports(&mut rng, &port_universe, churn.ports_per_client);
-                let join_at = rng.gen_range(0.0..stagger);
-                queue.schedule(
-                    join_at,
-                    Event::Join {
-                        client: i,
-                        epoch: 0,
-                    },
-                );
-                Client {
-                    mac: MacAddr::station(i as u32 + 1),
-                    hide: spec.hide_enabled,
-                    ports,
-                    aid: None,
+        let mut clients = Clients::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 0x51ED));
+            let ports = sample_ports(&mut rng, &port_universe, churn.ports_per_client);
+            let join_at = rng.gen_range(0.0..stagger);
+            queue.schedule(
+                join_at,
+                Event::Join {
+                    client: i,
                     epoch: 0,
-                    suspended: false,
-                    last_desync: None,
-                    churned_since_sync: false,
-                    rng,
-                }
-            })
-            .collect();
+                },
+            );
+            clients.push(
+                MacAddr::station(i as u32 + 1),
+                spec.hide_enabled,
+                ports,
+                rng,
+            );
+        }
 
         let mut stream = FrameStream::new(
             &cfg.scenario.params(),
@@ -283,12 +362,18 @@ impl<'a> Engine<'a> {
             ap,
             truth: ClientPortTable::new(),
             clients,
+            aid_slot: vec![NO_SLOT; MAX_AID as usize + 1],
             queue,
             stream,
             buffered: Vec::new(),
             next_frame_id: 1,
             port_universe,
             report: BssReport::default(),
+            lanes: Vec::new(),
+            lane_touched: Vec::new(),
+            flagged_first: Vec::new(),
+            useful_first: Vec::new(),
+            present_prefix: Vec::new(),
             wake_cost_j,
             pricing,
             source: bss_index as u32,
@@ -298,6 +383,20 @@ impl<'a> Engine<'a> {
     /// Paper-default DTIM spacing: 102.4 ms beacons, DTIM period 1.
     fn dtim_interval() -> f64 {
         hide_wifi::timing::TIME_UNIT_SECS * 100.0
+    }
+
+    /// Dense energy lane for `aid`, grown and marked touched on first
+    /// charge. Touch marks delimit exactly the lanes the sorted-ledger
+    /// `entry` API would have created.
+    #[inline]
+    fn lane(&mut self, aid: Aid) -> &mut ClientEnergy {
+        let v = aid.value() as usize;
+        if self.lanes.len() <= v {
+            self.lanes.resize(v + 1, ClientEnergy::default());
+            self.lane_touched.resize(v + 1, false);
+        }
+        self.lane_touched[v] = true;
+        &mut self.lanes[v]
     }
 
     /// Re-syncs the truth table and transmits a UDP Port Message,
@@ -312,37 +411,51 @@ impl<'a> Engine<'a> {
         trace: &mut T,
     ) -> Result<(), FleetError> {
         let churn = &self.cfg.churn;
-        let c = &mut self.clients[i];
-        if churn.port_churn > 0.0 && c.rng.gen_bool(churn.port_churn) {
-            c.ports = sample_ports(&mut c.rng, &self.port_universe, churn.ports_per_client);
-            c.churned_since_sync = true;
-            c.last_desync = Some(WakeCause::PortChurn);
+        if churn.port_churn > 0.0 && self.clients.rngs[i].gen_bool(churn.port_churn) {
+            self.clients.ports[i] = sample_ports(
+                &mut self.clients.rngs[i],
+                &self.port_universe,
+                churn.ports_per_client,
+            );
+            self.clients.msgs[i] = None;
+            self.clients.churned_since_sync[i] = true;
+            self.clients.last_desync[i] = Some(WakeCause::PortChurn);
             if trace.is_enabled() {
                 trace.emit(now, TraceEventKind::PortChurn { aid: aid.value() });
             }
         }
-        self.truth.update_client(aid, &c.ports);
-        let msg = UdpPortMessage::new(c.mac, self.bssid, c.ports.iter().copied())
-            .map_err(|e| FleetError::Core(CoreError::from(e)))?;
-        let airtime = phy::airtime_of_total_bytes(msg.len_bytes(), DataRate::R1M);
+        self.truth.update_client(aid, &self.clients.ports[i]);
+        if self.clients.msgs[i].is_none() {
+            self.clients.msgs[i] = Some(
+                UdpPortMessage::new(
+                    self.clients.macs[i],
+                    self.bssid,
+                    self.clients.ports[i].iter().copied(),
+                )
+                .map_err(|e| FleetError::Core(CoreError::from(e)))?,
+            );
+        }
+        let len_bytes = self.clients.msgs[i]
+            .as_ref()
+            .expect("memoized above")
+            .len_bytes();
+        let airtime = phy::airtime_of_total_bytes(len_bytes, DataRate::R1M);
         self.report.refreshes_sent += 1;
         self.report.refresh_airtime_secs += airtime;
         self.report.total_energy_j += airtime * self.cfg.profile.tx_power;
-        self.report
-            .attribution
-            .entry((self.source, aid.value()))
-            .refresh_tx_nj += joules_to_nj(airtime * self.cfg.profile.tx_power);
-        let lost = churn.refresh_loss > 0.0 && c.rng.gen_bool(churn.refresh_loss);
+        self.lane(aid).refresh_tx_nj += joules_to_nj(airtime * self.cfg.profile.tx_power);
+        let lost = churn.refresh_loss > 0.0 && self.clients.rngs[i].gen_bool(churn.refresh_loss);
         if lost {
             self.report.refreshes_lost += 1;
-            c.last_desync = Some(WakeCause::RefreshLost);
+            self.clients.last_desync[i] = Some(WakeCause::RefreshLost);
             if trace.is_enabled() {
                 trace.emit(now, TraceEventKind::RefreshLost { aid: aid.value() });
             }
         } else {
-            self.ap.handle_udp_port_message_at(&msg, now)?;
-            c.last_desync = None;
-            c.churned_since_sync = false;
+            let msg = self.clients.msgs[i].as_ref().expect("memoized above");
+            self.ap.handle_udp_port_message_at(msg, now)?;
+            self.clients.last_desync[i] = None;
+            self.clients.churned_since_sync[i] = false;
             if trace.is_enabled() {
                 trace.emit(now, TraceEventKind::RefreshApplied { aid: aid.value() });
             }
@@ -358,44 +471,43 @@ impl<'a> Engine<'a> {
         trace: &mut T,
     ) -> Result<(), FleetError> {
         let churn = &self.cfg.churn;
-        let c = &mut self.clients[i];
-        if epoch != c.epoch {
+        if epoch != self.clients.epochs[i] {
             return Ok(());
         }
-        let mut request = AssociationRequest::new(c.mac, self.bssid, SSID);
-        if c.hide {
+        let mut request = AssociationRequest::new(self.clients.macs[i], self.bssid, SSID);
+        if self.clients.hide[i] {
             request = request.with_hide_support();
         }
         let response = self.ap.handle_association_request(&request);
         let Some(aid) = response.aid() else {
             // AID space exhausted; retry after another absent dwell.
-            let delay = exp(&mut c.rng, churn.mean_absent_secs);
+            let delay = exp(&mut self.clients.rngs[i], churn.mean_absent_secs);
             self.queue
                 .schedule(now + delay, Event::Join { client: i, epoch });
             return Ok(());
         };
-        c.aid = Some(aid);
-        c.suspended = false;
+        self.clients.aids[i] = Some(aid);
+        self.aid_slot[aid.value() as usize] = i as u32;
+        self.clients.suspended[i] = false;
         // A (re)join is a provenance sync point: the AP starts from a
         // clean slate for this AID.
-        c.last_desync = None;
-        c.churned_since_sync = false;
+        self.clients.last_desync[i] = None;
+        self.clients.churned_since_sync[i] = false;
         self.report.associations += 1;
-        self.truth.update_client(aid, &c.ports);
+        self.truth.update_client(aid, &self.clients.ports[i]);
         if trace.is_enabled() {
             trace.emit(
                 now,
                 TraceEventKind::Join {
                     aid: aid.value(),
-                    hide: c.hide,
+                    hide: self.clients.hide[i],
                 },
             );
         }
 
-        let active_dwell = exp(&mut c.rng, churn.mean_active_secs);
-        let present_dwell = exp(&mut c.rng, churn.mean_present_secs);
-        let hide = c.hide;
-        if hide {
+        let active_dwell = exp(&mut self.clients.rngs[i], churn.mean_active_secs);
+        let present_dwell = exp(&mut self.clients.rngs[i], churn.mean_present_secs);
+        if self.clients.hide[i] {
             // First refresh rides along with association, so a loss-free
             // run never has an associated-but-unknown HIDE client.
             self.refresh(i, aid, now, trace)?;
@@ -418,24 +530,28 @@ impl<'a> Engine<'a> {
         now: f64,
         trace: &mut T,
     ) -> Result<(), FleetError> {
-        let c = &mut self.clients[i];
-        if epoch != c.epoch {
+        if epoch != self.clients.epochs[i] {
             return Ok(());
         }
-        let Some(aid) = c.aid else {
+        let Some(aid) = self.clients.aids[i] else {
             return Ok(());
         };
         if trace.is_enabled() {
             trace.emit(now, TraceEventKind::Leave { aid: aid.value() });
         }
         self.truth.remove_client(aid);
-        let notice = Disassociation::new(c.mac, self.bssid, Disassociation::REASON_LEAVING);
+        let notice = Disassociation::new(
+            self.clients.macs[i],
+            self.bssid,
+            Disassociation::REASON_LEAVING,
+        );
         self.ap.handle_disassociation(&notice)?;
-        c.aid = None;
-        c.epoch += 1;
-        let epoch = c.epoch;
+        self.clients.aids[i] = None;
+        self.aid_slot[aid.value() as usize] = NO_SLOT;
+        self.clients.epochs[i] += 1;
+        let epoch = self.clients.epochs[i];
         self.report.disassociations += 1;
-        let absent_dwell = exp(&mut c.rng, self.cfg.churn.mean_absent_secs);
+        let absent_dwell = exp(&mut self.clients.rngs[i], self.cfg.churn.mean_absent_secs);
         self.queue
             .schedule(now + absent_dwell, Event::Join { client: i, epoch });
         Ok(())
@@ -448,11 +564,10 @@ impl<'a> Engine<'a> {
         now: f64,
         trace: &mut T,
     ) -> Result<(), FleetError> {
-        let c = &self.clients[i];
-        if epoch != c.epoch {
+        if epoch != self.clients.epochs[i] {
             return Ok(());
         }
-        let Some(aid) = c.aid else {
+        let Some(aid) = self.clients.aids[i] else {
             return Ok(());
         };
         self.refresh(i, aid, now, trace)?;
@@ -465,17 +580,16 @@ impl<'a> Engine<'a> {
 
     fn handle_suspend_resume(&mut self, i: usize, epoch: u64, now: f64, suspend: bool) {
         let churn = &self.cfg.churn;
-        let c = &mut self.clients[i];
-        if epoch != c.epoch || c.aid.is_none() {
+        if epoch != self.clients.epochs[i] || self.clients.aids[i].is_none() {
             return;
         }
-        c.suspended = suspend;
+        self.clients.suspended[i] = suspend;
         if suspend {
-            let dwell = exp(&mut c.rng, churn.mean_suspended_secs);
+            let dwell = exp(&mut self.clients.rngs[i], churn.mean_suspended_secs);
             self.queue
                 .schedule(now + dwell, Event::Resume { client: i, epoch });
         } else {
-            let dwell = exp(&mut c.rng, churn.mean_active_secs);
+            let dwell = exp(&mut self.clients.rngs[i], churn.mean_active_secs);
             self.queue
                 .schedule(now + dwell, Event::Suspend { client: i, epoch });
         }
@@ -503,8 +617,9 @@ impl<'a> Engine<'a> {
             .expire_stale_port_entries(now - self.cfg.churn.stale_timeout_secs);
         self.report.entries_expired += expired.entries_removed;
         for &aid in &expired.clients {
-            if let Some(c) = self.clients.iter_mut().find(|c| c.aid == Some(aid)) {
-                c.last_desync = Some(WakeCause::EntryExpired);
+            let slot = self.aid_slot[aid.value() as usize];
+            if slot != NO_SLOT {
+                self.clients.last_desync[slot as usize] = Some(WakeCause::EntryExpired);
             }
             if trace.is_enabled() {
                 trace.emit(now, TraceEventKind::EntryExpired { aid: aid.value() });
@@ -526,6 +641,47 @@ impl<'a> Engine<'a> {
             );
         }
 
+        // Empty-burst fast path: with nothing buffered the full sweep
+        // below degenerates, bit-exactly, to charging each associated
+        // client its beacon — every burst term adds `+0.0` to a
+        // non-negative finite sum (an identity), every ledger burst add
+        // is `+= 0`, the flag pass scans zero ports, and the τ_lp
+        // charge is `(0, 0, 0)`. Most DTIMs in sparse scenarios take
+        // this path, so the sweep cost tracks traffic, not time.
+        if self.buffered.is_empty() {
+            let beacon_nj = self.pricing.beacon_nj;
+            let beacon_j = profile.beacon_energy;
+            // Accumulate the two sums in registers — the add sequence
+            // is the one the general sweep performs, so the result is
+            // bit-identical; only the per-iteration store is hoisted.
+            let mut total = self.report.total_energy_j;
+            let mut baseline = self.report.baseline_energy_j;
+            let lanes = &mut self.lanes;
+            let touched = &mut self.lane_touched;
+            for &aid in &self.clients.aids {
+                let Some(aid) = aid else {
+                    continue;
+                };
+                total += beacon_j;
+                baseline += beacon_j;
+                let v = aid.value() as usize;
+                if lanes.len() <= v {
+                    lanes.resize(v + 1, ClientEnergy::default());
+                    touched.resize(v + 1, false);
+                }
+                touched[v] = true;
+                lanes[v].beacon_nj += beacon_nj;
+            }
+            self.report.total_energy_j = total;
+            self.report.baseline_energy_j = baseline;
+            self.ap.port_table().charge_lookups(0, 0, 0);
+            let next = now + Self::dtim_interval();
+            if next < self.cfg.duration_secs {
+                self.queue.schedule(next, Event::Dtim);
+            }
+            return;
+        }
+
         let burst_rx_j: f64 = self
             .buffered
             .iter()
@@ -534,37 +690,74 @@ impl<'a> Engine<'a> {
         let mut ports: Vec<u16> = self.buffered.iter().map(|(_, f)| f.dst_port).collect();
         ports.sort_unstable();
         ports.dedup();
+        let m = ports.len();
+
+        // Batched flag pass: one postings scan per burst port scatters
+        // "first flagged/useful port index" marks onto client slots —
+        // the work the sweep below would otherwise redo as a per-client
+        // × per-port lookup matrix.
+        let n = self.clients.len();
+        self.flagged_first.clear();
+        self.flagged_first.resize(n, NO_PORT_IDX);
+        self.useful_first.clear();
+        self.useful_first.resize(n, NO_PORT_IDX);
+        self.present_prefix.clear();
+        self.present_prefix.push(0);
+        for (j, &p) in ports.iter().enumerate() {
+            let postings = self.ap.port_table().raw_postings(p);
+            self.present_prefix
+                .push(self.present_prefix[j] + postings.is_some() as u32);
+            if let Some(postings) = postings {
+                for &a in postings {
+                    let slot = self.aid_slot[a.value() as usize];
+                    if slot != NO_SLOT && self.flagged_first[slot as usize] == NO_PORT_IDX {
+                        self.flagged_first[slot as usize] = j as u32;
+                    }
+                }
+            }
+            if let Some(postings) = self.truth.raw_postings(p) {
+                for &a in postings {
+                    let slot = self.aid_slot[a.value() as usize];
+                    if slot != NO_SLOT && self.useful_first[slot as usize] == NO_PORT_IDX {
+                        self.useful_first[slot as usize] = j as u32;
+                    }
+                }
+            }
+        }
 
         // Pre-rounded burst price: every client in this DTIM is charged
         // the same integer, keeping the ledger merge-exact.
         let burst_rx_nj = joules_to_nj(burst_rx_j);
         let pricing = self.pricing;
-        for c in &self.clients {
-            let Some(aid) = c.aid else {
+        let wake_cost_j = self.wake_cost_j;
+        let beacon_j = profile.beacon_energy;
+        let have_burst = !self.buffered.is_empty();
+        let (mut lp_lookups, mut lp_hits) = (0u64, 0u64);
+        for i in 0..n {
+            let Some(aid) = self.clients.aids[i] else {
                 continue;
             };
-            let key = (self.source, aid.value());
             // Every associated client receives the DTIM beacon.
-            self.report.total_energy_j += profile.beacon_energy;
-            self.report.baseline_energy_j += profile.beacon_energy;
-            self.report.attribution.entry(key).beacon_nj += pricing.beacon_nj;
+            self.report.total_energy_j += beacon_j;
+            self.report.baseline_energy_j += beacon_j;
+            self.lane(aid).beacon_nj += pricing.beacon_nj;
 
-            if !c.suspended {
+            if !self.clients.suspended[i] {
                 // Radio already awake: the burst is heard either way.
                 self.report.total_energy_j += burst_rx_j;
                 self.report.baseline_energy_j += burst_rx_j;
-                self.report.attribution.entry(key).burst_rx_nj += burst_rx_nj;
+                self.lane(aid).burst_rx_nj += burst_rx_nj;
                 continue;
             }
-            if !self.buffered.is_empty() {
+            if have_burst {
                 // Receive-all baseline wakes for any buffered traffic.
-                self.report.baseline_energy_j += self.wake_cost_j + burst_rx_j;
+                self.report.baseline_energy_j += wake_cost_j + burst_rx_j;
             }
-            if !c.hide {
-                if !self.buffered.is_empty() {
+            if !self.clients.hide[i] {
+                if have_burst {
                     self.report.wakeups += 1;
-                    self.report.total_energy_j += self.wake_cost_j + burst_rx_j;
-                    let e = self.report.attribution.entry(key);
+                    self.report.total_energy_j += wake_cost_j + burst_rx_j;
+                    let e = self.lane(aid);
                     e.charge_wake(WakeClass::Legacy, WakeCause::Proper, &pricing);
                     e.burst_rx_nj += burst_rx_nj;
                     if trace.is_enabled() {
@@ -582,14 +775,23 @@ impl<'a> Engine<'a> {
                 }
                 continue;
             }
-            let flagged_port = ports
-                .iter()
-                .copied()
-                .find(|&p| self.ap.port_table().client_listens_on(aid, p));
-            let useful_port = ports
-                .iter()
-                .copied()
-                .find(|&p| self.truth.client_listens_on(aid, p));
+            // Reconstruct the τ_lp accounting of the short-circuiting
+            // per-port scan this batched pass replaced: a client
+            // flagged at port index j scanned j+1 ports (each hitting
+            // iff present, the last always a hit); an unflagged client
+            // scanned all m.
+            let fj = self.flagged_first[i];
+            let flagged_port = if fj != NO_PORT_IDX {
+                lp_lookups += fj as u64 + 1;
+                lp_hits += self.present_prefix[fj as usize] as u64 + 1;
+                Some(ports[fj as usize])
+            } else {
+                lp_lookups += m as u64;
+                lp_hits += self.present_prefix[m] as u64;
+                None
+            };
+            let uj = self.useful_first[i];
+            let useful_port = (uj != NO_PORT_IDX).then(|| ports[uj as usize]);
             let useful = useful_port.is_some();
             if useful {
                 self.report.useful_opportunities += 1;
@@ -597,13 +799,13 @@ impl<'a> Engine<'a> {
             if let Some(port) = flagged_port {
                 self.report.wakeups += 1;
                 self.report.hide_wakeups += 1;
-                self.report.total_energy_j += self.wake_cost_j + burst_rx_j;
+                self.report.total_energy_j += wake_cost_j + burst_rx_j;
                 let (class, cause) = if useful {
                     rec.incr(Counter::FleetWakeupsProper);
                     (WakeClass::Proper, WakeCause::Proper)
                 } else {
                     self.report.spurious_wakeups += 1;
-                    let cause = if c.churned_since_sync {
+                    let cause = if self.clients.churned_since_sync[i] {
                         WakeCause::PortChurn
                     } else {
                         WakeCause::Unknown
@@ -611,7 +813,7 @@ impl<'a> Engine<'a> {
                     rec.incr(spurious_cause_counter(cause));
                     (WakeClass::Spurious, cause)
                 };
-                let e = self.report.attribution.entry(key);
+                let e = self.lane(aid);
                 e.charge_wake(class, cause, &pricing);
                 e.burst_rx_nj += burst_rx_nj;
                 if trace.is_enabled() {
@@ -628,11 +830,9 @@ impl<'a> Engine<'a> {
                 }
             } else if let Some(port) = useful_port {
                 self.report.missed_wakeups += 1;
-                let cause = c.last_desync.unwrap_or(WakeCause::Unknown);
+                let cause = self.clients.last_desync[i].unwrap_or(WakeCause::Unknown);
                 rec.incr(missed_cause_counter(cause));
-                self.report
-                    .attribution
-                    .entry(key)
+                self.lane(aid)
                     .charge_wake(WakeClass::Missed, cause, &pricing);
                 if trace.is_enabled() {
                     trace.emit(
@@ -648,6 +848,11 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        // One bulk τ_lp charge replaces per-call atomics; the snapshot
+        // the run observes at the end is identical.
+        self.ap
+            .port_table()
+            .charge_lookups(lp_lookups, lp_hits, lp_lookups - lp_hits);
         self.buffered.clear();
 
         let next = now + Self::dtim_interval();
@@ -656,41 +861,85 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run<T: TraceSink>(
+    /// Routes one popped event to its handler.
+    #[inline]
+    fn dispatch<T: TraceSink>(
+        &mut self,
+        now: f64,
+        event: Event,
+        rec: &mut Recorder,
+        trace: &mut T,
+    ) -> Result<(), FleetError> {
+        match event {
+            Event::Dtim => self.handle_dtim(now, rec, trace),
+            Event::Arrival(frame) => {
+                self.report.frames += 1;
+                let id = self.next_frame_id;
+                self.next_frame_id += 1;
+                self.buffered.push((id, frame));
+                if let Some(next) = self.stream.next() {
+                    self.queue.schedule(next.time, Event::Arrival(next));
+                }
+            }
+            Event::Join { client, epoch } => self.handle_join(client, epoch, now, trace)?,
+            Event::Leave { client, epoch } => self.handle_leave(client, epoch, now, trace)?,
+            Event::Refresh { client, epoch } => self.handle_refresh(client, epoch, now, trace)?,
+            Event::Suspend { client, epoch } => {
+                self.handle_suspend_resume(client, epoch, now, true)
+            }
+            Event::Resume { client, epoch } => {
+                self.handle_suspend_resume(client, epoch, now, false)
+            }
+        }
+        Ok(())
+    }
+
+    fn run<T: TraceSink, P: StageProfiler>(
         mut self,
         rec: &mut Recorder,
         trace: &mut T,
+        prof: &mut P,
     ) -> Result<BssReport, FleetError> {
-        while let Some((now, event)) = self.queue.pop() {
+        loop {
+            let pop_start = P::ENABLED.then(std::time::Instant::now);
+            let Some((now, event)) = self.queue.pop() else {
+                break;
+            };
+            if let Some(t) = pop_start {
+                prof.add(FleetStage::QueuePop, t.elapsed().as_nanos() as u64);
+            }
             if now >= self.cfg.duration_secs {
                 break;
             }
             self.report.events += 1;
-            match event {
-                Event::Dtim => self.handle_dtim(now, rec, trace),
-                Event::Arrival(frame) => {
-                    self.report.frames += 1;
-                    let id = self.next_frame_id;
-                    self.next_frame_id += 1;
-                    self.buffered.push((id, frame));
-                    if let Some(next) = self.stream.next() {
-                        self.queue.schedule(next.time, Event::Arrival(next));
-                    }
-                }
-                Event::Join { client, epoch } => self.handle_join(client, epoch, now, trace)?,
-                Event::Leave { client, epoch } => self.handle_leave(client, epoch, now, trace)?,
-                Event::Refresh { client, epoch } => {
-                    self.handle_refresh(client, epoch, now, trace)?
-                }
-                Event::Suspend { client, epoch } => {
-                    self.handle_suspend_resume(client, epoch, now, true)
-                }
-                Event::Resume { client, epoch } => {
-                    self.handle_suspend_resume(client, epoch, now, false)
-                }
+            if P::ENABLED {
+                let stage = match &event {
+                    Event::Dtim => FleetStage::DtimSweep,
+                    Event::Arrival(_) => FleetStage::Arrival,
+                    Event::Refresh { .. } => FleetStage::Refresh,
+                    Event::Join { .. } | Event::Leave { .. } => FleetStage::Churn,
+                    Event::Suspend { .. } | Event::Resume { .. } => FleetStage::Churn,
+                };
+                let t = std::time::Instant::now();
+                self.dispatch(now, event, rec, trace)?;
+                prof.add(stage, t.elapsed().as_nanos() as u64);
+            } else {
+                self.dispatch(now, event, rec, trace)?;
             }
         }
         self.ap.port_table().observe_into(rec);
+        // Materialize the dense lanes into the report's sorted ledger:
+        // the source half of every key is this shard's constant, so
+        // ascending AID order is ascending key order.
+        let source = self.source;
+        let rows = self
+            .lane_touched
+            .iter()
+            .enumerate()
+            .filter(|&(_, &touched)| touched)
+            .map(|(v, _)| ((source, v as u16), self.lanes[v]))
+            .collect();
+        self.report.attribution = AttributionLedger::from_sorted_rows(rows);
         Ok(self.report)
     }
 }
@@ -715,11 +964,27 @@ pub(crate) fn run_bss_traced<T: TraceSink>(
     bss_index: usize,
     trace: &mut T,
 ) -> Result<(BssReport, Recorder), FleetError> {
+    run_bss_profiled(cfg, bss_index, trace, &mut NoopProfiler)
+}
+
+/// [`run_bss_traced`] with per-stage wall-time profiling. Profiling
+/// never touches the metrics artifact — spans land in the fleet-local
+/// [`StageProfiler`], not the golden-gated recorder — so the profiled
+/// run's outputs are byte-identical to the unprofiled run's.
+pub(crate) fn run_bss_profiled<T: TraceSink, P: StageProfiler>(
+    cfg: &FleetConfig,
+    bss_index: usize,
+    trace: &mut T,
+    prof: &mut P,
+) -> Result<(BssReport, Recorder), FleetError> {
     let start = std::time::Instant::now();
     let mut rec = Recorder::new();
     let engine = Engine::new(cfg, bss_index);
+    if P::ENABLED {
+        prof.add(FleetStage::Setup, start.elapsed().as_nanos() as u64);
+    }
     let loop_start = std::time::Instant::now();
-    let report = engine.run(&mut rec, trace)?;
+    let report = engine.run(&mut rec, trace, prof)?;
     rec.add_span(
         Stage::FleetEventLoop,
         loop_start.elapsed().as_nanos() as u64,

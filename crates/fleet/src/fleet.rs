@@ -8,9 +8,10 @@
 //! sums — and the JSON they serialize to — are byte-identical at any
 //! `--jobs` count.
 
-use crate::bss::{run_bss, run_bss_traced, BssReport};
+use crate::bss::{run_bss, run_bss_profiled, run_bss_traced, BssReport};
 use crate::churn::ChurnConfig;
 use crate::error::FleetError;
+use crate::profile::{FleetStage, StageProfile, StageProfiler};
 use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
 use hide_obs::{FlightRecorder, Recorder, Stage};
 use hide_traces::scenario::Scenario;
@@ -111,6 +112,47 @@ impl FleetConfig {
         }
         recorder.add_span(Stage::FleetMerge, merge_start.elapsed().as_nanos() as u64);
         Ok(FleetResult::assemble(self, report, recorder))
+    }
+
+    /// [`try_run_with_jobs`](Self::try_run_with_jobs) with per-stage
+    /// wall-time profiling on: every shard times its kernel's event
+    /// loop into a private [`StageProfile`], fanned in alongside the
+    /// reports. Profiling never touches the metrics artifact — the
+    /// returned [`FleetResult`] is byte-identical to the unprofiled
+    /// run's — but the run itself is a little slower (two timer reads
+    /// per kernel event), so the default paths stay on
+    /// [`NoopProfiler`](crate::NoopProfiler).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error before any work starts, or the first
+    /// (lowest-index) shard's protocol failure.
+    pub fn try_run_profiled_with_jobs(
+        &self,
+        jobs: usize,
+    ) -> Result<(FleetResult, StageProfile), FleetError> {
+        self.validate()?;
+        let indices: Vec<usize> = (0..self.bss_count).collect();
+        let shards = hide_par::par_map_jobs(jobs, &indices, |_, &i| {
+            let mut prof = StageProfile::new();
+            run_bss_profiled(self, i, &mut hide_obs::NoopTrace, &mut prof)
+                .map(|(bss, rec)| (bss, rec, prof))
+        });
+
+        let merge_start = Instant::now();
+        let mut report = BssReport::default();
+        let mut recorder = Recorder::new();
+        let mut profile = StageProfile::new();
+        for shard in shards {
+            let (bss, rec, shard_prof) = shard?;
+            report.merge_from(&bss);
+            recorder.merge_from(&rec);
+            profile.merge_from(&shard_prof);
+        }
+        let merge_nanos = merge_start.elapsed().as_nanos() as u64;
+        recorder.add_span(Stage::FleetMerge, merge_nanos);
+        profile.add(FleetStage::Merge, merge_nanos);
+        Ok((FleetResult::assemble(self, report, recorder), profile))
     }
 
     /// [`try_run_with_jobs`](Self::try_run_with_jobs) with the flight

@@ -1,5 +1,6 @@
-//! The discrete-event kernel: a binary-heap calendar queue with seeded
-//! tie-breaking.
+//! The discrete-event kernel: a hierarchical timing wheel with seeded
+//! tie-breaking, plus the binary-heap calendar it replaced (kept as the
+//! differential baseline, mirroring how the port table kept its BTree).
 //!
 //! Events pop in ascending time order ([`f64::total_cmp`], so the order
 //! is total even for pathological times). Two events at exactly the
@@ -10,6 +11,35 @@
 //! DTIM-before-refresh), yet the whole ordering is a pure function of
 //! the seed and the schedule calls — reruns and any `--jobs` count see
 //! the identical event sequence.
+//!
+//! # The timing wheel
+//!
+//! [`EventQueue`] stores events in a 64-rung hierarchy keyed by the
+//! monotone bit-image of the event time (the same transformation
+//! `total_cmp` sorts by, so key order *is* time order). Rung `r` holds
+//! every pending event whose key first differs from the wheel's
+//! *floor* — the key of the most recently popped event — at bit
+//! `r - 1`: the bottom rungs resolve near-future times at full
+//! precision while a single top rung coarsely banks the far future,
+//! which is exactly the hierarchical-wheel/ladder-queue shape. A
+//! `schedule` appends to its rung in O(1); a `pop` drains the lowest
+//! occupied rung, re-laddering its events against the new floor (each
+//! event only ever moves to a strictly lower rung, so the amortized
+//! cost per event is O(1) with a worst case of 64 moves). Rung 0 holds
+//! events at *exactly* the floor time, kept sorted by `(tie, seq)` so
+//! simultaneous events still pop in the seeded order.
+//!
+//! # Determinism contract
+//!
+//! The wheel pops the identical `(time, tie, seq)` sequence as
+//! [`HeapEventQueue`]: the key image preserves `total_cmp` order,
+//! equal times always share a rung (so the `(tie, seq)` sort is total
+//! within them), and events scheduled before the floor fall back to a
+//! small heap that, holding strictly earlier keys, always pops first.
+//! `crates/fleet/tests/proptest_kernel.rs` pins the equivalence as an
+//! executable spec; because the pop order is provably unchanged, every
+//! `hide-metrics/1` artifact produced through the kernel is
+//! byte-identical to the heap era's.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -30,6 +60,20 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub fn derive_seed(base: u64, index: u64) -> u64 {
     let mut state = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     splitmix64(&mut state)
+}
+
+/// The monotone bit-image of a time: unsigned keys that compare exactly
+/// like [`f64::total_cmp`] (sign bit flipped for positives, all bits
+/// flipped for negatives). Equal times map to equal keys and vice
+/// versa, so bucketing by key can never split a tie group.
+#[inline]
+fn time_key(time: f64) -> u64 {
+    let bits = time.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
 }
 
 /// One scheduled entry. Ordering is (time, tie, seq) ascending; the
@@ -67,7 +111,26 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic event calendar.
+/// Panics unless `time` is finite — shared schedule-time validation.
+///
+/// A NaN deadline is always a caller bug (`total_cmp` would sort it
+/// after infinity), and an infinite one is the same bug in disguise:
+/// `+inf` sorts last and silently starves the event instead of failing
+/// loudly, `-inf` jumps the whole queue.
+#[inline]
+fn check_finite(time: f64) {
+    assert!(
+        time.is_finite(),
+        "event time must be finite (got {time}); NaN and infinite deadlines \
+         would starve or hijack the queue"
+    );
+}
+
+/// Rungs in the wheel hierarchy: one per key bit, plus rung 0 for
+/// events at exactly the floor time.
+const RUNGS: usize = 65;
+
+/// A deterministic event calendar — the hierarchical timing wheel.
 ///
 /// # Example
 ///
@@ -83,7 +146,23 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `rungs[0]` — events at exactly the floor key, sorted descending
+    /// by `(tie, seq)` so the next pop is `pop()` off the back.
+    /// `rungs[r]` for `r ≥ 1` — unsorted events whose key first
+    /// differs from the floor at bit `r - 1`.
+    rungs: Vec<Vec<Scheduled<E>>>,
+    /// One bit per rung: which rungs are non-empty (bit `r` ⇔
+    /// `rungs[r]`), so finding the lowest occupied rung is one
+    /// `trailing_zeros`.
+    occupied: u128,
+    /// Key of the most recently popped wheel event; every wheel-held
+    /// key is ≥ the floor.
+    floor: u64,
+    /// Cold fallback for events scheduled *before* the floor (a pop
+    /// from the past). Their keys are strictly below every wheel key,
+    /// so they always pop first — preserving min-order exactly.
+    overdue: BinaryHeap<Scheduled<E>>,
+    len: usize,
     seq: u64,
     tie_state: u64,
     popped: u64,
@@ -94,6 +173,184 @@ impl<E> EventQueue<E> {
     /// `seed`.
     pub fn with_seed(seed: u64) -> Self {
         EventQueue {
+            rungs: (0..RUNGS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+            floor: 0,
+            overdue: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+            tie_state: seed ^ 0x6a09_e667_f3bc_c908,
+            popped: 0,
+        }
+    }
+
+    /// The rung for `key` relative to the current floor: 0 when equal,
+    /// otherwise one past the highest differing bit.
+    #[inline]
+    fn rung_of(&self, key: u64) -> usize {
+        (64 - (key ^ self.floor).leading_zeros()) as usize
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time` is not finite — a NaN deadline is always a
+    /// caller bug, and `total_cmp` would sort `+inf` after every real
+    /// time and silently starve the event (`-inf` would hijack the
+    /// queue head instead).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        check_finite(time);
+        let tie = splitmix64(&mut self.tie_state);
+        let entry = Scheduled {
+            time,
+            tie,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.len += 1;
+        let key = time_key(time);
+        if key < self.floor {
+            self.overdue.push(entry);
+            return;
+        }
+        self.insert_wheel(key, entry);
+    }
+
+    /// Places an entry (whose key is ≥ the floor) into its rung.
+    #[inline]
+    fn insert_wheel(&mut self, key: u64, entry: Scheduled<E>) {
+        let r = self.rung_of(key);
+        if r == 0 {
+            // Same time as the floor: keep the rung sorted descending
+            // by (tie, seq) so the minimum stays at the back.
+            let rung = &mut self.rungs[0];
+            let at = rung.partition_point(|e| (e.tie, e.seq) > (entry.tie, entry.seq));
+            rung.insert(at, entry);
+        } else {
+            self.rungs[r].push(entry);
+        }
+        self.occupied |= 1 << r;
+    }
+
+    /// Drains the lowest occupied rung (which must be ≥ 1), advances
+    /// the floor to its minimum key and re-ladders its events — each
+    /// lands on a strictly lower rung, with the minimum's tie group
+    /// arriving sorted in rung 0.
+    fn reladder(&mut self, r: usize) {
+        let batch = std::mem::take(&mut self.rungs[r]);
+        self.occupied &= !(1 << r);
+        // The new floor is the batch's minimum (time, tie, seq) key;
+        // every key in the rung shares the bits above r-1, so each
+        // event re-buckets strictly below r and progress is guaranteed.
+        let min_key = batch
+            .iter()
+            .map(|e| time_key(e.time))
+            .min()
+            .expect("reladder only runs on an occupied rung");
+        self.floor = min_key;
+        for entry in batch {
+            let key = time_key(entry.time);
+            debug_assert!(self.rung_of(key) < r);
+            self.insert_wheel(key, entry);
+        }
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.pop_keyed().map(|(time, _, _, event)| (time, event))
+    }
+
+    /// [`EventQueue::pop`] including the deterministic ordering keys:
+    /// `(time, tie, seq, event)`. The tie/seq exposure exists so
+    /// differential tests and benches can pin the full pop order
+    /// against [`HeapEventQueue`].
+    pub fn pop_keyed(&mut self) -> Option<(f64, u64, u64, E)> {
+        // Overdue events hold keys strictly below the floor — and the
+        // wheel holds only keys ≥ floor — so when any exist they are
+        // the global minimum and must drain first.
+        if let Some(s) = self.overdue.pop() {
+            self.len -= 1;
+            self.popped += 1;
+            return Some((s.time, s.tie, s.seq, s.event));
+        }
+        if self.occupied == 0 {
+            return None;
+        }
+        let lowest = self.occupied.trailing_zeros() as usize;
+        if lowest != 0 {
+            self.reladder(lowest);
+        }
+        let rung = &mut self.rungs[0];
+        let s = rung.pop().expect("rung 0 holds the re-laddered minimum");
+        if rung.is_empty() {
+            self.occupied &= !1;
+        }
+        self.len -= 1;
+        self.popped += 1;
+        Some((s.time, s.tie, s.seq, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    ///
+    /// Peeking does not re-ladder (it takes `&self`), so when the next
+    /// event sits in a higher rung this scans that rung for its
+    /// minimum — O(rung length), fine for the occasional inspection
+    /// the engines make of it.
+    pub fn peek_time(&self) -> Option<f64> {
+        let overdue = self.overdue.peek().map(|s| s.time);
+        if overdue.is_some() {
+            return overdue;
+        }
+        if self.occupied == 0 {
+            return None;
+        }
+        let lowest = self.occupied.trailing_zeros() as usize;
+        if lowest == 0 {
+            return self.rungs[0].last().map(|s| s.time);
+        }
+        self.rungs[lowest]
+            .iter()
+            .map(|s| s.time)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Number of events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events popped so far (the kernel's work measure).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// The binary-heap calendar queue the timing wheel replaced, retained
+/// verbatim as the differential baseline: same seeded tie stream, same
+/// `(time, tie, seq)` contract, same API. `benches/event_queue_scale`
+/// measures the swap and the kernel proptest pins pop-order
+/// equivalence — the same keep-the-old-structure idiom as
+/// [`BTreePortTable`](hide_core::ap::BTreePortTable).
+#[derive(Debug, Clone)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    tie_state: u64,
+    popped: u64,
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty queue whose tie-breaking stream derives from
+    /// `seed`. Seed-compatible with [`EventQueue::with_seed`].
+    pub fn with_seed(seed: u64) -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             tie_state: seed ^ 0x6a09_e667_f3bc_c908,
@@ -105,11 +362,10 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics when `time` is NaN — a NaN deadline is always a caller
-    /// bug, and `total_cmp` would otherwise sort it after infinity and
-    /// silently starve the event.
+    /// Panics when `time` is not finite, matching
+    /// [`EventQueue::schedule`].
     pub fn schedule(&mut self, time: f64, event: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
+        check_finite(time);
         let tie = splitmix64(&mut self.tie_state);
         self.heap.push(Scheduled {
             time,
@@ -122,9 +378,14 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.pop_keyed().map(|(time, _, _, event)| (time, event))
+    }
+
+    /// [`HeapEventQueue::pop`] including the `(time, tie, seq)` keys.
+    pub fn pop_keyed(&mut self) -> Option<(f64, u64, u64, E)> {
         let s = self.heap.pop()?;
         self.popped += 1;
-        Some((s.time, s.event))
+        Some((s.time, s.tie, s.seq, s.event))
     }
 
     /// Time of the next event without removing it.
@@ -151,6 +412,34 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_key_is_monotone_in_total_cmp() {
+        let times = [
+            f64::MIN,
+            -1e300,
+            -2.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1.0000000000000002,
+            1e300,
+            f64::MAX,
+        ];
+        for pair in times.windows(2) {
+            assert!(pair[0].total_cmp(&pair[1]) == Ordering::Less);
+            assert!(
+                time_key(pair[0]) < time_key(pair[1]),
+                "key order broke between {} and {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Equal times map to equal keys, so ties cannot split rungs.
+        assert_eq!(time_key(3.25), time_key(3.25));
+    }
 
     #[test]
     fn pops_in_time_order() {
@@ -204,10 +493,103 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
+    fn zero_delay_reschedule_lands_in_the_tie_group() {
+        let mut q = EventQueue::with_seed(3);
+        q.schedule(1.0, "first");
+        q.schedule(2.0, "later");
+        let (now, _) = q.pop().unwrap();
+        // A handler rescheduling at its own pop time must sort against
+        // any pending same-time events by (tie, seq), not jump or lag.
+        q.schedule(now, "again");
+        assert_eq!(q.pop(), Some((1.0, "again")));
+        assert_eq!(q.pop(), Some((2.0, "later")));
+    }
+
+    #[test]
+    fn scheduling_before_the_floor_still_pops_first() {
+        let mut q = EventQueue::with_seed(5);
+        q.schedule(10.0, "b");
+        assert_eq!(q.pop(), Some((10.0, "b")));
+        // The wheel floor sits at t=10; a past schedule takes the
+        // overdue path and must still pop before anything pending.
+        q.schedule(3.0, "past");
+        q.schedule(11.0, "future");
+        assert_eq!(q.peek_time(), Some(3.0));
+        assert_eq!(q.pop(), Some((3.0, "past")));
+        assert_eq!(q.pop(), Some((11.0, "future")));
+    }
+
+    #[test]
+    fn far_horizon_and_dense_times_mix() {
+        let mut q = EventQueue::with_seed(11);
+        let times = [1e-9, 7.25e8, 3.0, 3.0000000000000004, 1e12, 0.5, 3.0];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped: Vec<f64> = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t);
+        }
+        let mut want = times.to_vec();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(popped, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
     fn nan_time_rejected() {
         let mut q = EventQueue::with_seed(0);
         q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn positive_infinity_rejected() {
+        // Pre-wheel, +inf was accepted and sorted last forever — a
+        // silently starved event. Now it fails at the call site.
+        let mut q = EventQueue::with_seed(0);
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_infinity_rejected() {
+        let mut q = EventQueue::with_seed(0);
+        q.schedule(f64::NEG_INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn heap_baseline_rejects_non_finite_too() {
+        let mut q = HeapEventQueue::with_seed(0);
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_a_mixed_workload() {
+        // A compact inline differential check; the proptest owns the
+        // exhaustive version.
+        let mut wheel = EventQueue::with_seed(42);
+        let mut heap = HeapEventQueue::with_seed(42);
+        let mut t = 0.25f64;
+        for i in 0..200u32 {
+            let time = if i % 7 == 0 { 1e9 + t } else { t };
+            wheel.schedule(time, i);
+            heap.schedule(time, i);
+            t += if i % 3 == 0 { 0.0 } else { 0.125 };
+            if i % 5 == 4 {
+                assert_eq!(wheel.pop_keyed(), heap.pop_keyed());
+            }
+        }
+        loop {
+            let a = wheel.pop_keyed();
+            let b = heap.pop_keyed();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.popped(), heap.popped());
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!
 //! # Architecture
 //!
-//! * [`kernel`] — a binary-heap calendar queue with seeded
+//! * [`kernel`] — a hierarchical timing wheel with seeded
 //!   tie-breaking ([`EventQueue`]): the pop order is a pure function of
 //!   the seed, so reruns and any `--jobs` count see the same sequence.
+//!   The binary-heap calendar it replaced survives as
+//!   [`HeapEventQueue`], the differential baseline.
 //! * [`churn`] — the client lifecycle model ([`ChurnConfig`]):
 //!   presence and activity as independent alternating-renewal
 //!   processes, plus refresh period, loss, port churn, and the AP's
@@ -68,9 +70,11 @@ pub mod churn;
 pub mod error;
 pub mod fleet;
 pub mod kernel;
+pub mod profile;
 
 pub use bss::BssReport;
 pub use churn::ChurnConfig;
 pub use error::FleetError;
 pub use fleet::{FleetConfig, FleetResult};
-pub use kernel::{derive_seed, EventQueue};
+pub use kernel::{derive_seed, EventQueue, HeapEventQueue};
+pub use profile::{FleetStage, NoopProfiler, StageProfile, StageProfiler};
