@@ -1,0 +1,175 @@
+//! Loopback load generator and throughput benchmark for `hide-apd`.
+//!
+//! ```text
+//! apd_loadgen [--target ADDR | (spawns its own daemon)]
+//!             [--clients N] [--rounds N] [--shards N]
+//!             [--scenario NAME] [--seed N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Without `--target` the benchmark spawns an in-process daemon on
+//! loopback, drives it, checks a clean shutdown (snapshot written and
+//! parseable), and records the sustained message rate into a
+//! `BENCH_apd.json` artifact. `--smoke` additionally enforces the
+//! `apd_msgs_per_sec_floor` from `golden/perf_floors.toml`, which is
+//! what CI runs.
+
+use hide_apd::{loadgen, ApdConfig, ApdSnapshot, DaemonHandle, LoadgenConfig};
+use hide_traces::scenario::Scenario;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let mut cfg = LoadgenConfig::new();
+    if let Some(n) = flag("--clients") {
+        cfg.clients = n.parse().expect("--clients");
+    }
+    if let Some(n) = flag("--rounds") {
+        cfg.rounds = n.parse().expect("--rounds");
+    }
+    if let Some(name) = flag("--scenario") {
+        cfg.scenario = match name.as_str() {
+            "classroom" => Scenario::Classroom,
+            "cs_dept" => Scenario::CsDept,
+            "wml" => Scenario::Wml,
+            "starbucks" => Scenario::Starbucks,
+            "wrl" => Scenario::Wrl,
+            other => {
+                eprintln!("apd_loadgen: unknown scenario {other:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if let Some(n) = flag("--seed") {
+        cfg.seed = n.parse().expect("--seed");
+    }
+    if smoke {
+        // Seconds-long CI run; the floor is on rate, not volume.
+        cfg.clients = 32;
+        cfg.rounds = 50;
+        cfg.trace_secs = 20.0;
+    }
+    let shards: usize = flag("--shards").map_or(2, |n| n.parse().expect("--shards"));
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_apd.json".into());
+
+    // --- daemon: external target, or our own on loopback ---
+    let (target, handle, snap_path) = match flag("--target") {
+        Some(addr) => (addr.parse().expect("--target"), None, None),
+        None => {
+            let snap_path =
+                std::env::temp_dir().join(format!("apd_loadgen_{}.snap", std::process::id()));
+            let daemon_cfg = ApdConfig::new()
+                .shards(shards)
+                .snapshot_path(snap_path.clone());
+            let handle = DaemonHandle::spawn(daemon_cfg).expect("spawn daemon");
+            (handle.data_addr(), Some(handle), Some(snap_path))
+        }
+    };
+
+    let report = match loadgen::run(target, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("apd_loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "apd_loadgen: {} clients, {} port messages ({} acked), {} broadcasts \
+         in {:.3} s -> {:.0} msgs/s",
+        report.associations,
+        report.port_messages,
+        report.acks,
+        report.broadcasts_sent,
+        report.elapsed_secs,
+        report.msgs_per_sec
+    );
+
+    // --- clean shutdown with a final snapshot, when we own the daemon ---
+    if let Some(handle) = handle {
+        handle.tick(4).expect("tick");
+        let stats = handle.shutdown().expect("clean shutdown");
+        if stats.shards.acks_sent != report.acks {
+            eprintln!(
+                "apd_loadgen: daemon acked {} but loadgen saw {}",
+                stats.shards.acks_sent, report.acks
+            );
+            return ExitCode::FAILURE;
+        }
+        let snap_path = snap_path.expect("owned daemon has a snapshot path");
+        let bytes = std::fs::read(&snap_path).expect("shutdown snapshot written");
+        let snap = ApdSnapshot::parse(&bytes).expect("shutdown snapshot parses");
+        let clients: usize = snap.shards.iter().map(|s| s.clients.len()).sum();
+        let _ = std::fs::remove_file(&snap_path);
+        if clients != report.associations as usize {
+            eprintln!(
+                "apd_loadgen: snapshot holds {clients} clients, expected {}",
+                report.associations
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("apd_loadgen: clean shutdown, snapshot verified ({clients} clients)");
+    }
+
+    // --- artifact ---
+    let json = format!(
+        "{{\n  \"schema\": \"hide-bench-apd/1\",\n  \"workload\": {{\"clients\": {}, \
+         \"rounds\": {}, \"shards\": {}, \"scenario\": \"{}\", \"seed\": {}}},\n  \
+         \"apd\": {{\"port_messages\": {}, \"acks\": {}, \"broadcasts\": {}, \
+         \"elapsed_secs\": {:.6}, \"msgs_per_sec\": {:.0}}}\n}}\n",
+        cfg.clients,
+        cfg.rounds,
+        shards,
+        cfg.scenario.label(),
+        cfg.seed,
+        report.port_messages,
+        report.acks,
+        report.broadcasts_sent,
+        report.elapsed_secs,
+        report.msgs_per_sec
+    );
+    std::fs::write(&out_path, json).expect("write benchmark artifact");
+    println!("apd_loadgen: written to {out_path}");
+
+    if smoke {
+        let floor = perf_floor("apd_msgs_per_sec_floor");
+        if report.msgs_per_sec < floor {
+            eprintln!(
+                "apd_loadgen: FLOOR VIOLATION: {:.0} msgs/s is below the \
+                 golden/perf_floors.toml floor of {floor:.0}",
+                report.msgs_per_sec
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "apd_loadgen: floor ok ({:.0} >= {floor:.0} msgs/s)",
+            report.msgs_per_sec
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Read one `key = value` number out of the checked-in perf-floor
+/// profile (flat TOML; a comment-stripping line scan is the parser).
+fn perf_floor(key: &str) -> f64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../golden/perf_floors.toml");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == key {
+                return v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("parse {key} in {path}: {e}"));
+            }
+        }
+    }
+    panic!("{key} not found in {path}");
+}

@@ -1,0 +1,90 @@
+//! The `hide-apd` daemon binary.
+//!
+//! ```text
+//! hide-apd [--bind ADDR] [--ctrl ADDR] [--shards N]
+//!          [--beacon-interval-ms MS] [--stale-timeout SECS]
+//!          [--snapshot PATH] [--restore] [--telemetry PATH]
+//!          [--metrics-every-ticks N]
+//! ```
+//!
+//! Prints the bound data and control addresses on stdout, then serves
+//! until a `shutdown` control request arrives. A final snapshot is
+//! written on the way out when `--snapshot` is set.
+
+use hide_apd::{ApdConfig, DaemonHandle};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = ApdConfig::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--bind" => cfg.bind_addr = value("--bind"),
+            "--ctrl" => cfg.ctrl_addr = value("--ctrl"),
+            "--shards" => cfg.shards = parse(&value("--shards"), "--shards"),
+            "--beacon-interval-ms" => {
+                let ms: f64 = parse(&value("--beacon-interval-ms"), "--beacon-interval-ms");
+                cfg.beacon_interval_secs = Some(ms / 1000.0);
+            }
+            "--stale-timeout" => {
+                cfg.stale_timeout_secs = Some(parse(&value("--stale-timeout"), "--stale-timeout"));
+            }
+            "--snapshot" => cfg.snapshot_path = Some(value("--snapshot").into()),
+            "--restore" => cfg.restore = true,
+            "--telemetry" => cfg.telemetry_path = Some(value("--telemetry").into()),
+            "--metrics-every-ticks" => {
+                cfg.metrics_every_ticks =
+                    parse(&value("--metrics-every-ticks"), "--metrics-every-ticks");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "hide-apd: the HIDE access point as a long-running UDP service\n\
+                     options: --bind ADDR --ctrl ADDR --shards N --beacon-interval-ms MS\n\
+                     \x20        --stale-timeout SECS --snapshot PATH --restore\n\
+                     \x20        --telemetry PATH --metrics-every-ticks N"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown option {other:?} (try --help)")),
+        }
+    }
+
+    let handle = match DaemonHandle::spawn(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("hide-apd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("data {}", handle.data_addr());
+    println!("ctrl {}", handle.ctrl_addr());
+
+    handle.wait_for_shutdown_request();
+    match handle.shutdown() {
+        Ok(stats) => {
+            eprintln!("hide-apd: clean shutdown; {}", stats.to_line());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hide-apd: shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, what: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse()
+        .unwrap_or_else(|e| fail(&format!("bad {what} value {text:?}: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hide-apd: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,165 @@
+//! The control-socket text protocol.
+//!
+//! One request per UDP datagram, ASCII, newline-insensitive; one
+//! datagram back. The codec is trivial on purpose: `printf 'stats' |
+//! nc -u 127.0.0.1 <ctrl-port>` is a complete client. Replaces a
+//! signal-based trigger (SIGUSR1) so the daemon needs no platform
+//! bindings and tests can drive it over loopback.
+
+use crate::error::ApdError;
+
+/// A request to the daemon's control socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtrlRequest {
+    /// Liveness probe; answered with `pong`.
+    Ping,
+    /// One-line daemon statistics (`ok key=value ...`).
+    Stats,
+    /// A full `hide-metrics/1` telemetry dump, returned inline.
+    Metrics,
+    /// Write the client table to the configured snapshot path.
+    Snapshot,
+    /// Advance the DTIM cadence by `n` beacons (virtual time; used
+    /// when the timer thread is disabled).
+    Tick(u64),
+    /// Begin a clean shutdown.
+    Shutdown,
+}
+
+impl CtrlRequest {
+    /// Encodes the request to its wire text.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            CtrlRequest::Ping => "ping".into(),
+            CtrlRequest::Stats => "stats".into(),
+            CtrlRequest::Metrics => "metrics".into(),
+            CtrlRequest::Snapshot => "snapshot".into(),
+            CtrlRequest::Tick(n) => format!("tick {n}"),
+            CtrlRequest::Shutdown => "shutdown".into(),
+        }
+    }
+
+    /// Parses a request from wire text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApdError::Ctrl`] for unknown verbs or malformed
+    /// arguments.
+    pub fn parse(text: &str) -> Result<Self, ApdError> {
+        let mut words = text.split_ascii_whitespace();
+        let verb = words.next().unwrap_or("");
+        let req = match verb {
+            "ping" => CtrlRequest::Ping,
+            "stats" => CtrlRequest::Stats,
+            "metrics" => CtrlRequest::Metrics,
+            "snapshot" => CtrlRequest::Snapshot,
+            "tick" => {
+                let arg = words
+                    .next()
+                    .ok_or_else(|| ApdError::Ctrl("tick needs a beacon count".into()))?;
+                let n = arg
+                    .parse()
+                    .map_err(|e| ApdError::Ctrl(format!("bad tick count {arg:?}: {e}")))?;
+                CtrlRequest::Tick(n)
+            }
+            "shutdown" => CtrlRequest::Shutdown,
+            other => return Err(ApdError::Ctrl(format!("unknown request {other:?}"))),
+        };
+        if words.next().is_some() {
+            return Err(ApdError::Ctrl(format!("trailing words in {text:?}")));
+        }
+        Ok(req)
+    }
+}
+
+/// A reply from the daemon's control socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtrlResponse {
+    /// Reply to [`CtrlRequest::Ping`].
+    Pong,
+    /// Success, with an optional payload (stats line, snapshot path,
+    /// or a full metrics document).
+    Ok(String),
+    /// Failure, with the error message.
+    Err(String),
+}
+
+impl CtrlResponse {
+    /// Encodes the response to its wire text.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            CtrlResponse::Pong => "pong".into(),
+            CtrlResponse::Ok(payload) if payload.is_empty() => "ok".into(),
+            CtrlResponse::Ok(payload) => format!("ok {payload}"),
+            CtrlResponse::Err(msg) => format!("err {msg}"),
+        }
+    }
+
+    /// Parses a response from wire text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApdError::Ctrl`] when the text starts with none of
+    /// `pong`, `ok`, or `err`.
+    pub fn parse(text: &str) -> Result<Self, ApdError> {
+        let text = text.trim_end_matches(['\r', '\n']);
+        if text == "pong" {
+            return Ok(CtrlResponse::Pong);
+        }
+        if text == "ok" {
+            return Ok(CtrlResponse::Ok(String::new()));
+        }
+        if let Some(payload) = text.strip_prefix("ok ") {
+            return Ok(CtrlResponse::Ok(payload.into()));
+        }
+        if let Some(msg) = text.strip_prefix("err ") {
+            return Ok(CtrlResponse::Err(msg.into()));
+        }
+        Err(ApdError::Ctrl(format!("unparseable response {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            CtrlRequest::Ping,
+            CtrlRequest::Stats,
+            CtrlRequest::Metrics,
+            CtrlRequest::Snapshot,
+            CtrlRequest::Tick(0),
+            CtrlRequest::Tick(u64::MAX),
+            CtrlRequest::Shutdown,
+        ] {
+            assert_eq!(CtrlRequest::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            CtrlResponse::Pong,
+            CtrlResponse::Ok(String::new()),
+            CtrlResponse::Ok("port=1234".into()),
+            CtrlResponse::Err("no snapshot path configured".into()),
+        ] {
+            assert_eq!(CtrlResponse::parse(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(CtrlRequest::parse("launch-missiles").is_err());
+        assert!(CtrlRequest::parse("tick").is_err());
+        assert!(CtrlRequest::parse("tick four").is_err());
+        assert!(CtrlRequest::parse("ping pong").is_err());
+        assert!(CtrlResponse::parse("maybe").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the AP daemon.
+
+use hide_core::CoreError;
+use hide_wifi::WifiError;
+use std::fmt;
+
+/// Errors produced by the daemon, its control protocol, and the load
+/// generator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ApdError {
+    /// A socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// The HIDE protocol core rejected an operation.
+    Core(CoreError),
+    /// A wire frame failed to decode.
+    Wifi(WifiError),
+    /// The daemon configuration is unusable.
+    Config(String),
+    /// A control-protocol request or response failed to parse.
+    Ctrl(String),
+    /// An `hide-apdsnap/1` snapshot file failed to decode.
+    Snapshot(String),
+    /// A daemon thread disappeared (panicked or already shut down).
+    ChannelClosed(&'static str),
+    /// The load generator timed out waiting for a daemon reply.
+    Timeout(&'static str),
+}
+
+impl fmt::Display for ApdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApdError::Io(e) => write!(f, "io: {e}"),
+            ApdError::Core(e) => write!(f, "protocol core: {e}"),
+            ApdError::Wifi(e) => write!(f, "wire codec: {e}"),
+            ApdError::Config(what) => write!(f, "invalid daemon config: {what}"),
+            ApdError::Ctrl(what) => write!(f, "control protocol: {what}"),
+            ApdError::Snapshot(what) => write!(f, "invalid apd snapshot: {what}"),
+            ApdError::ChannelClosed(who) => write!(f, "daemon thread gone: {who}"),
+            ApdError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ApdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApdError::Io(e) => Some(e),
+            ApdError::Core(e) => Some(e),
+            ApdError::Wifi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ApdError {
+    fn from(e: std::io::Error) -> Self {
+        ApdError::Io(e)
+    }
+}
+
+impl From<CoreError> for ApdError {
+    fn from(e: CoreError) -> Self {
+        ApdError::Core(e)
+    }
+}
+
+impl From<WifiError> for ApdError {
+    fn from(e: WifiError) -> Self {
+        ApdError::Wifi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = ApdError::from(CoreError::NoFreeAid);
+        assert!(e.to_string().contains("no free association id"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ApdError::Config("zero shards".into())
+            .to_string()
+            .contains("zero shards"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ApdError>();
+    }
+}

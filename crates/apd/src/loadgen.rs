@@ -1,0 +1,215 @@
+//! Loopback load generator for the daemon.
+//!
+//! Replays a [`Scenario`] trace against a running daemon over its real
+//! wire formats: associates a population of HIDE clients, then
+//! interleaves UDP Port Message refresh rounds (ACK-matched) with the
+//! trace's broadcast data frames (fire-and-forget, like real
+//! broadcast traffic), and reports the sustained message rate.
+
+use crate::error::ApdError;
+use hide_traces::scenario::Scenario;
+use hide_wifi::assoc::AssociationRequest;
+use hide_wifi::frame::{AnyFrame, BroadcastDataFrame, UdpPortMessage};
+use hide_wifi::mac::MacAddr;
+use hide_wifi::udp::UdpDatagram;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadgenConfig {
+    /// Clients to associate.
+    pub clients: usize,
+    /// UDP Port Message refresh rounds (one message per client per
+    /// round).
+    pub rounds: usize,
+    /// Open ports each client advertises.
+    pub ports_per_client: usize,
+    /// Scenario whose trace supplies the broadcast stream.
+    pub scenario: Scenario,
+    /// Seconds of trace to generate.
+    pub trace_secs: f64,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Per-reply receive timeout.
+    pub timeout: Duration,
+    /// BSSID of the daemon under test (addressed in every message).
+    pub bssid: MacAddr,
+}
+
+impl LoadgenConfig {
+    /// The default workload: 64 clients, 200 refresh rounds, the
+    /// Starbucks scenario.
+    #[must_use]
+    pub fn new() -> Self {
+        LoadgenConfig {
+            clients: 64,
+            rounds: 200,
+            ports_per_client: 8,
+            scenario: Scenario::Starbucks,
+            trace_secs: 60.0,
+            seed: 2016,
+            timeout: Duration::from_secs(5),
+            bssid: MacAddr::station(0),
+        }
+    }
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig::new()
+    }
+}
+
+/// What a load-generator run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct LoadgenReport {
+    /// Clients successfully associated.
+    pub associations: u64,
+    /// UDP Port Messages sent.
+    pub port_messages: u64,
+    /// ACKs received back.
+    pub acks: u64,
+    /// Broadcast data frames replayed from the trace.
+    pub broadcasts_sent: u64,
+    /// Wall-clock seconds of the measured (post-association) phase.
+    pub elapsed_secs: f64,
+    /// Sustained daemon-bound messages per second over the measured
+    /// phase (ACK-matched port messages plus broadcast frames).
+    pub msgs_per_sec: f64,
+}
+
+/// MAC of load-generator client `i`.
+fn client_mac(i: usize) -> MacAddr {
+    MacAddr::station(1 + i as u32)
+}
+
+/// Runs the workload against the daemon's data socket.
+///
+/// # Errors
+///
+/// Returns [`ApdError::Timeout`] when the daemon stops answering,
+/// [`ApdError::Io`] on socket failures, and [`ApdError::Wifi`] when a
+/// reply fails to decode.
+pub fn run(data_addr: SocketAddr, cfg: &LoadgenConfig) -> Result<LoadgenReport, ApdError> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.set_read_timeout(Some(cfg.timeout))?;
+    socket.connect(data_addr)?;
+
+    // --- associate every client, lockstep ---
+    let mut associations = 0u64;
+    for i in 0..cfg.clients {
+        let req = AssociationRequest::new(client_mac(i), cfg.bssid, "hide").with_hide_support();
+        socket.send(&req.to_bytes())?;
+        let resp = recv_frame(&socket, "association response")?;
+        match resp {
+            AnyFrame::AssociationResponse(resp) if resp.is_success() => associations += 1,
+            AnyFrame::AssociationResponse(_) => {}
+            other => {
+                return Err(ApdError::Ctrl(format!(
+                    "expected an association response, got {:?}",
+                    other.subtype()
+                )))
+            }
+        }
+    }
+
+    // --- measured phase: refresh rounds interleaved with the trace ---
+    let trace = cfg.scenario.generate(cfg.trace_secs, cfg.seed);
+    let broadcasts_per_round = trace.frames.len().div_ceil(cfg.rounds.max(1));
+    let mut frames = trace.frames.iter();
+
+    let mut port_messages = 0u64;
+    let mut acks = 0u64;
+    let mut broadcasts_sent = 0u64;
+    let started = Instant::now();
+    for round in 0..cfg.rounds {
+        // One windowed refresh burst: send every client's port message,
+        // then collect the ACKs.
+        for i in 0..cfg.clients {
+            let base = 10000 + (i as u16 % 100) * 100;
+            let ports = (0..cfg.ports_per_client as u16).map(|p| base + p);
+            let msg =
+                UdpPortMessage::new(client_mac(i), cfg.bssid, ports)?.with_seq(round as u16 % 4096);
+            socket.send(&msg.to_bytes())?;
+            port_messages += 1;
+        }
+        for _ in 0..cfg.clients {
+            if matches!(recv_frame(&socket, "ack")?, AnyFrame::Ack(_)) {
+                acks += 1;
+            }
+        }
+        // Replay this round's slice of the broadcast trace.
+        for f in frames.by_ref().take(broadcasts_per_round) {
+            let datagram = UdpDatagram::new(
+                [10, 0, 0, 2],
+                [255; 4],
+                4000,
+                f.dst_port,
+                vec![0; (f.len_bytes as usize).saturating_sub(60)],
+            );
+            let frame = BroadcastDataFrame::new(cfg.bssid, datagram, false);
+            socket.send(&frame.to_bytes())?;
+            broadcasts_sent += 1;
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let total = port_messages + broadcasts_sent;
+    Ok(LoadgenReport {
+        associations,
+        port_messages,
+        acks,
+        broadcasts_sent,
+        elapsed_secs,
+        msgs_per_sec: if elapsed_secs > 0.0 {
+            total as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+    })
+}
+
+fn recv_frame(socket: &UdpSocket, what: &'static str) -> Result<AnyFrame, ApdError> {
+    let mut buf = [0u8; 65536];
+    let len = socket.recv(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            ApdError::Timeout(what)
+        } else {
+            ApdError::Io(e)
+        }
+    })?;
+    Ok(AnyFrame::parse(&buf[..len])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApdConfig;
+    use crate::daemon::DaemonHandle;
+
+    #[test]
+    fn loadgen_drives_a_daemon_end_to_end() {
+        let handle = DaemonHandle::spawn(ApdConfig::new().shards(2)).unwrap();
+        let cfg = LoadgenConfig {
+            clients: 8,
+            rounds: 5,
+            trace_secs: 5.0,
+            ..LoadgenConfig::new()
+        };
+        let report = run(handle.data_addr(), &cfg).unwrap();
+        assert_eq!(report.associations, 8);
+        assert_eq!(report.port_messages, 40);
+        assert_eq!(report.acks, 40);
+        assert!(report.msgs_per_sec > 0.0);
+
+        let stats = handle.shutdown().unwrap();
+        assert_eq!(stats.shards.associations, 8);
+        assert_eq!(stats.shards.port_messages, 40);
+        assert_eq!(stats.shards.acks_sent, 40);
+        // Each broadcast fans out to both shards.
+        assert_eq!(stats.shards.broadcasts_enqueued, report.broadcasts_sent * 2);
+    }
+}

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hide_core::ap::{
-    calculate_broadcast_flags, AccessPoint, BTreePortTable, BroadcastBuffer, ClientPortTable,
+    calculate_broadcast_flags, AccessPoint, ApCtx, BTreePortTable, BroadcastBuffer, ClientPortTable,
 };
 use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Beacon, BroadcastDataFrame, UdpPortMessage};
@@ -211,7 +211,8 @@ fn dtim_cycle(c: &mut Criterion) {
         ap.associate(mac).unwrap();
         let ports: Vec<u16> = (0..50).map(|_| rng.gen_range(1024..u16::MAX)).collect();
         let msg = UdpPortMessage::new(mac, ap.bssid(), ports).unwrap();
-        ap.handle_udp_port_message(&msg).unwrap();
+        ap.process_port_message(&msg, &mut ApCtx::untimed())
+            .unwrap();
     }
     c.bench_function("ap/dtim_cycle_10_frames", |b| {
         let mut index = 0u64;

@@ -1,8 +1,9 @@
 //! The HIDE-enabled access point.
 
-use crate::ap::{calculate_broadcast_flags_observed, BroadcastBuffer, ClientPortTable};
+use crate::ap::snapshot::{ApSnapshot, ClientSnapshot, PortEntrySnapshot};
+use crate::ap::{calculate_broadcast_flags_observed, ApCtx, BroadcastBuffer, ClientPortTable};
 use crate::error::CoreError;
-use hide_obs::{MetricsSink, NoopSink, NoopTrace, TraceEventKind, TraceSink};
+use hide_obs::{MetricsSink, TraceEventKind, TraceSink};
 use hide_wifi::assoc::{self, AssociationRequest, AssociationResponse, Disassociation};
 use hide_wifi::bitmap::PartialVirtualBitmap;
 use hide_wifi::frame::{Ack, Beacon, BroadcastDataFrame, UdpPortMessage};
@@ -44,15 +45,36 @@ pub struct AccessPoint {
     /// Every element is below `next_fresh_aid`, so the heap minimum is
     /// the lowest free AID whenever the heap is non-empty.
     freed_aids: BinaryHeap<Reverse<u16>>,
-    /// Lowest AID value never assigned so far (`MAX_AID + 1` once the
-    /// space has been fully touched).
+    /// Lowest AID value never assigned so far (`aid_hi + 1` once the
+    /// range has been fully touched).
     next_fresh_aid: u16,
+    /// Inclusive AID allocation range. The default AP owns the whole
+    /// `1..=MAX_AID` space; a sharded deployment (`hide-apd`) gives
+    /// each shard a disjoint sub-range so AIDs stay globally unique.
+    aid_lo: u16,
+    aid_hi: u16,
 }
 
 impl AccessPoint {
-    /// Creates an AP with the given BSSID and DTIM period 1.
+    /// Creates an AP with the given BSSID and DTIM period 1, owning the
+    /// full `1..=MAX_AID` association-ID space.
     pub fn new(bssid: MacAddr) -> Self {
-        AccessPoint {
+        AccessPoint::with_aid_range(bssid, 1, MAX_AID).expect("full range is valid")
+    }
+
+    /// Creates an AP that allocates AIDs only from `lo..=hi`
+    /// (inclusive). Shards of a partitioned AP (`hide-apd`) use
+    /// disjoint ranges so every AID stays unique across the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidAidRange`] unless
+    /// `1 <= lo <= hi <= MAX_AID`.
+    pub fn with_aid_range(bssid: MacAddr, lo: u16, hi: u16) -> Result<Self, CoreError> {
+        if lo == 0 || lo > hi || hi > MAX_AID {
+            return Err(CoreError::InvalidAidRange { lo, hi });
+        }
+        Ok(AccessPoint {
             bssid,
             clients: BTreeMap::new(),
             by_aid: BTreeMap::new(),
@@ -63,8 +85,15 @@ impl AccessPoint {
             pending_fragments: BTreeMap::new(),
             ssid: "hide-net".to_string(),
             freed_aids: BinaryHeap::new(),
-            next_fresh_aid: 1,
-        }
+            next_fresh_aid: lo,
+            aid_lo: lo,
+            aid_hi: hi,
+        })
+    }
+
+    /// The inclusive AID allocation range `(lo, hi)`.
+    pub fn aid_range(&self) -> (u16, u16) {
+        (self.aid_lo, self.aid_hi)
     }
 
     /// Sets the SSID advertised in beacons.
@@ -110,7 +139,7 @@ impl AccessPoint {
         // "first v in 1..=MAX_AID not in by_aid" scan produces.
         let v = if let Some(Reverse(v)) = self.freed_aids.pop() {
             v
-        } else if self.next_fresh_aid <= MAX_AID {
+        } else if self.next_fresh_aid <= self.aid_hi {
             let v = self.next_fresh_aid;
             self.next_fresh_aid += 1;
             v
@@ -198,42 +227,32 @@ impl AccessPoint {
         self.clients.get(&mac).is_some_and(|r| r.hide_enabled)
     }
 
-    /// Processes a UDP Port Message: refreshes the Client UDP Port Table
-    /// and returns the ACK to transmit (Fig. 2, steps 1-2).
+    /// Processes a UDP Port Message: refreshes the Client UDP Port
+    /// Table and returns the ACK to transmit (Fig. 2, steps 1-2). This
+    /// is the canonical entry point — the deprecated
+    /// [`AccessPoint::handle_udp_port_message`] /
+    /// [`AccessPoint::handle_udp_port_message_at`] pair are thin shims
+    /// over it.
+    ///
+    /// When `ctx` carries a timestamp ([`ApCtx::now`] is `Some`), the
+    /// table entries it installs become eligible for
+    /// [`AccessPoint::expire_stale_port_entries`] once that time falls
+    /// behind the expiry cutoff — discrete-event simulations and the
+    /// `hide-apd` daemon use timed contexts so a client that stops
+    /// refreshing (left without disassociating, or kept losing its
+    /// messages) eventually ages out of the table. With an untimed
+    /// context the installed entries are exempt from expiry.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownClient`] when the sender is not
     /// associated.
-    pub fn handle_udp_port_message(&mut self, msg: &UdpPortMessage) -> Result<Ack, CoreError> {
-        self.handle_port_message_inner(msg, None)
-    }
-
-    /// [`AccessPoint::handle_udp_port_message`] with a refresh
-    /// timestamp: the table entries it installs become eligible for
-    /// [`AccessPoint::expire_stale_port_entries`] once `now` falls
-    /// behind the expiry cutoff. Discrete-event simulations use this
-    /// form so a client that stops refreshing (left without
-    /// disassociating, or kept losing its messages) eventually ages out
-    /// of the table.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::UnknownClient`] when the sender is not
-    /// associated.
-    pub fn handle_udp_port_message_at(
+    pub fn process_port_message<S: MetricsSink, T: TraceSink>(
         &mut self,
         msg: &UdpPortMessage,
-        now: f64,
+        ctx: &mut ApCtx<S, T>,
     ) -> Result<Ack, CoreError> {
-        self.handle_port_message_inner(msg, Some(now))
-    }
-
-    fn handle_port_message_inner(
-        &mut self,
-        msg: &UdpPortMessage,
-        now: Option<f64>,
-    ) -> Result<Ack, CoreError> {
+        let now = ctx.now();
         let record = self
             .clients
             .get_mut(&msg.client())
@@ -264,6 +283,41 @@ impl AccessPoint {
             refresh(&mut self.port_table, msg.ports());
         }
         Ok(Ack::new(msg.client()))
+    }
+
+    /// Untimed [`AccessPoint::process_port_message`]: the installed
+    /// table entries never expire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when the sender is not
+    /// associated.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `process_port_message` with an `ApCtx` (untimed contexts reproduce this behavior)"
+    )]
+    pub fn handle_udp_port_message(&mut self, msg: &UdpPortMessage) -> Result<Ack, CoreError> {
+        self.process_port_message(msg, &mut ApCtx::untimed())
+    }
+
+    /// Timed [`AccessPoint::process_port_message`]: entries installed
+    /// at `now` age out through
+    /// [`AccessPoint::expire_stale_port_entries`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] when the sender is not
+    /// associated.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `process_port_message` with `ApCtx::at(now)`"
+    )]
+    pub fn handle_udp_port_message_at(
+        &mut self,
+        msg: &UdpPortMessage,
+        now: f64,
+    ) -> Result<Ack, CoreError> {
+        self.process_port_message(msg, &mut ApCtx::at(now))
     }
 
     /// Expires port-table entries whose last timestamped refresh is
@@ -320,37 +374,31 @@ impl AccessPoint {
         }
     }
 
-    /// Builds the DTIM beacon for beacon index `index`: runs Algorithm 1
-    /// over the buffered frames and attaches both the standard TIM (with
-    /// the one-bit broadcast indication for legacy clients) and the HIDE
-    /// BTIM.
-    pub fn dtim_beacon(&mut self, index: u64) -> Beacon {
-        self.dtim_beacon_observed(index, &mut NoopSink)
-    }
-
-    /// [`AccessPoint::dtim_beacon`] with instrumentation: Algorithm 1
-    /// runs through [`calculate_broadcast_flags_observed`] and the
-    /// finished BTIM element records its on-air footprint
-    /// ([`Btim::observe`]). The uninstrumented entry point delegates
-    /// here with a [`NoopSink`], so both compile to the same hot path.
-    pub fn dtim_beacon_observed<S: MetricsSink>(&mut self, index: u64, sink: &mut S) -> Beacon {
-        self.dtim_beacon_traced(index, sink, &mut NoopTrace)
-    }
-
-    /// [`AccessPoint::dtim_beacon_observed`] with event tracing: marks
-    /// the DTIM boundary (buffered burst size, port-table occupancy)
-    /// and the emitted BTIM's on-air footprint at the beacon's
-    /// simulation time. Both plainer entry points delegate here with
-    /// no-op sinks, so all three compile to the same hot path.
-    pub fn dtim_beacon_traced<S: MetricsSink, T: TraceSink>(
+    /// Builds the DTIM beacon for beacon index `index`: runs Algorithm
+    /// 1 over the buffered frames and attaches both the standard TIM
+    /// (with the one-bit broadcast indication for legacy clients) and
+    /// the HIDE BTIM. This is the canonical entry point — Algorithm 1
+    /// runs through [`calculate_broadcast_flags_observed`] into
+    /// `ctx.metrics`, and the DTIM boundary (buffered burst size,
+    /// port-table occupancy) plus the emitted BTIM's on-air footprint
+    /// stream into `ctx.trace`.
+    ///
+    /// The events are stamped at [`ApCtx::now`] when the caller
+    /// provided a timestamp (the `hide-apd` daemon passes its
+    /// [`crate::clock::Clock`] reading); with an untimed context the
+    /// timestamp is derived from the beacon index on the paper's
+    /// 102.4 ms cadence, exactly as the trace-driven simulator always
+    /// stamped it.
+    pub fn emit_dtim_beacon<S: MetricsSink, T: TraceSink>(
         &mut self,
         index: u64,
-        sink: &mut S,
-        trace: &mut T,
+        ctx: &mut ApCtx<S, T>,
     ) -> Beacon {
-        let now = index as f64 * hide_wifi::timing::TIME_UNIT_SECS * 100.0;
-        if trace.is_enabled() {
-            trace.emit(
+        let now = ctx
+            .now()
+            .unwrap_or(index as f64 * hide_wifi::timing::TIME_UNIT_SECS * 100.0);
+        if ctx.trace.is_enabled() {
+            ctx.trace.emit(
                 now,
                 TraceEventKind::DtimBoundary {
                     buffered: self.buffer.len() as u32,
@@ -359,13 +407,51 @@ impl AccessPoint {
             );
         }
         let mut flags = PartialVirtualBitmap::new();
-        calculate_broadcast_flags_observed(&self.buffer, &self.port_table, &mut flags, sink);
+        calculate_broadcast_flags_observed(
+            &self.buffer,
+            &self.port_table,
+            &mut flags,
+            &mut ctx.metrics,
+        );
         let beacon = self.build_beacon(index, 0, flags);
         if let Some(btim) = beacon.btim() {
-            btim.observe(sink);
-            btim.observe_traced(now, trace);
+            btim.observe(&mut ctx.metrics);
+            btim.observe_traced(now, &mut ctx.trace);
         }
         beacon
+    }
+
+    /// Uninstrumented [`AccessPoint::emit_dtim_beacon`] sugar: an
+    /// untimed no-op context, compiling to the same hot path.
+    pub fn dtim_beacon(&mut self, index: u64) -> Beacon {
+        self.emit_dtim_beacon(index, &mut ApCtx::untimed())
+    }
+
+    /// [`AccessPoint::dtim_beacon`] with instrumentation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `emit_dtim_beacon` with `ApCtx::untimed().with_metrics(sink)`"
+    )]
+    pub fn dtim_beacon_observed<S: MetricsSink>(&mut self, index: u64, sink: &mut S) -> Beacon {
+        self.emit_dtim_beacon(index, &mut ApCtx::untimed().with_metrics(sink))
+    }
+
+    /// [`AccessPoint::dtim_beacon`] with instrumentation and event
+    /// tracing.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `emit_dtim_beacon` with `ApCtx::untimed().with_metrics(sink).with_trace(trace)`"
+    )]
+    pub fn dtim_beacon_traced<S: MetricsSink, T: TraceSink>(
+        &mut self,
+        index: u64,
+        sink: &mut S,
+        trace: &mut T,
+    ) -> Beacon {
+        self.emit_dtim_beacon(
+            index,
+            &mut ApCtx::untimed().with_metrics(sink).with_trace(trace),
+        )
     }
 
     /// Builds a non-DTIM beacon (`dtim_count > 0`): no broadcast flags,
@@ -398,18 +484,32 @@ impl AccessPoint {
     }
 
     /// Drains the broadcast buffer for post-DTIM delivery (More Data
-    /// bits set on all but the last frame).
-    pub fn deliver_broadcasts(&mut self) -> Vec<BroadcastDataFrame> {
-        self.buffer.drain_for_delivery()
+    /// bits set on all but the last frame), recording the burst into
+    /// `ctx.metrics` (see
+    /// [`BroadcastBuffer::drain_for_delivery_observed`]). This is the
+    /// canonical entry point.
+    pub fn drain_broadcasts<S: MetricsSink, T: TraceSink>(
+        &mut self,
+        ctx: &mut ApCtx<S, T>,
+    ) -> Vec<BroadcastDataFrame> {
+        self.buffer.drain_for_delivery_observed(&mut ctx.metrics)
     }
 
-    /// [`AccessPoint::deliver_broadcasts`] with instrumentation (see
-    /// [`BroadcastBuffer::drain_for_delivery_observed`]).
+    /// Uninstrumented [`AccessPoint::drain_broadcasts`] sugar.
+    pub fn deliver_broadcasts(&mut self) -> Vec<BroadcastDataFrame> {
+        self.drain_broadcasts(&mut ApCtx::untimed())
+    }
+
+    /// [`AccessPoint::deliver_broadcasts`] with instrumentation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `drain_broadcasts` with `ApCtx::untimed().with_metrics(sink)`"
+    )]
     pub fn deliver_broadcasts_observed<S: MetricsSink>(
         &mut self,
         sink: &mut S,
     ) -> Vec<BroadcastDataFrame> {
-        self.buffer.drain_for_delivery_observed(sink)
+        self.drain_broadcasts(&mut ApCtx::untimed().with_metrics(sink))
     }
 
     /// Number of frames currently buffered (`n_f` at the next DTIM).
@@ -425,6 +525,149 @@ impl AccessPoint {
     /// Total UDP Port Messages processed.
     pub fn port_messages_received(&self) -> u64 {
         self.port_messages_received
+    }
+
+    /// Captures the AP's durable client state as an [`ApSnapshot`]:
+    /// association table (with HIDE capability and buffered-unicast
+    /// counts), AID allocator, and the Client UDP Port Table with its
+    /// refresh timestamps. The broadcast buffer and partially
+    /// reassembled port reports are transient by design and are *not*
+    /// captured — a restored AP starts with an empty buffer, exactly as
+    /// a rebooted daemon should.
+    ///
+    /// The snapshot is canonical (clients sorted by MAC, port entries
+    /// and freed AIDs sorted ascending), so two APs that processed the
+    /// same frames produce byte-identical [`ApSnapshot::to_bytes`]
+    /// encodings regardless of internal hash-map iteration order.
+    pub fn snapshot(&self) -> ApSnapshot {
+        let mut freed: Vec<u16> = self.freed_aids.iter().map(|Reverse(v)| *v).collect();
+        freed.sort_unstable();
+        let clients = self
+            .clients
+            .iter()
+            .map(|(mac, record)| ClientSnapshot {
+                mac: *mac,
+                aid: record.aid.value(),
+                hide_enabled: record.hide_enabled,
+                unicast_buffered: record.unicast_buffered,
+            })
+            .collect();
+        let mut port_entries: Vec<PortEntrySnapshot> = self
+            .port_table
+            .client_aids()
+            .into_iter()
+            .map(|aid| PortEntrySnapshot {
+                aid: aid.value(),
+                last_refresh: self.port_table.last_refresh_of(aid),
+                ports: self.port_table.ports_of(aid).to_vec(),
+            })
+            .collect();
+        port_entries.sort_unstable_by_key(|e| e.aid);
+        ApSnapshot {
+            bssid: self.bssid,
+            ssid: self.ssid.clone(),
+            dtim_period: self.dtim_period,
+            aid_lo: self.aid_lo,
+            aid_hi: self.aid_hi,
+            next_fresh_aid: self.next_fresh_aid,
+            freed_aids: freed,
+            port_messages_received: self.port_messages_received,
+            clients,
+            port_entries,
+        }
+    }
+
+    /// Reconstructs an AP from a snapshot taken by
+    /// [`AccessPoint::snapshot`]. The restored AP answers every
+    /// association, port-table and expiry query exactly as the
+    /// snapshotted one did; its broadcast buffer starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidAidRange`] for a bad allocator
+    /// range, or [`CoreError::Snapshot`] when the snapshot is
+    /// internally inconsistent (AIDs outside the range or duplicated,
+    /// port entries for unknown clients, a freed AID above the fresh
+    /// watermark).
+    pub fn from_snapshot(snapshot: &ApSnapshot) -> Result<Self, CoreError> {
+        let mut ap = AccessPoint::with_aid_range(snapshot.bssid, snapshot.aid_lo, snapshot.aid_hi)?;
+        ap.ssid = snapshot.ssid.clone();
+        if snapshot.dtim_period == 0 {
+            return Err(CoreError::Snapshot("DTIM period is zero".to_string()));
+        }
+        ap.dtim_period = snapshot.dtim_period;
+        if snapshot.next_fresh_aid < snapshot.aid_lo
+            || snapshot.next_fresh_aid > snapshot.aid_hi.saturating_add(1)
+        {
+            return Err(CoreError::Snapshot(format!(
+                "fresh-AID watermark {} outside range {}..={}",
+                snapshot.next_fresh_aid, snapshot.aid_lo, snapshot.aid_hi
+            )));
+        }
+        ap.next_fresh_aid = snapshot.next_fresh_aid;
+        ap.port_messages_received = snapshot.port_messages_received;
+        for &v in &snapshot.freed_aids {
+            if v < snapshot.aid_lo || v >= snapshot.next_fresh_aid {
+                return Err(CoreError::Snapshot(format!(
+                    "freed AID {v} outside the touched range"
+                )));
+            }
+            ap.freed_aids.push(Reverse(v));
+        }
+        for client in &snapshot.clients {
+            let aid = Aid::new(client.aid).map_err(|_| {
+                CoreError::Snapshot(format!("client AID {} is invalid", client.aid))
+            })?;
+            if client.aid < snapshot.aid_lo
+                || client.aid > snapshot.aid_hi
+                || client.aid >= snapshot.next_fresh_aid
+                || snapshot.freed_aids.binary_search(&client.aid).is_ok()
+            {
+                return Err(CoreError::Snapshot(format!(
+                    "client AID {} is not an allocated AID of the snapshot",
+                    client.aid
+                )));
+            }
+            if ap.by_aid.insert(aid, client.mac).is_some() {
+                return Err(CoreError::Snapshot(format!(
+                    "AID {} assigned to two clients",
+                    client.aid
+                )));
+            }
+            if ap
+                .clients
+                .insert(
+                    client.mac,
+                    ClientRecord {
+                        aid,
+                        hide_enabled: client.hide_enabled,
+                        unicast_buffered: client.unicast_buffered,
+                    },
+                )
+                .is_some()
+            {
+                return Err(CoreError::Snapshot(format!(
+                    "client {} appears twice",
+                    client.mac
+                )));
+            }
+        }
+        for entry in &snapshot.port_entries {
+            let aid = Aid::new(entry.aid)
+                .map_err(|_| CoreError::Snapshot(format!("entry AID {} is invalid", entry.aid)))?;
+            if !ap.by_aid.contains_key(&aid) {
+                return Err(CoreError::Snapshot(format!(
+                    "port entry for unassociated AID {}",
+                    entry.aid
+                )));
+            }
+            match entry.last_refresh {
+                Some(at) => ap.port_table.update_client_at(aid, &entry.ports, at),
+                None => ap.port_table.update_client(aid, &entry.ports),
+            }
+        }
+        ap.port_table.reset_op_counts();
+        Ok(ap)
     }
 }
 
@@ -486,7 +729,7 @@ mod tests {
         ap.associate(mac).unwrap();
         assert!(!ap.is_hide_enabled(mac));
         let ack = ap
-            .handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+            .process_port_message(&port_msg(mac, ap.bssid(), &[5353]), &mut ApCtx::untimed())
             .unwrap();
         assert_eq!(ack.receiver(), mac);
         assert!(ap.is_hide_enabled(mac));
@@ -505,10 +748,10 @@ mod tests {
         for (i, m) in msgs.iter().enumerate() {
             // Nothing goes live until the final fragment.
             if i + 1 < msgs.len() {
-                ap.handle_udp_port_message(m).unwrap();
+                ap.process_port_message(m, &mut ApCtx::untimed()).unwrap();
                 assert!(ap.port_table().ports_of(aid).len() < ports.len());
             } else {
-                ap.handle_udp_port_message(m).unwrap();
+                ap.process_port_message(m, &mut ApCtx::untimed()).unwrap();
             }
         }
         assert_eq!(ap.port_table().ports_of(aid).len(), ports.len());
@@ -523,14 +766,17 @@ mod tests {
         let aid = ap.associate(mac).unwrap();
         // A dangling first fragment...
         let train = Msg::paginate(mac, ap.bssid(), (0..200u16).collect::<Vec<_>>());
-        ap.handle_udp_port_message(&train[0]).unwrap();
+        ap.process_port_message(&train[0], &mut ApCtx::untimed())
+            .unwrap();
         // ...followed by a fresh complete (unfragmented-final) report:
         // the final fragment semantics merge the pending half, so the
         // table reflects the union of that train; a subsequent clean
         // report replaces everything.
-        ap.handle_udp_port_message(&train[1]).unwrap();
+        ap.process_port_message(&train[1], &mut ApCtx::untimed())
+            .unwrap();
         let msg = Msg::new(mac, ap.bssid(), [9999u16]).unwrap();
-        ap.handle_udp_port_message(&msg).unwrap();
+        ap.process_port_message(&msg, &mut ApCtx::untimed())
+            .unwrap();
         assert_eq!(ap.port_table().ports_of(aid), &[9999]);
     }
 
@@ -538,7 +784,10 @@ mod tests {
     fn port_message_from_stranger_rejected() {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let err = ap
-            .handle_udp_port_message(&port_msg(MacAddr::station(9), ap.bssid(), &[80]))
+            .process_port_message(
+                &port_msg(MacAddr::station(9), ap.bssid(), &[80]),
+                &mut ApCtx::untimed(),
+            )
             .unwrap_err();
         assert!(matches!(err, CoreError::UnknownClient(_)));
     }
@@ -550,9 +799,9 @@ mod tests {
         let mac2 = MacAddr::station(2);
         let aid1 = ap.associate(mac1).unwrap();
         let aid2 = ap.associate(mac2).unwrap();
-        ap.handle_udp_port_message(&port_msg(mac1, ap.bssid(), &[1900]))
+        ap.process_port_message(&port_msg(mac1, ap.bssid(), &[1900]), &mut ApCtx::untimed())
             .unwrap();
-        ap.handle_udp_port_message(&port_msg(mac2, ap.bssid(), &[5353]))
+        ap.process_port_message(&port_msg(mac2, ap.bssid(), &[5353]), &mut ApCtx::untimed())
             .unwrap();
         ap.enqueue_broadcast(frame(1900));
 
@@ -571,14 +820,24 @@ mod tests {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mac = MacAddr::station(1);
         ap.associate(mac).unwrap();
-        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[1900]))
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[1900]), &mut ApCtx::untimed())
             .unwrap();
         ap.enqueue_broadcast(frame(1900));
 
         let mut rec = Recorder::new();
-        let observed = ap.clone().dtim_beacon_observed(0, &mut rec);
+        let observed = ap
+            .clone()
+            .emit_dtim_beacon(0, &mut ApCtx::untimed().with_metrics(&mut rec));
+        // The deprecated shim must stay byte-for-byte equivalent to the
+        // canonical entry point for as long as it exists.
+        #[allow(deprecated)]
+        let shimmed = {
+            let mut shim_rec = Recorder::new();
+            ap.clone().dtim_beacon_observed(0, &mut shim_rec)
+        };
         let plain = ap.dtim_beacon(0);
         assert_eq!(observed.to_bytes(), plain.to_bytes());
+        assert_eq!(shimmed.to_bytes(), plain.to_bytes());
         assert_eq!(rec.counter(Counter::BtimBeacons), 1);
         assert_eq!(rec.counter(Counter::BtimBitsSet), 1);
         assert!(rec.counter(Counter::BtimBytes) > 0);
@@ -622,7 +881,7 @@ mod tests {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mac = MacAddr::station(1);
         let aid = ap.associate(mac).unwrap();
-        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[5353]), &mut ApCtx::untimed())
             .unwrap();
         assert!(ap.is_useful_for(aid, &frame(5353)));
         assert!(!ap.is_useful_for(aid, &frame(1900)));
@@ -654,7 +913,7 @@ mod tests {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mac = MacAddr::station(1);
         let aid = ap.associate(mac).unwrap();
-        ap.handle_udp_port_message_at(&port_msg(mac, ap.bssid(), &[5353]), 0.0)
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[5353]), &mut ApCtx::at(0.0))
             .unwrap();
         assert!(ap.is_useful_for(aid, &frame(5353)));
         // Still fresh at a cutoff behind the refresh.
@@ -667,7 +926,7 @@ mod tests {
         assert!(ap.is_hide_enabled(mac));
         assert!(!ap.is_useful_for(aid, &frame(5353)));
         // The next refresh brings the interests back.
-        ap.handle_udp_port_message_at(&port_msg(mac, ap.bssid(), &[5353]), 20.0)
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[5353]), &mut ApCtx::at(20.0))
             .unwrap();
         assert!(ap.is_useful_for(aid, &frame(5353)));
     }
@@ -677,7 +936,7 @@ mod tests {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mac = MacAddr::station(1);
         let aid = ap.associate(mac).unwrap();
-        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[5353]))
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[5353]), &mut ApCtx::untimed())
             .unwrap();
         assert!(ap.expire_stale_port_entries(f64::MAX).is_empty());
         assert!(ap.is_useful_for(aid, &frame(5353)));
@@ -693,7 +952,8 @@ mod tests {
         let msgs = Msg::paginate(mac, ap.bssid(), ports.clone());
         assert!(msgs.len() > 1);
         for (i, m) in msgs.iter().enumerate() {
-            ap.handle_udp_port_message_at(m, i as f64).unwrap();
+            ap.process_port_message(m, &mut ApCtx::at(i as f64))
+                .unwrap();
         }
         assert_eq!(ap.port_table().ports_of(aid).len(), ports.len());
         assert_eq!(
@@ -707,7 +967,7 @@ mod tests {
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mac = MacAddr::station(1);
         let aid = ap.associate(mac).unwrap();
-        ap.handle_udp_port_message(&port_msg(mac, ap.bssid(), &[1900]))
+        ap.process_port_message(&port_msg(mac, ap.bssid(), &[1900]), &mut ApCtx::untimed())
             .unwrap();
         ap.disassociate(mac).unwrap();
         assert!(ap.port_table().clients_for_port(1900).is_empty());

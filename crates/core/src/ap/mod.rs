@@ -3,12 +3,16 @@
 
 mod access_point;
 mod buffer;
+mod ctx;
 mod flags;
 mod port_table;
+pub mod snapshot;
 
 pub use access_point::AccessPoint;
 pub use buffer::BroadcastBuffer;
+pub use ctx::ApCtx;
 pub use flags::{
     calculate_broadcast_flags, calculate_broadcast_flags_into, calculate_broadcast_flags_observed,
 };
 pub use port_table::{BTreePortTable, ClientPortTable, ExpiryReport, TableOpCounts};
+pub use snapshot::{ApSnapshot, ClientSnapshot, PortEntrySnapshot};

@@ -179,6 +179,15 @@ impl ClientPortTable {
         self.last_refresh.get(&client).copied()
     }
 
+    /// Every client that currently has at least one stored port,
+    /// sorted ascending by AID (hash-map iteration order is arbitrary;
+    /// sorting makes snapshots canonical).
+    pub fn client_aids(&self) -> Vec<Aid> {
+        let mut aids: Vec<Aid> = self.by_client.keys().copied().collect();
+        aids.sort_unstable();
+        aids
+    }
+
     /// Drops every timestamped client whose last refresh is strictly
     /// before `cutoff` — the AP-side aging that keeps the table from
     /// accumulating entries for clients that silently left (Section

@@ -430,7 +430,7 @@ mod tests {
 
     #[test]
     fn paginated_suspend_flow_with_many_ports() {
-        use crate::ap::AccessPoint;
+        use crate::ap::{AccessPoint, ApCtx};
         let mut ap = AccessPoint::new(MacAddr::station(0));
         let mut reg = OpenPortRegistry::new();
         for p in 1000u16..1200 {
@@ -445,7 +445,7 @@ mod tests {
         assert!(msgs.len() > 1, "200 ports need multiple fragments");
         let mut last_ack = None;
         for m in &msgs {
-            last_ack = Some(ap.handle_udp_port_message(m).unwrap());
+            last_ack = Some(ap.process_port_message(m, &mut ApCtx::untimed()).unwrap());
         }
         client.handle_ack(&last_ack.unwrap()).unwrap();
         assert!(client.is_suspended());

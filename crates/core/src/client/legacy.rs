@@ -79,7 +79,7 @@ impl LegacyClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ap::AccessPoint;
+    use crate::ap::{AccessPoint, ApCtx};
     use hide_wifi::frame::BroadcastDataFrame;
     use hide_wifi::udp::UdpDatagram;
 
@@ -138,7 +138,9 @@ mod tests {
         hide.set_aid(ap.associate(hide.mac()).unwrap());
         hide.set_bssid(ap.bssid());
         let msg = hide.prepare_suspend().unwrap();
-        let ack = ap.handle_udp_port_message(&msg).unwrap();
+        let ack = ap
+            .process_port_message(&msg, &mut ApCtx::untimed())
+            .unwrap();
         hide.handle_ack(&ack).unwrap();
 
         // A frame useless to the HIDE client (it listens on 5353 only).

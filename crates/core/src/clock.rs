@@ -1,0 +1,174 @@
+//! Time sources for the AP core.
+//!
+//! The AP itself is time-agnostic: every timed entry point takes its
+//! timestamp through an [`crate::ap::ApCtx`]. What *produces* those
+//! timestamps differs by deployment — a discrete-event simulation owns
+//! a virtual clock it advances itself, while the `hide-apd` daemon
+//! reads the machine's monotonic clock. [`Clock`] is that seam:
+//!
+//! * [`MonotonicClock`] — wall-progress seconds since construction,
+//!   backed by [`std::time::Instant`]; what the daemon's DTIM cadence
+//!   and refresh staleness run on.
+//! * [`VirtualClock`] — a shared, manually advanced clock for
+//!   simulations and tests; cloning yields a handle onto the same
+//!   underlying time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone source of seconds-since-start timestamps.
+///
+/// Implementations must be monotonically nondecreasing: the AP-side
+/// staleness logic ([`crate::ap::ClientPortTable::expire_stale`]) and
+/// the daemon's DTIM scheduler both assume time never runs backwards.
+pub trait Clock {
+    /// Seconds elapsed since the clock's origin.
+    fn now(&self) -> f64;
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now(&self) -> f64 {
+        (**self).now()
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now(&self) -> f64 {
+        (**self).now()
+    }
+}
+
+/// Real time: seconds since construction, from the OS monotonic clock.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// Virtual time: advanced explicitly, shared between clones.
+///
+/// The f64 timestamp is stored as its bit pattern in an [`AtomicU64`],
+/// so handles on different threads (a test driving a daemon, say) see
+/// a consistent value without locks.
+///
+/// # Example
+///
+/// ```
+/// use hide_core::clock::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let handle = clock.clone();
+/// clock.advance(1.5);
+/// assert_eq!(handle.now(), 1.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    bits: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::starting_at(0.0)
+    }
+
+    /// A virtual clock starting at `origin` seconds.
+    pub fn starting_at(origin: f64) -> Self {
+        VirtualClock {
+            bits: Arc::new(AtomicU64::new(origin.to_bits())),
+        }
+    }
+
+    /// Moves the clock to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` would move time backwards (monotonicity is part
+    /// of the [`Clock`] contract).
+    pub fn set(&self, now: f64) {
+        let current = self.now();
+        assert!(
+            now >= current,
+            "VirtualClock::set would move time backwards ({now} < {current})"
+        );
+        self.bits.store(now.to_bits(), Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "VirtualClock::advance takes a nonnegative step");
+        self.set(self.now() + dt);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let clock = MonotonicClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_across_clones() {
+        let clock = VirtualClock::starting_at(2.0);
+        let other = clock.clone();
+        clock.advance(0.5);
+        assert_eq!(other.now(), 2.5);
+        other.set(4.0);
+        assert_eq!(clock.now(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn virtual_clock_rejects_time_travel() {
+        let clock = VirtualClock::starting_at(5.0);
+        clock.set(1.0);
+    }
+
+    #[test]
+    fn clock_references_delegate() {
+        fn read<C: Clock>(c: C) -> f64 {
+            c.now()
+        }
+        let clock = VirtualClock::starting_at(7.0);
+        assert_eq!(read(&clock), 7.0);
+        assert_eq!(read(Arc::new(clock)), 7.0);
+    }
+}

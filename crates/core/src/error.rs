@@ -23,6 +23,15 @@ pub enum CoreError {
     },
     /// A port bind collided with an existing binding.
     PortInUse(u16),
+    /// An AID allocation range violated `1 <= lo <= hi <= MAX_AID`.
+    InvalidAidRange {
+        /// Requested low end (inclusive).
+        lo: u16,
+        /// Requested high end (inclusive).
+        hi: u16,
+    },
+    /// An AP snapshot failed to decode or was internally inconsistent.
+    Snapshot(String),
     /// The underlying 802.11 layer failed.
     Wifi(WifiError),
 }
@@ -37,6 +46,10 @@ impl fmt::Display for CoreError {
                 write!(f, "ack addressed to {receiver}, expected {expected}")
             }
             CoreError::PortInUse(port) => write!(f, "udp port {port} already bound"),
+            CoreError::InvalidAidRange { lo, hi } => {
+                write!(f, "invalid AID range {lo}..={hi}")
+            }
+            CoreError::Snapshot(what) => write!(f, "invalid AP snapshot: {what}"),
             CoreError::Wifi(e) => write!(f, "wifi layer error: {e}"),
         }
     }

@@ -18,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use hide_core::ap::AccessPoint;
+//! use hide_core::ap::{AccessPoint, ApCtx};
 //! use hide_core::client::{HideClient, OpenPortRegistry, WakeDecision};
 //! use hide_wifi::frame::BroadcastDataFrame;
 //! use hide_wifi::mac::MacAddr;
@@ -34,7 +34,7 @@
 //! let aid = ap.associate(client.mac())?;
 //! client.set_aid(aid);
 //! let msg = client.prepare_suspend()?;
-//! let ack = ap.handle_udp_port_message(&msg)?;
+//! let ack = ap.process_port_message(&msg, &mut ApCtx::untimed())?;
 //! client.handle_ack(&ack)?;
 //!
 //! // A useless SSDP frame (port 1900) and a useful mDNS frame (5353).
@@ -62,6 +62,7 @@
 
 pub mod ap;
 pub mod client;
+pub mod clock;
 pub mod error;
 pub mod fx;
 

@@ -1,6 +1,8 @@
 //! Property-based tests of HIDE protocol invariants.
 
-use hide_core::ap::{calculate_broadcast_flags, AccessPoint, BroadcastBuffer, ClientPortTable};
+use hide_core::ap::{
+    calculate_broadcast_flags, AccessPoint, ApCtx, BroadcastBuffer, ClientPortTable,
+};
 use hide_core::client::{HideClient, OpenPortRegistry, WakeDecision};
 use hide_wifi::frame::{Beacon, BroadcastDataFrame};
 use hide_wifi::mac::{Aid, MacAddr};
@@ -92,7 +94,7 @@ proptest! {
         client.set_aid(ap.associate(client.mac()).unwrap());
         client.set_bssid(ap.bssid());
         let msg = client.prepare_suspend().unwrap();
-        let ack = ap.handle_udp_port_message(&msg).unwrap();
+        let ack = ap.process_port_message(&msg, &mut ApCtx::untimed()).unwrap();
         client.handle_ack(&ack).unwrap();
 
         for &p in &frame_ports {
@@ -131,7 +133,7 @@ proptest! {
         client.set_aid(aid);
         client.set_bssid(ap.bssid());
         let msg = client.prepare_suspend().unwrap();
-        let ack = ap.handle_udp_port_message(&msg).unwrap();
+        let ack = ap.process_port_message(&msg, &mut ApCtx::untimed()).unwrap();
         client.handle_ack(&ack).unwrap();
 
         let f = frame(probe);
@@ -185,7 +187,7 @@ proptest! {
                             [port, port + 1],
                         )
                         .unwrap();
-                        ap.handle_udp_port_message(&msg).unwrap();
+                        ap.process_port_message(&msg, &mut ApCtx::untimed()).unwrap();
                         model.get_mut(&who).unwrap().1 = vec![port, port + 1];
                     }
                 }

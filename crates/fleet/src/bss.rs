@@ -34,7 +34,7 @@ use crate::error::FleetError;
 use crate::fleet::FleetConfig;
 use crate::kernel::{derive_seed, EventQueue};
 use crate::profile::{FleetStage, NoopProfiler, StageProfiler};
-use hide_core::ap::{AccessPoint, ClientPortTable};
+use hide_core::ap::{AccessPoint, ApCtx, ClientPortTable};
 use hide_core::error::CoreError;
 use hide_energy::attribution::{joules_to_nj, AttributionLedger, ClientEnergy, WakePricing};
 use hide_obs::{
@@ -453,7 +453,7 @@ impl<'a> Engine<'a> {
             }
         } else {
             let msg = self.clients.msgs[i].as_ref().expect("memoized above");
-            self.ap.handle_udp_port_message_at(msg, now)?;
+            self.ap.process_port_message(msg, &mut ApCtx::at(now))?;
             self.clients.last_desync[i] = None;
             self.clients.churned_since_sync[i] = false;
             if trace.is_enabled() {

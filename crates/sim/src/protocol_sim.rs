@@ -9,7 +9,7 @@
 //! on which DTIM intervals wake the client and (closely) on energy.
 
 use crate::solution::Solution;
-use hide_core::ap::AccessPoint;
+use hide_core::ap::{AccessPoint, ApCtx};
 use hide_core::client::{HideClient, OpenPortRegistry, WakeDecision};
 use hide_core::CoreError;
 use hide_energy::profile::DeviceProfile;
@@ -135,7 +135,7 @@ impl<'a> ProtocolSimulation<'a> {
         client.set_bssid(ap.bssid());
         let sync = |client: &mut HideClient, ap: &mut AccessPoint| -> Result<(), CoreError> {
             let msg = client.prepare_suspend()?;
-            let ack = ap.handle_udp_port_message(&msg)?;
+            let ack = ap.process_port_message(&msg, &mut ApCtx::untimed())?;
             client.handle_ack(&ack)
         };
         sync(&mut client, &mut ap)?;
@@ -176,13 +176,20 @@ impl<'a> ProtocolSimulation<'a> {
             }
 
             // DTIM beacon at the end of the interval, over real bytes.
-            let beacon_bytes = ap.dtim_beacon_traced(i, sink, trace).to_bytes();
+            let beacon_bytes = ap
+                .emit_dtim_beacon(
+                    i,
+                    &mut ApCtx::untimed()
+                        .with_metrics(&mut *sink)
+                        .with_trace(&mut *trace),
+                )
+                .to_bytes();
             stats.beacons += 1;
             let beacon = Beacon::parse(&beacon_bytes).map_err(CoreError::Wifi)?;
             stats.btim_bytes += beacon.btim().map(|b| b.body_len() as u64 + 2).unwrap_or(0);
 
             let decision = client.handle_beacon(&beacon)?;
-            let delivered = ap.deliver_broadcasts_observed(sink);
+            let delivered = ap.drain_broadcasts(&mut ApCtx::untimed().with_metrics(&mut *sink));
 
             if decision == WakeDecision::WakeForBroadcast {
                 stats.wake_intervals += 1;

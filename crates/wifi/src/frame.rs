@@ -855,6 +855,23 @@ impl AnyFrame {
             AnyFrame::Disassociation(_) => FrameSubtype::Disassociation,
         }
     }
+
+    /// Re-encodes the frame to its wire bytes.
+    ///
+    /// Inverse of [`AnyFrame::parse`]: for every buffer that parses,
+    /// `AnyFrame::parse(buf)?.to_bytes() == buf`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            AnyFrame::Beacon(f) => f.to_bytes(),
+            AnyFrame::UdpPortMessage(f) => f.to_bytes(),
+            AnyFrame::Ack(f) => f.to_bytes(),
+            AnyFrame::PsPoll(f) => f.to_bytes(),
+            AnyFrame::Data(f) => f.to_bytes(),
+            AnyFrame::AssociationRequest(f) => f.to_bytes(),
+            AnyFrame::AssociationResponse(f) => f.to_bytes(),
+            AnyFrame::Disassociation(f) => f.to_bytes(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use hide_wifi::assoc::{AssociationRequest, AssociationResponse, Disassociation};
 use hide_wifi::bitmap::PartialVirtualBitmap;
-use hide_wifi::frame::{Beacon, BroadcastDataFrame, UdpPortMessage};
+use hide_wifi::frame::{Ack, AnyFrame, Beacon, BroadcastDataFrame, PsPoll, UdpPortMessage};
 use hide_wifi::ie::{Btim, InformationElement, OpenUdpPorts, Tim};
 use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
 use hide_wifi::udp::UdpDatagram;
@@ -238,6 +238,55 @@ proptest! {
         let notice = Disassociation::new(from, to, reason);
         let parsed = Disassociation::parse(&notice.to_bytes()).unwrap();
         prop_assert_eq!(parsed, notice);
+    }
+
+    #[test]
+    fn any_frame_reencodes_identically(
+        client in mac_strategy(),
+        ap in mac_strategy(),
+        bitmap in bitmap_strategy(),
+        ports in vec(any::<u16>(), 0..100),
+        payload in vec(any::<u8>(), 0..128),
+        aid in aid_strategy(),
+        ssid in ssid_strategy(),
+        which in 0usize..8,
+    ) {
+        // One wire image per subtype; parse-then-re-encode must be the
+        // identity on all of them (the daemon relies on this to relay
+        // frames it has routed without mutating them).
+        let wire: Vec<u8> = match which {
+            0 => Beacon::builder(ap)
+                .tim(Tim::new(0, 1, false, bitmap))
+                .element(InformationElement::Btim(Btim::new(bitmap)))
+                .build()
+                .to_bytes(),
+            1 => UdpPortMessage::new(client, ap, ports).unwrap().to_bytes(),
+            2 => Ack::new(client).to_bytes(),
+            3 => PsPoll::new(aid, ap, client).to_bytes(),
+            4 => BroadcastDataFrame::new(
+                ap,
+                UdpDatagram::new([10, 0, 0, 1], [255; 4], 5000, 1900, payload),
+                false,
+            )
+            .to_bytes(),
+            5 => AssociationRequest::new(client, ap, ssid).with_hide_support().to_bytes(),
+            6 => AssociationResponse::success(ap, client, aid).to_bytes(),
+            _ => Disassociation::new(client, ap, 8).to_bytes(),
+        };
+        let frame = AnyFrame::parse(&wire).unwrap();
+        prop_assert_eq!(frame.to_bytes(), wire);
+    }
+
+    #[test]
+    fn any_frame_parse_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..160)) {
+        if let Ok(frame) = AnyFrame::parse(&bytes) {
+            // Garbage may parse non-canonically (e.g. ignored trailing
+            // bytes), so byte identity only holds after one re-encode:
+            // to_bytes must normalize to a fixed point.
+            let canon = frame.to_bytes();
+            let reparsed = AnyFrame::parse(&canon).unwrap();
+            prop_assert_eq!(reparsed.to_bytes(), canon);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example coffee_shop
 //! ```
 
-use hide::protocol::ap::AccessPoint;
+use hide::protocol::ap::{AccessPoint, ApCtx};
 use hide::protocol::client::{HideClient, LegacyClient, OpenPortRegistry, WakeDecision};
 use hide::wifi::frame::{Beacon, BroadcastDataFrame};
 use hide::wifi::mac::MacAddr;
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         msg.ports(),
         msg.len_bytes()
     );
-    let ack = ap.handle_udp_port_message(&msg)?;
+    let ack = ap.process_port_message(&msg, &mut ApCtx::untimed())?;
     phone.handle_ack(&ack)?;
     println!("ap -> phone: ACK; phone enters suspend mode\n");
 
@@ -116,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             phone.resume();
             let msg = phone.prepare_suspend()?;
-            let ack = ap.handle_udp_port_message(&msg)?;
+            let ack = ap.process_port_message(&msg, &mut ApCtx::untimed())?;
             phone.handle_ack(&ack)?;
             println!("  phone re-syncs ports and suspends again");
         } else {

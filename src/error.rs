@@ -1,5 +1,6 @@
 //! Top-level error type unifying every layer's failures.
 
+use hide_apd::ApdError;
 use hide_core::CoreError;
 use hide_energy::EnergyError;
 use hide_fleet::FleetError;
@@ -30,6 +31,8 @@ pub enum HideError {
     Sim(SimError),
     /// Fleet simulator configuration or protocol failure.
     Fleet(FleetError),
+    /// AP daemon failure (sockets, control protocol, snapshots).
+    Apd(ApdError),
     /// Filesystem failure (CSV or metrics output).
     Io(std::io::Error),
 }
@@ -43,6 +46,7 @@ impl fmt::Display for HideError {
             HideError::TraceIo(e) => write!(f, "trace io: {e}"),
             HideError::Sim(e) => write!(f, "simulation: {e}"),
             HideError::Fleet(e) => write!(f, "fleet: {e}"),
+            HideError::Apd(e) => write!(f, "ap daemon: {e}"),
             HideError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -57,6 +61,7 @@ impl std::error::Error for HideError {
             HideError::TraceIo(e) => Some(e),
             HideError::Sim(e) => Some(e),
             HideError::Fleet(e) => Some(e),
+            HideError::Apd(e) => Some(e),
             HideError::Io(e) => Some(e),
         }
     }
@@ -98,6 +103,12 @@ impl From<FleetError> for HideError {
     }
 }
 
+impl From<ApdError> for HideError {
+    fn from(e: ApdError) -> Self {
+        HideError::Apd(e)
+    }
+}
+
 impl From<std::io::Error> for HideError {
     fn from(e: std::io::Error) -> Self {
         HideError::Io(e)
@@ -118,6 +129,7 @@ mod tests {
             }
             .into(),
             FleetError::Core(CoreError::NoFreeAid).into(),
+            ApdError::from(CoreError::NoFreeAid).into(),
             std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
         ];
         for e in cases {

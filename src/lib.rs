@@ -11,6 +11,8 @@
 //! * [`sim`] — the trace-driven simulator and experiment runners
 //! * [`fleet`] — the discrete-event multi-BSS fleet simulator with
 //!   client lifecycle churn
+//! * [`apd`] — the AP as a long-running UDP service (`hide-apd`) with
+//!   live telemetry and snapshot/restore
 //! * [`analysis`] — the Section-V capacity and delay overhead analysis
 //! * [`obs`] — deterministic counters, histograms and span timers
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use hide_analysis as analysis;
+pub use hide_apd as apd;
 pub use hide_core as protocol;
 pub use hide_energy as energy;
 pub use hide_fleet as fleet;
@@ -55,8 +58,10 @@ pub mod prelude {
     pub use crate::error::HideError;
     pub use hide_analysis::capacity::{CapacityAnalysis, NetworkConfig};
     pub use hide_analysis::delay::{DelayAnalysis, DelayConfig};
-    pub use hide_core::ap::AccessPoint;
+    pub use hide_apd::{ApdConfig, ApdError, ApdSnapshot, DaemonHandle};
+    pub use hide_core::ap::{AccessPoint, ApCtx, ApSnapshot};
     pub use hide_core::client::{HideClient, LegacyClient, OpenPortRegistry, WakeDecision};
+    pub use hide_core::clock::{Clock, MonotonicClock, VirtualClock};
     pub use hide_energy::battery::Battery;
     pub use hide_energy::profile::{DeviceProfile, GALAXY_S4, NEXUS_ONE};
     pub use hide_fleet::{ChurnConfig, FleetConfig, FleetError, FleetResult};

@@ -7,7 +7,7 @@
 //! under interleaving.
 
 use crossbeam::channel;
-use hide::protocol::ap::AccessPoint;
+use hide::protocol::ap::{AccessPoint, ApCtx};
 use hide::protocol::client::{HideClient, OpenPortRegistry, WakeDecision};
 use hide::wifi::frame::{Beacon, BroadcastDataFrame};
 use hide::wifi::mac::MacAddr;
@@ -53,7 +53,9 @@ fn concurrent_clients_sync_and_decide_consistently() {
                 client.set_aid(aid);
                 client.set_bssid(ap.bssid());
                 let msg = client.prepare_suspend().unwrap();
-                let ack = ap.handle_udp_port_message(&msg).unwrap();
+                let ack = ap
+                    .process_port_message(&msg, &mut ApCtx::untimed())
+                    .unwrap();
                 client.handle_ack(&ack).unwrap();
             }
 
@@ -149,7 +151,9 @@ fn concurrent_port_updates_leave_table_consistent() {
                     .unwrap();
                 let msg = client.prepare_suspend().unwrap();
                 let mut guard = ap.lock();
-                let ack = guard.handle_udp_port_message(&msg).unwrap();
+                let ack = guard
+                    .process_port_message(&msg, &mut ApCtx::untimed())
+                    .unwrap();
                 drop(guard);
                 client.handle_ack(&ack).unwrap();
             }

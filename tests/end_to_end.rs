@@ -35,7 +35,9 @@ fn protocol_agrees_with_simulator_filtering() {
     client.set_aid(ap.associate(client.mac()).unwrap());
     client.set_bssid(ap.bssid());
     let msg = client.prepare_suspend().unwrap();
-    let ack = ap.handle_udp_port_message(&msg).unwrap();
+    let ack = ap
+        .process_port_message(&msg, &mut ApCtx::untimed())
+        .unwrap();
     client.handle_ack(&ack).unwrap();
 
     let beacon_interval = 0.1024;
@@ -104,7 +106,9 @@ fn multi_client_btim_correctness() {
         c.set_aid(ap.associate(c.mac()).unwrap());
         c.set_bssid(ap.bssid());
         let msg = c.prepare_suspend().unwrap();
-        let ack = ap.handle_udp_port_message(&msg).unwrap();
+        let ack = ap
+            .process_port_message(&msg, &mut ApCtx::untimed())
+            .unwrap();
         c.handle_ack(&ack).unwrap();
         clients.push(c);
     }
@@ -145,7 +149,9 @@ fn port_close_propagates_on_next_sync() {
     client.set_bssid(ap.bssid());
 
     let msg = client.prepare_suspend().unwrap();
-    let ack = ap.handle_udp_port_message(&msg).unwrap();
+    let ack = ap
+        .process_port_message(&msg, &mut ApCtx::untimed())
+        .unwrap();
     client.handle_ack(&ack).unwrap();
 
     ap.enqueue_broadcast(frame_for(&ap, 1900));
@@ -161,7 +167,9 @@ fn port_close_propagates_on_next_sync() {
     client.ports_mut().close(1900);
     assert!(client.needs_sync());
     let msg = client.prepare_suspend().unwrap();
-    let ack = ap.handle_udp_port_message(&msg).unwrap();
+    let ack = ap
+        .process_port_message(&msg, &mut ApCtx::untimed())
+        .unwrap();
     client.handle_ack(&ack).unwrap();
 
     ap.enqueue_broadcast(frame_for(&ap, 1900));

@@ -66,7 +66,9 @@ fn usefulness_markings_drive_port_registries() {
     client.set_aid(ap.associate(client.mac()).unwrap());
     client.set_bssid(ap.bssid());
     let msg = client.prepare_suspend().unwrap();
-    let ack = ap.handle_udp_port_message(&msg).unwrap();
+    let ack = ap
+        .process_port_message(&msg, &mut ApCtx::untimed())
+        .unwrap();
     client.handle_ack(&ack).unwrap();
     assert!(client.is_suspended());
 
