@@ -31,12 +31,19 @@
 //!    *fails* if events/sec drops below the checked-in floor in
 //!    `golden/perf_floors.toml`, so a hot-path regression in the
 //!    timing wheel or the SoA engine cannot land silently.
+//! 7. **Policy-dispatch overhead** — the measurement-6 kernel rerun
+//!    under each wake policy (HIDE, legacy PSM, scheduled wake).
+//!    Written to `BENCH_policy.json`. The HIDE row runs through the
+//!    enum-dispatched policy seam, so under `--smoke` the run *fails*
+//!    if it drops below the same `fleet_events_per_sec_floor` — the
+//!    seam must cost the default policy nothing.
 //!
 //! By default traces are 600 s so the run finishes quickly; `--full`
 //! uses the canonical 2700 s traces of the reproduction harness;
 //! `--smoke` shrinks everything for a seconds-long CI sanity run.
 
 use hide::fleet::{ChurnConfig, FleetConfig};
+use hide::policy::{ScheduleConfig, WakePolicy};
 use hide_bench as harness;
 use hide_core::ap::{BTreePortTable, ClientPortTable};
 use hide_energy::profile::{GALAXY_S4, NEXUS_ONE};
@@ -281,6 +288,67 @@ fn main() {
         eprintln!(
             "bench_throughput: SMOKE FAIL: fleet kernel at {kernel_events_per_sec:.0} \
              events/s is below the golden/perf_floors.toml floor of {kernel_floor:.0}"
+        );
+        std::process::exit(1);
+    }
+
+    // --- 7. policy dispatch: the seam must be free for HIDE ---
+    let policy_reps = if smoke { 2 } else { 3 };
+    let mut policy_rows = String::new();
+    let mut hide_events_per_sec = 0.0f64;
+    for (name, policy) in [
+        ("hide", WakePolicy::Hide),
+        ("psm", WakePolicy::LegacyPsm),
+        (
+            "scheduled",
+            WakePolicy::ScheduledWake(ScheduleConfig::default()),
+        ),
+    ] {
+        let cfg = FleetConfig {
+            policy,
+            ..kernel_cfg.clone()
+        };
+        let mut events = 0;
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..policy_reps {
+            let t0 = Instant::now();
+            let r = cfg.try_run_with_jobs(1).expect("valid fleet config");
+            let secs = t0.elapsed().as_secs_f64();
+            events = r.report.events;
+            if secs < best_secs {
+                best_secs = secs;
+            }
+            std::hint::black_box(r.report.wakeups);
+        }
+        let events_per_sec = events as f64 / best_secs.max(1e-12);
+        if name == "hide" {
+            hide_events_per_sec = events_per_sec;
+        }
+        eprintln!(
+            "policy {name}: {events} events in {best_secs:.3} s \
+             (best of {policy_reps}) = {events_per_sec:.0} events/s"
+        );
+        let _ = write!(
+            policy_rows,
+            "{}{{\"policy\": \"{name}\", \"events\": {events}, \
+             \"best_secs\": {best_secs:.3}, \"events_per_sec\": {events_per_sec:.0}}}",
+            if policy_rows.is_empty() { "" } else { ", " },
+        );
+    }
+    let policy_json = format!(
+        "{{\n  \"fleet\": {{\"bss\": {}, \"clients_per_bss\": {}, \
+         \"duration_secs\": {}, \"reps\": {policy_reps}}},\n  \
+         \"floor\": {kernel_floor:.0},\n  \"policies\": [{policy_rows}]\n}}\n",
+        kernel_cfg.bss_count, kernel_cfg.clients_per_bss, kernel_cfg.duration_secs,
+    );
+    std::fs::write("BENCH_policy.json", &policy_json).expect("write policy benchmark json");
+    // Zero-overhead claim, enforced: HIDE routed through the policy
+    // seam must still clear the pre-seam events/sec floor.
+    if smoke && hide_events_per_sec < kernel_floor {
+        eprintln!(
+            "bench_throughput: SMOKE FAIL: HIDE through the policy seam runs at \
+             {hide_events_per_sec:.0} events/s, below the \
+             golden/perf_floors.toml floor of {kernel_floor:.0}"
         );
         std::process::exit(1);
     }

@@ -4,12 +4,23 @@
 //! ```text
 //! fleet_sim [--bss N] [--clients N] [--adoption F] [--duration SECS]
 //!           [--seed N] [--jobs N] [--scenario NAME]
+//!           [--policy hide|psm|scheduled[:I[:P]]] [--device NAME]
 //!           [--refresh-interval SECS] [--refresh-loss P]
 //!           [--port-churn P] [--stale-timeout SECS]
 //!           [--metrics PATH] [--summary PATH] [--trace PATH]
 //!           [--energy-attribution] [--attribution-out PATH]
 //!           [--profile-stages] [--smoke]
 //! ```
+//!
+//! `--policy` selects the suspended clients' power-save protocol:
+//! `hide` (the default; byte-identical to the pre-policy engine),
+//! `psm` (legacy 802.11 PSM — wake on every DTIM with traffic), or
+//! `scheduled[:interval[:period]]` (AP-negotiated wake windows, e.g.
+//! `scheduled:8:1` wakes one DTIM in eight). `--device` picks a
+//! device from the policy registry (`nexus-one`, `galaxy-s4`,
+//! `pixel-3a`, `note-4`, `iot-cam`, `tablet-pro`), setting the energy
+//! profile, the PowerTutor promotion knobs and the battery the
+//! lifetime projection extrapolates onto.
 //!
 //! `--trace PATH` turns the flight recorder on: every shard kernel's
 //! structured events (DTIM boundaries, lost/applied refreshes, port
@@ -45,6 +56,7 @@
 
 use hide::fleet::{ChurnConfig, FleetConfig, FleetResult};
 use hide::obs::{export, Counter, DEFAULT_TRACE_CAPACITY};
+use hide::policy::{lookup, registry_keys, WakePolicy};
 use hide_traces::scenario::Scenario;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -124,6 +136,30 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(spec) = parse_flag::<String>(&args, "--policy") {
+        match WakePolicy::parse(&spec) {
+            Ok(p) => cfg.policy = p,
+            Err(e) => {
+                eprintln!("fleet_sim: --policy {spec:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(name) = parse_flag::<String>(&args, "--device") {
+        match lookup(&name) {
+            Some(entry) => {
+                cfg.profile = entry.profile;
+                cfg.battery = entry.battery();
+            }
+            None => {
+                eprintln!(
+                    "unknown device {name:?}; valid: {}",
+                    registry_keys().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -131,12 +167,14 @@ fn main() -> ExitCode {
 
     eprintln!(
         "fleet: {} BSS x {} clients, {:.0}% adoption, {} s horizon, \
-         scenario {}, seed {}, jobs {}",
+         scenario {}, policy {}, device {}, seed {}, jobs {}",
         cfg.bss_count,
         cfg.clients_per_bss,
         cfg.adoption * 100.0,
         cfg.duration_secs,
         cfg.scenario.label(),
+        cfg.policy.name(),
+        cfg.profile.name,
         cfg.seed,
         jobs,
     );
@@ -271,6 +309,24 @@ fn report(result: &FleetResult, wall: f64) {
         "wakeups {} (hide {})  missed rate {:.4}  spurious rate {:.4}",
         r.wakeups, r.hide_wakeups, result.missed_wakeup_rate, result.spurious_wakeup_rate,
     );
+    if result.policy.schedule().is_some() {
+        println!(
+            "scheduled wakes {}  deferred bursts {}",
+            r.scheduled_wakes, r.deferred_wakeups,
+        );
+    }
+    let lt = &result.lifetime;
+    if lt.projected_secs > 0 {
+        println!(
+            "battery: {:.1} mWh, avg draw {:.1} mW/client -> lifetime {:.1} h \
+             (baseline {:.1} h, gain {:+.2}%)",
+            lt.capacity_mwh as f64,
+            lt.avg_draw_uw as f64 / 1e3,
+            lt.projected_secs as f64 / 3600.0,
+            lt.baseline_secs as f64 / 3600.0,
+            lt.lifetime_gain_ppm as f64 / 1e4,
+        );
+    }
     let rec = &result.recorder;
     println!(
         "provenance: proper {}  missed[lost {} expired {} churn {} unknown {}]  \
@@ -351,6 +407,27 @@ fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCod
         eprintln!(
             "fleet_sim: SMOKE FAIL: {} missed wakeups with zero refresh loss",
             control.report.missed_wakeups
+        );
+        return ExitCode::FAILURE;
+    }
+    // Policy seam invariants: non-HIDE policies must run none of the
+    // HIDE machinery, and a scheduled policy wakes only in-window.
+    if !cfg.policy.uses_port_refresh()
+        && (result.report.refreshes_sent != 0 || result.report.hide_wakeups != 0)
+    {
+        eprintln!(
+            "fleet_sim: SMOKE FAIL: policy {} ran HIDE machinery \
+             ({} refreshes, {} hide wakeups)",
+            cfg.policy.name(),
+            result.report.refreshes_sent,
+            result.report.hide_wakeups
+        );
+        return ExitCode::FAILURE;
+    }
+    if cfg.policy.schedule().is_some() && result.report.wakeups != result.report.scheduled_wakes {
+        eprintln!(
+            "fleet_sim: SMOKE FAIL: {} wakeups but only {} inside the service window",
+            result.report.wakeups, result.report.scheduled_wakes
         );
         return ExitCode::FAILURE;
     }

@@ -2,14 +2,19 @@
 //! HIDE paper.
 //!
 //! ```text
-//! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext]
+//! reproduce [all|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|host-costs|ext|policy]
 //!           [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]
+//!           [--policy NAME] [--device NAME]
 //!           [--energy-attribution] [--attribution-out <file>]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `ext` runs the extension experiments (hybrid, DTIM batching, unicast
-//! sensitivity, fleet adoption, sync-loss robustness). `--csv <dir>`
+//! sensitivity, fleet adoption, sync-loss robustness). `policy` runs
+//! the cross-policy × cross-device matrix (HIDE vs legacy PSM vs
+//! scheduled wake over every device in the policy registry, with
+//! battery-lifetime projections); `--policy hide|psm|scheduled` and
+//! `--device <registry key>` filter it to a single cell. `--csv <dir>`
 //! additionally writes plot-ready CSV files for every figure.
 //!
 //! `--jobs N` caps the worker threads the experiment engine fans out
@@ -79,6 +84,8 @@ fn run(args: &[String]) -> Result<(), Exit> {
     let metrics_path = flag_value(args, "--metrics")?.map(std::path::PathBuf::from);
     let trace_path = flag_value(args, "--trace")?.map(std::path::PathBuf::from);
     let attribution_path = flag_value(args, "--attribution-out")?.map(std::path::PathBuf::from);
+    let policy_filter = flag_value(args, "--policy")?.map(str::to_string);
+    let device_filter = flag_value(args, "--device")?.map(str::to_string);
     let energy_attr = args.iter().any(|a| a == "--energy-attribution");
     if attribution_path.is_some() && !energy_attr {
         return Err(Exit::Usage(
@@ -106,6 +113,8 @@ fn run(args: &[String]) -> Result<(), Exit> {
                 || *a == "--metrics"
                 || *a == "--trace"
                 || *a == "--attribution-out"
+                || *a == "--policy"
+                || *a == "--device"
         })
         .map(|(i, _)| i + 1)
         .collect();
@@ -219,6 +228,20 @@ fn run(args: &[String]) -> Result<(), Exit> {
         section("Extensions beyond the paper", body);
     }
 
+    if all || what == "policy" {
+        let start = Instant::now();
+        let body = harness::policy_matrix_with(
+            policy_filter.as_deref(),
+            device_filter.as_deref(),
+            &mut recorder,
+        )?;
+        recorder.add_span(Stage::Policy, start.elapsed().as_nanos() as u64);
+        section(
+            "Policy matrix: HIDE vs legacy PSM vs scheduled wake, per device",
+            body,
+        );
+    }
+
     if let Some(dir) = &csv_dir {
         let start = Instant::now();
         harness::write_csvs_with(&traces, dir, &mut recorder)?;
@@ -230,8 +253,9 @@ fn run(args: &[String]) -> Result<(), Exit> {
     if !ran {
         return Err(Exit::Usage(format!(
             "unknown experiment '{what}'; expected one of: all table1 table2 \
-             fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext \
+             fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext policy \
              [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>] \
+             [--policy NAME] [--device NAME] \
              [--energy-attribution] [--attribution-out <file>]"
         )));
     }

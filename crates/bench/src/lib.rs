@@ -264,6 +264,92 @@ pub fn extensions_with(traces: &[Trace], recorder: &mut Recorder) -> String {
     out
 }
 
+/// Runs and renders the cross-policy × cross-device comparison over
+/// the policy registry.
+pub fn policy_matrix(policy: Option<&str>, device: Option<&str>) -> Result<String, HideError> {
+    policy_matrix_with(policy, device, &mut Recorder::new())
+}
+
+/// Instrumented [`policy_matrix`]: one small fleet per (device, policy)
+/// pair — HIDE, legacy PSM and scheduled wake over every registry
+/// device (or the `--policy`/`--device` filtered subset), with the
+/// battery-lifetime projection each run extrapolates onto that
+/// device's battery. Sequential and seed-pinned, so the rendered table
+/// and the merged counters are byte-identical on every run.
+///
+/// # Errors
+///
+/// Returns [`HideError::Fleet`] on an invalid fleet configuration and
+/// a usage-style [`HideError::Sim`] is never produced here — unknown
+/// filter names simply select nothing and render an empty table.
+pub fn policy_matrix_with(
+    policy: Option<&str>,
+    device: Option<&str>,
+    recorder: &mut Recorder,
+) -> Result<String, HideError> {
+    use hide::policy::{builtin, WakePolicy};
+    use hide_fleet::{ChurnConfig, FleetConfig};
+
+    let policies = [
+        WakePolicy::Hide,
+        WakePolicy::LegacyPsm,
+        WakePolicy::ScheduledWake(hide::policy::ScheduleConfig::default()),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<14} {:>10} {:>9} {:>8} {:>8} {:>11} {:>9}",
+        "device", "policy", "energy J", "saving%", "wakes", "missed", "lifetime h", "gain%"
+    );
+    for entry in builtin() {
+        if let Some(d) = device {
+            if !d.eq_ignore_ascii_case(entry.key) {
+                continue;
+            }
+        }
+        for p in policies {
+            if let Some(name) = policy {
+                if WakePolicy::parse(name).map(|q| q.kind_id()) != Ok(p.kind_id()) {
+                    continue;
+                }
+            }
+            let cfg = FleetConfig {
+                bss_count: 20,
+                clients_per_bss: 8,
+                adoption: 1.0,
+                duration_secs: 10.0,
+                scenario: Scenario::CsDept,
+                seed: TRACE_SEED,
+                profile: entry.profile,
+                policy: p,
+                battery: entry.battery(),
+                churn: ChurnConfig {
+                    refresh_interval_secs: 3.0,
+                    refresh_loss: 0.0,
+                    ..ChurnConfig::default()
+                },
+            };
+            let result = cfg.try_run()?;
+            recorder.merge_from(&result.recorder);
+            let r = &result.report;
+            let lt = &result.lifetime;
+            let _ = writeln!(
+                out,
+                "{:<12} {:<14} {:>10.3} {:>9.2} {:>8} {:>8} {:>11.1} {:>+9.2}",
+                entry.key,
+                p.name(),
+                r.total_energy_j,
+                result.fleet_saving * 100.0,
+                r.wakeups,
+                r.missed_wakeups,
+                lt.projected_secs as f64 / 3600.0,
+                lt.lifetime_gain_ppm as f64 / 1e4,
+            );
+        }
+    }
+    Ok(out)
+}
+
 fn ext_hybrid(trace: &Trace, recorder: &mut Recorder) -> String {
     use hide_sim::solution::Solution;
     use hide_sim::SimulationBuilder;

@@ -12,6 +12,22 @@ use hide_wifi::mac::{Aid, MacAddr, MAX_AID};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+/// What the AP attaches to DTIM beacons beyond the standard TIM.
+///
+/// HIDE APs run [`BeaconMode::Btim`]; an AP serving only legacy-PSM or
+/// scheduled-wake clients runs [`BeaconMode::TimOnly`], skipping both
+/// the BTIM element and the Algorithm 1 flag computation (there are no
+/// registered ports to match against), so beacons carry zero HIDE
+/// overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BeaconMode {
+    /// Attach the HIDE BTIM element to every DTIM beacon (default).
+    #[default]
+    Btim,
+    /// Standard 802.11 beacons: TIM only, no BTIM element.
+    TimOnly,
+}
+
 /// Record the AP keeps per associated client.
 #[derive(Debug, Clone)]
 struct ClientRecord {
@@ -53,6 +69,7 @@ pub struct AccessPoint {
     /// each shard a disjoint sub-range so AIDs stay globally unique.
     aid_lo: u16,
     aid_hi: u16,
+    beacon_mode: BeaconMode,
 }
 
 impl AccessPoint {
@@ -88,12 +105,23 @@ impl AccessPoint {
             next_fresh_aid: lo,
             aid_lo: lo,
             aid_hi: hi,
+            beacon_mode: BeaconMode::default(),
         })
     }
 
     /// The inclusive AID allocation range `(lo, hi)`.
     pub fn aid_range(&self) -> (u16, u16) {
         (self.aid_lo, self.aid_hi)
+    }
+
+    /// Sets the beacon mode (whether DTIM beacons carry the HIDE BTIM).
+    pub fn set_beacon_mode(&mut self, mode: BeaconMode) {
+        self.beacon_mode = mode;
+    }
+
+    /// The current beacon mode.
+    pub fn beacon_mode(&self) -> BeaconMode {
+        self.beacon_mode
     }
 
     /// Sets the SSID advertised in beacons.
@@ -407,12 +435,14 @@ impl AccessPoint {
             );
         }
         let mut flags = PartialVirtualBitmap::new();
-        calculate_broadcast_flags_observed(
-            &self.buffer,
-            &self.port_table,
-            &mut flags,
-            &mut ctx.metrics,
-        );
+        if self.beacon_mode == BeaconMode::Btim {
+            calculate_broadcast_flags_observed(
+                &self.buffer,
+                &self.port_table,
+                &mut flags,
+                &mut ctx.metrics,
+            );
+        }
         let beacon = self.build_beacon(index, 0, flags);
         if let Some(btim) = beacon.btim() {
             btim.observe(&mut ctx.metrics);
@@ -473,14 +503,18 @@ impl AccessPoint {
             dtim_count == 0 && !self.buffer.is_empty(),
             unicast,
         );
-        Beacon::builder(self.bssid)
+        let builder = Beacon::builder(self.bssid)
             .ssid(self.ssid.clone())
             .supported_rates_11b()
             .timestamp_us(index.wrapping_mul(102_400))
             .beacon_interval_tu(100)
-            .tim(tim)
-            .element(InformationElement::Btim(Btim::new(flags)))
-            .build()
+            .tim(tim);
+        match self.beacon_mode {
+            BeaconMode::Btim => builder
+                .element(InformationElement::Btim(Btim::new(flags)))
+                .build(),
+            BeaconMode::TimOnly => builder.build(),
+        }
     }
 
     /// Drains the broadcast buffer for post-DTIM delivery (More Data

@@ -8,7 +8,7 @@ mod flags;
 mod port_table;
 pub mod snapshot;
 
-pub use access_point::AccessPoint;
+pub use access_point::{AccessPoint, BeaconMode};
 pub use buffer::BroadcastBuffer;
 pub use ctx::ApCtx;
 pub use flags::{

@@ -73,18 +73,38 @@ pub struct WakePricing {
 }
 
 impl WakePricing {
-    /// Derives the integer prices from a Table I profile.
+    /// Derives the integer prices from a Table I profile, by way of its
+    /// [`TransitionTable`](crate::fsm::TransitionTable). The table
+    /// stores the profile's constants verbatim and
+    /// [`from_table`](Self::from_table) performs the same operations in
+    /// the same order, so the prices are bit-identical to the
+    /// flat-constant derivation this replaced.
     #[must_use]
     pub fn from_profile(profile: &DeviceProfile) -> Self {
-        let wake_j =
-            profile.wake_cycle_energy() + profile.wakelock_secs * profile.active_idle_power;
-        let window_secs = profile.resume_secs + profile.wakelock_secs + profile.suspend_secs;
-        let floor_j = window_secs * profile.suspend_power;
+        let mut pricing = Self::from_table(&crate::fsm::TransitionTable::from_profile(profile));
+        pricing.beacon_nj = joules_to_nj(profile.beacon_energy);
+        pricing
+    }
+
+    /// Derives the integer prices from a multi-radio transition table:
+    /// the wake price is the `Suspended → Resuming` plus `ActiveIdle →
+    /// Suspending` edge energies plus the wakelock dwell in
+    /// `ActiveIdle`; the forgone price subtracts the `Suspended` dwell
+    /// over the same window. The table carries no beacon length, so
+    /// `beacon_nj` is 0 — [`from_profile`](Self::from_profile) fills it
+    /// in.
+    #[must_use]
+    pub fn from_table(table: &crate::fsm::TransitionTable) -> Self {
+        use crate::fsm::RadioState;
+        let wake_j = table.wake_cycle_energy_j()
+            + table.wakelock_hold_secs * table.power_w(RadioState::ActiveIdle);
+        let window_secs = table.resume_secs() + table.wakelock_hold_secs + table.suspend_secs();
+        let floor_j = window_secs * table.power_w(RadioState::Suspended);
         let wake_nj = joules_to_nj(wake_j);
         WakePricing {
             wake_nj,
             forgone_nj: wake_nj.saturating_sub(joules_to_nj(floor_j)),
-            beacon_nj: joules_to_nj(profile.beacon_energy),
+            beacon_nj: 0,
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod attribution;
 pub mod battery;
 pub mod breakdown;
 pub mod closed_form;
+pub mod fsm;
 pub mod machine;
 pub mod profile;
 pub mod radio;
@@ -58,7 +59,8 @@ pub mod timeline;
 
 pub use attribution::{AttributionLedger, CauseEnergy, ClientEnergy, WakePricing};
 pub use breakdown::{EnergyBreakdown, EnergyReport};
-pub use profile::DeviceProfile;
+pub use fsm::{RadioState, Transition, TransitionTable};
+pub use profile::{DeviceProfile, DeviceProfileBuilder};
 pub use timeline::{EnergyError, Overhead, Timeline, TimelineFrame};
 
 /// Evaluates the full Section-IV energy model on a reception timeline.

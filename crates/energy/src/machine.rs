@@ -16,6 +16,7 @@
 //! * a frame arriving **during a resume operation** has its wakelock
 //!   activation delayed to the end of the resume (Eq. 3's `max`).
 
+use crate::fsm::{RadioState, TransitionTable};
 use crate::profile::DeviceProfile;
 use crate::timeline::Timeline;
 
@@ -39,10 +40,21 @@ pub struct MachineResult {
 /// Runs the state machine over a timeline.
 ///
 /// The device is assumed suspended at `t = 0` (the paper's
-/// "without loss of generality, `s(1) = 0`").
+/// "without loss of generality, `s(1) = 0`"). Builds the profile's
+/// [`TransitionTable`] and delegates to [`run_with_table`]: the table
+/// stores the profile's constants verbatim, so this wrapper is
+/// bit-identical to the flat-constant machine it replaced.
 pub fn run(profile: &DeviceProfile, timeline: &Timeline) -> MachineResult {
-    let t_rm = profile.resume_secs;
-    let t_sp = profile.suspend_secs;
+    run_with_table(&TransitionTable::from_profile(profile), timeline)
+}
+
+/// Runs the state machine over a timeline against an explicit
+/// transition table — per-state powers and transition prices come from
+/// the table's edges (`Suspended → Resuming`, `ActiveIdle →
+/// Suspending`), not from flat profile fields.
+pub fn run_with_table(table: &TransitionTable, timeline: &Timeline) -> MachineResult {
+    let t_rm = table.resume_secs();
+    let t_sp = table.suspend_secs();
     let duration = timeline.duration();
 
     // `release`: expiry time of the furthest wakelock in the current wake
@@ -71,7 +83,7 @@ pub fn run(profile: &DeviceProfile, timeline: &Timeline) -> MachineResult {
         if a >= suspend_complete {
             // s(i) = 0: device is suspended when the frame arrives.
             suspend_time += a - suspend_complete;
-            est += profile.wake_cycle_energy();
+            est += table.wake_cycle_energy_j();
             resume_count += 1;
             let tr = a + t_rm;
             last_tr = tr;
@@ -80,7 +92,7 @@ pub fn run(profile: &DeviceProfile, timeline: &Timeline) -> MachineResult {
         } else if a >= release {
             // Suspend operation in progress: abort it.
             let y = (a - release) / t_sp;
-            est += profile.suspend_energy * y;
+            est += table.suspend_energy_j() * y;
             aborted += 1;
             let tr = a.max(last_tr);
             last_tr = tr;
@@ -114,7 +126,7 @@ pub fn run(profile: &DeviceProfile, timeline: &Timeline) -> MachineResult {
     }
 
     MachineResult {
-        wakelock_energy: profile.active_idle_power * wakelock_time,
+        wakelock_energy: table.power_w(RadioState::ActiveIdle) * wakelock_time,
         state_transfer_energy: est,
         wakelock_time,
         suspend_time: suspend_time.min(duration).max(0.0),
@@ -258,6 +270,21 @@ mod tests {
         let r = run_on(10.0, &specs);
         assert!(r.suspend_time >= 0.0);
         assert!(r.suspend_time <= 10.0);
+    }
+
+    #[test]
+    fn table_and_profile_paths_bit_identical() {
+        // run() now routes through the FSM transition table; the table
+        // stores the profile constants verbatim, so both entry points
+        // produce bit-identical results.
+        let specs: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64 * 0.35, if i % 3 == 0 { 0.0 } else { 1.0 }))
+            .collect();
+        let t = Timeline::new(20.0, 0.1024, frames(&specs)).unwrap();
+        let via_profile = run(&NEXUS_ONE, &t);
+        let table = TransitionTable::from_profile(&NEXUS_ONE);
+        let via_table = run_with_table(&table, &t);
+        assert_eq!(via_profile, via_table);
     }
 
     #[test]

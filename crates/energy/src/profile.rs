@@ -1,10 +1,31 @@
-//! Device power profiles (Table I of the HIDE paper).
+//! Device power profiles (Table I of the HIDE paper, plus registry
+//! extensions).
 //!
 //! The authors measured two phones with a Monsoon power monitor; since we
 //! have no hardware, the constants of Table I are reproduced verbatim.
-//! Energies are in joules, powers in watts, durations in seconds.
+//! Energies are in joules, powers in watts, durations in seconds. The
+//! four additional profiles span the low-power (IoT-class) to
+//! high-power (tablet-class) radio range so cross-device experiments
+//! have something to sweep; they are plausible extrapolations in the
+//! same measurement convention, not published measurements.
+//!
+//! External crates construct new profiles through
+//! [`DeviceProfile::builder`] (or derive one from an existing profile
+//! with [`DeviceProfile::derive`]): the struct is `#[non_exhaustive]`,
+//! so fields added by future registry work cannot break downstream
+//! constructors.
 
 /// Power/energy constants of one smartphone model (one row of Table I).
+///
+/// All fields use SI base units: energies in joules (J), powers in
+/// watts (W), durations in seconds (s). The attribution ledger
+/// ([`crate::attribution`]) derives pre-rounded integer nanojoule (nJ)
+/// prices from these floats.
+///
+/// The struct is `#[non_exhaustive]`: construct instances with
+/// [`DeviceProfile::builder`] / [`DeviceProfile::derive`] outside this
+/// crate. Fields stay `pub`, so reads and in-place mutation still work
+/// everywhere.
 ///
 /// # Example
 ///
@@ -14,43 +35,70 @@
 /// assert_eq!(NEXUS_ONE.wakelock_secs, 1.0);
 /// let wake_cost = NEXUS_ONE.resume_energy + NEXUS_ONE.suspend_energy;
 /// assert!((wake_cost - 35.92e-3).abs() < 1e-9);
+///
+/// // Derive a variant with a longer wakelock without naming every field.
+/// let patient = NEXUS_ONE.derive().wakelock_secs(2.0).build();
+/// assert_eq!(patient.wakelock_secs, 2.0);
+/// assert_eq!(patient.rx_power, NEXUS_ONE.rx_power);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct DeviceProfile {
     /// Human-readable device name.
     pub name: &'static str,
     /// WiFi-driver wakelock duration `τ` acquired per received broadcast
-    /// frame (1 s on both measured phones, following the paper's reference \[6\]).
+    /// frame, in seconds (1 s on both measured phones, following the
+    /// paper's reference \[6\]).
     pub wakelock_secs: f64,
-    /// Duration of a system resume operation `T_rm`.
+    /// Duration of a system resume operation `T_rm`, in seconds.
     pub resume_secs: f64,
-    /// Duration of a system suspend operation `T_sp`.
+    /// Duration of a system suspend operation `T_sp`, in seconds.
     pub suspend_secs: f64,
-    /// Energy of one complete resume operation `E_rm` (J).
+    /// Energy of one complete resume operation `E_rm`, in joules (J).
     pub resume_energy: f64,
-    /// Energy of one complete suspend operation `E_sp` (J).
+    /// Energy of one complete suspend operation `E_sp`, in joules (J).
     pub suspend_energy: f64,
-    /// Energy to receive one beacon frame `E^u_b` (J). Table I lists
-    /// this per beacon at the nominal beacon length
+    /// Energy to receive one beacon frame `E^u_b`, in joules (J).
+    /// Table I lists this per beacon at the nominal beacon length
     /// [`DeviceProfile::NOMINAL_BEACON_BYTES`]; per-byte costs (used for
     /// the BTIM overhead of Eq. 16) are derived from it.
     pub beacon_energy: f64,
-    /// WiFi radio receive power `P_r` (W).
+    /// WiFi radio receive power `P_r`, in watts (W).
     pub rx_power: f64,
-    /// WiFi radio transmit power `P_t` (W).
+    /// WiFi radio transmit power `P_t`, in watts (W).
     pub tx_power: f64,
-    /// WiFi radio idle-listening power `P_idle` (W).
+    /// WiFi radio idle-listening power `P_idle`, in watts (W).
     pub idle_power: f64,
-    /// Whole-system suspend-mode power `P_ss` (W).
+    /// Whole-system suspend-mode power `P_ss`, in watts (W).
     pub suspend_power: f64,
-    /// Whole-system active-idle power `P_sa` (W) — what a wakelock burns.
+    /// Whole-system active-idle power `P_sa`, in watts (W) — what a
+    /// wakelock burns.
     pub active_idle_power: f64,
 }
 
 impl DeviceProfile {
     /// Nominal beacon length used to convert the per-beacon energy
-    /// `E^u_b` into a per-byte cost for the BTIM overhead term.
+    /// `E^u_b` into a per-byte cost for the BTIM overhead term, in
+    /// bytes.
     pub const NOMINAL_BEACON_BYTES: f64 = 100.0;
+
+    /// A builder starting from the [`NEXUS_ONE`] constants under a new
+    /// name. Override any subset of fields, then
+    /// [`DeviceProfileBuilder::build`].
+    #[must_use]
+    pub fn builder(name: &'static str) -> DeviceProfileBuilder {
+        let mut b = DeviceProfileBuilder { profile: NEXUS_ONE };
+        b.profile.name = name;
+        b
+    }
+
+    /// A builder seeded with this profile's constants — the
+    /// `#[non_exhaustive]`-safe replacement for struct-update syntax
+    /// (`DeviceProfile { wakelock_secs: t, ..base }`).
+    #[must_use]
+    pub fn derive(&self) -> DeviceProfileBuilder {
+        DeviceProfileBuilder { profile: *self }
+    }
 
     /// Energy to receive one extra byte inside a beacon (J/byte),
     /// derived from [`DeviceProfile::beacon_energy`].
@@ -59,7 +107,8 @@ impl DeviceProfile {
     }
 
     /// Energy of one full suspend-to-active round trip
-    /// (`E_rm + E_sp`), the per-wake cost charged by Eq. (13).
+    /// (`E_rm + E_sp`), in joules — the per-wake cost charged by
+    /// Eq. (13).
     pub fn wake_cycle_energy(&self) -> f64 {
         self.resume_energy + self.suspend_energy
     }
@@ -80,6 +129,69 @@ impl DeviceProfile {
             && self.active_idle_power > 0.0
             && self.suspend_power < self.active_idle_power
             && self.idle_power < self.rx_power
+    }
+}
+
+/// Builder for [`DeviceProfile`] — the only way to construct one
+/// outside this crate (the struct is `#[non_exhaustive]`). Every field
+/// defaults to the seed profile's value, so adding fields to
+/// [`DeviceProfile`] can never break downstream constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProfileBuilder {
+    profile: DeviceProfile,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $field(mut self, value: f64) -> Self {
+                self.profile.$field = value;
+                self
+            }
+        )+
+    };
+}
+
+impl DeviceProfileBuilder {
+    builder_setters! {
+        /// Sets the per-frame wakelock duration `τ`, seconds.
+        wakelock_secs,
+        /// Sets the resume-operation duration `T_rm`, seconds.
+        resume_secs,
+        /// Sets the suspend-operation duration `T_sp`, seconds.
+        suspend_secs,
+        /// Sets the resume-operation energy `E_rm`, joules.
+        resume_energy,
+        /// Sets the suspend-operation energy `E_sp`, joules.
+        suspend_energy,
+        /// Sets the per-beacon reception energy `E^u_b`, joules.
+        beacon_energy,
+        /// Sets the radio receive power `P_r`, watts.
+        rx_power,
+        /// Sets the radio transmit power `P_t`, watts.
+        tx_power,
+        /// Sets the radio idle-listening power `P_idle`, watts.
+        idle_power,
+        /// Sets the whole-system suspend power `P_ss`, watts.
+        suspend_power,
+        /// Sets the whole-system active-idle power `P_sa`, watts.
+        active_idle_power,
+    }
+
+    /// Renames the profile.
+    #[must_use]
+    pub fn name(mut self, name: &'static str) -> Self {
+        self.profile.name = name;
+        self
+    }
+
+    /// Finishes the builder. No validation is applied — call
+    /// [`DeviceProfile::is_consistent`] to sanity-check the result.
+    #[must_use]
+    pub fn build(self) -> DeviceProfile {
+        self.profile
     }
 }
 
@@ -115,8 +227,84 @@ pub const GALAXY_S4: DeviceProfile = DeviceProfile {
     active_idle_power: 0.130,
 };
 
+/// Registry extension: a mid-tier 2019 phone with an efficient radio
+/// and cheap state transfers (wake cycle ≈ 23.3 mJ, well under the
+/// Nexus One's 35.9 mJ).
+pub const PIXEL_3A: DeviceProfile = DeviceProfile {
+    name: "Pixel 3a",
+    wakelock_secs: 1.0,
+    resume_secs: 0.038,
+    suspend_secs: 0.070,
+    resume_energy: 12.4e-3,
+    suspend_energy: 10.9e-3,
+    beacon_energy: 0.98e-3,
+    rx_power: 0.420,
+    tx_power: 0.980,
+    idle_power: 0.195,
+    suspend_power: 0.008,
+    active_idle_power: 0.105,
+};
+
+/// Registry extension: a large phablet with a high-power radio and
+/// expensive state transfers (wake cycle ≈ 156.7 mJ, above the S4).
+pub const NOTE_4: DeviceProfile = DeviceProfile {
+    name: "Note 4",
+    wakelock_secs: 1.0,
+    resume_secs: 0.052,
+    suspend_secs: 0.180,
+    resume_energy: 64.2e-3,
+    suspend_energy: 92.5e-3,
+    beacon_energy: 1.88e-3,
+    rx_power: 0.610,
+    tx_power: 1.650,
+    idle_power: 0.300,
+    suspend_power: 0.017,
+    active_idle_power: 0.145,
+};
+
+/// Registry extension: an IoT-class WiFi camera — a low-power radio,
+/// a short wakelock, and near-zero suspend draw. The cheapest wake in
+/// the registry (≈ 5.8 mJ).
+pub const IOT_CAM: DeviceProfile = DeviceProfile {
+    name: "IoT Cam",
+    wakelock_secs: 0.5,
+    resume_secs: 0.020,
+    suspend_secs: 0.040,
+    resume_energy: 3.1e-3,
+    suspend_energy: 2.7e-3,
+    beacon_energy: 0.42e-3,
+    rx_power: 0.210,
+    tx_power: 0.540,
+    idle_power: 0.092,
+    suspend_power: 0.0021,
+    active_idle_power: 0.036,
+};
+
+/// Registry extension: a tablet — the highest-power radio and the most
+/// expensive state transfers in the registry (wake cycle ≈ 210 mJ),
+/// offset by a much larger battery.
+pub const TABLET_PRO: DeviceProfile = DeviceProfile {
+    name: "Tablet Pro",
+    wakelock_secs: 1.5,
+    resume_secs: 0.058,
+    suspend_secs: 0.210,
+    resume_energy: 88.6e-3,
+    suspend_energy: 121.4e-3,
+    beacon_energy: 2.35e-3,
+    rx_power: 0.720,
+    tx_power: 1.900,
+    idle_power: 0.340,
+    suspend_power: 0.022,
+    active_idle_power: 0.190,
+};
+
 /// Both Table I profiles, in paper order.
 pub const ALL_PROFILES: [DeviceProfile; 2] = [NEXUS_ONE, GALAXY_S4];
+
+/// Every built-in profile: Table I plus the registry extensions, in
+/// registry order (see `hide_policy::registry`).
+pub const BUILTIN_PROFILES: [DeviceProfile; 6] =
+    [NEXUS_ONE, GALAXY_S4, PIXEL_3A, NOTE_4, IOT_CAM, TABLET_PRO];
 
 #[cfg(test)]
 mod tests {
@@ -127,6 +315,30 @@ mod tests {
         for p in ALL_PROFILES {
             assert!(p.is_consistent(), "{} profile inconsistent", p.name);
         }
+    }
+
+    #[test]
+    fn builtin_profiles_are_consistent_and_distinct() {
+        for p in BUILTIN_PROFILES {
+            assert!(p.is_consistent(), "{} profile inconsistent", p.name);
+        }
+        let mut names: Vec<&str> = BUILTIN_PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BUILTIN_PROFILES.len());
+    }
+
+    #[test]
+    fn registry_spans_low_to_high_power_radios() {
+        // The extensions bracket the Table I phones on both axes the
+        // paper cares about: radio receive power and wake-cycle cost.
+        let rx = |p: &DeviceProfile| p.rx_power;
+        assert!(rx(&IOT_CAM) < rx(&NEXUS_ONE));
+        assert!(rx(&TABLET_PRO) > rx(&GALAXY_S4));
+        assert!(IOT_CAM.wake_cycle_energy() < PIXEL_3A.wake_cycle_energy());
+        assert!(PIXEL_3A.wake_cycle_energy() < NEXUS_ONE.wake_cycle_energy());
+        assert!(NOTE_4.wake_cycle_energy() > GALAXY_S4.wake_cycle_energy());
+        assert!(TABLET_PRO.wake_cycle_energy() > NOTE_4.wake_cycle_energy());
     }
 
     #[test]
@@ -156,6 +368,22 @@ mod tests {
         let mut p = NEXUS_ONE;
         p.rx_power = -1.0;
         assert!(!p.is_consistent());
+    }
+
+    #[test]
+    fn builder_round_trips_and_overrides() {
+        // derive().build() is the identity.
+        assert_eq!(NEXUS_ONE.derive().build(), NEXUS_ONE);
+        // builder() seeds from NEXUS_ONE under the new name.
+        let custom = DeviceProfile::builder("custom")
+            .rx_power(0.6)
+            .tx_power(1.4)
+            .build();
+        assert_eq!(custom.name, "custom");
+        assert_eq!(custom.rx_power, 0.6);
+        assert_eq!(custom.tx_power, 1.4);
+        assert_eq!(custom.wakelock_secs, NEXUS_ONE.wakelock_secs);
+        assert!(custom.is_consistent());
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub struct BssReport {
     /// DTIMs where a suspended HIDE client had useful traffic at all
     /// (the denominator of the missed-wakeup rate).
     pub useful_opportunities: u64,
+    /// Wake-ups of scheduled-wake clients inside their service window.
+    pub scheduled_wakes: u64,
+    /// Useful bursts a scheduled client deep-slept through because they
+    /// fell outside its service window. Deferred, not missed: the AP
+    /// still holds the traffic for the next window.
+    pub deferred_wakeups: u64,
     /// Energy actually spent by the population, joules.
     pub total_energy_j: f64,
     /// Energy the same population would spend all-legacy (receive-all),
@@ -121,6 +127,8 @@ impl BssReport {
         self.missed_wakeups += other.missed_wakeups;
         self.spurious_wakeups += other.spurious_wakeups;
         self.useful_opportunities += other.useful_opportunities;
+        self.scheduled_wakes += other.scheduled_wakes;
+        self.deferred_wakeups += other.deferred_wakeups;
         self.total_energy_j += other.total_energy_j;
         self.baseline_energy_j += other.baseline_energy_j;
         self.refresh_airtime_secs += other.refresh_airtime_secs;
@@ -303,6 +311,13 @@ struct Engine<'a> {
     /// This shard's trace-source lane (the BSS index), the first half of
     /// every ledger key.
     source: u32,
+    /// Negotiated wake schedule as `(interval, period)` DTIM counts —
+    /// `Some` only under [`hide_policy::WakePolicy::ScheduledWake`].
+    /// `None` keeps the per-client sweep on the exact pre-seam
+    /// instruction sequence.
+    sched: Option<(u64, u64)>,
+    /// 0-based index of the next DTIM boundary, the schedule's clock.
+    dtim_index: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -322,6 +337,11 @@ impl<'a> Engine<'a> {
         let mut queue = EventQueue::with_seed(derive_seed(seed, 3));
         let stagger = cfg.duration_secs.min(churn.mean_absent_secs);
         let mut clients = Clients::with_capacity(specs.len());
+        // Under non-HIDE policies every client associates legacy: no
+        // port refreshes, no BTIM flags. The RNG draws are untouched
+        // (the flag gates only protocol behavior), so a HIDE run's
+        // event sequence is bit-identical to the pre-seam engine's.
+        let hide_protocol = cfg.policy.uses_port_refresh();
         for (i, spec) in specs.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 0x51ED));
             let ports = sample_ports(&mut rng, &port_universe, churn.ports_per_client);
@@ -335,7 +355,7 @@ impl<'a> Engine<'a> {
             );
             clients.push(
                 MacAddr::station(i as u32 + 1),
-                spec.hide_enabled,
+                spec.hide_enabled && hide_protocol,
                 ports,
                 rng,
             );
@@ -377,6 +397,11 @@ impl<'a> Engine<'a> {
             wake_cost_j,
             pricing,
             source: bss_index as u32,
+            sched: cfg
+                .policy
+                .schedule()
+                .map(|s| (u64::from(s.interval_dtims), u64::from(s.period_dtims))),
+            dtim_index: 0,
         }
     }
 
@@ -612,6 +637,12 @@ impl<'a> Engine<'a> {
     /// analyzer's backward walk over the trace).
     fn handle_dtim<T: TraceSink>(&mut self, now: f64, rec: &mut Recorder, trace: &mut T) {
         let profile = &self.cfg.profile;
+        // Whether a scheduled-wake client's service window covers this
+        // DTIM. Policies without a schedule are always "in window".
+        let in_window = self
+            .sched
+            .is_none_or(|(interval, period)| self.dtim_index % interval < period);
+        self.dtim_index += 1;
         let expired = self
             .ap
             .expire_stale_port_entries(now - self.cfg.churn.stale_timeout_secs);
@@ -651,29 +682,45 @@ impl<'a> Engine<'a> {
         if self.buffered.is_empty() {
             let beacon_nj = self.pricing.beacon_nj;
             let beacon_j = profile.beacon_energy;
-            // Accumulate the two sums in registers — the add sequence
-            // is the one the general sweep performs, so the result is
-            // bit-identical; only the per-iteration store is hoisted.
-            let mut total = self.report.total_energy_j;
-            let mut baseline = self.report.baseline_energy_j;
-            let lanes = &mut self.lanes;
-            let touched = &mut self.lane_touched;
-            for &aid in &self.clients.aids {
-                let Some(aid) = aid else {
-                    continue;
-                };
-                total += beacon_j;
-                baseline += beacon_j;
-                let v = aid.value() as usize;
-                if lanes.len() <= v {
-                    lanes.resize(v + 1, ClientEnergy::default());
-                    touched.resize(v + 1, false);
+            if self.sched.is_none() {
+                // Accumulate the two sums in registers — the add sequence
+                // is the one the general sweep performs, so the result is
+                // bit-identical; only the per-iteration store is hoisted.
+                let mut total = self.report.total_energy_j;
+                let mut baseline = self.report.baseline_energy_j;
+                let lanes = &mut self.lanes;
+                let touched = &mut self.lane_touched;
+                for &aid in &self.clients.aids {
+                    let Some(aid) = aid else {
+                        continue;
+                    };
+                    total += beacon_j;
+                    baseline += beacon_j;
+                    let v = aid.value() as usize;
+                    if lanes.len() <= v {
+                        lanes.resize(v + 1, ClientEnergy::default());
+                        touched.resize(v + 1, false);
+                    }
+                    touched[v] = true;
+                    lanes[v].beacon_nj += beacon_nj;
                 }
-                touched[v] = true;
-                lanes[v].beacon_nj += beacon_nj;
+                self.report.total_energy_j = total;
+                self.report.baseline_energy_j = baseline;
+            } else {
+                // Scheduled wake: suspended clients outside the window
+                // deep-sleep through the beacon (no charge); the
+                // receive-all baseline still hears every one.
+                for i in 0..self.clients.len() {
+                    let Some(aid) = self.clients.aids[i] else {
+                        continue;
+                    };
+                    self.report.baseline_energy_j += beacon_j;
+                    if !self.clients.suspended[i] || in_window {
+                        self.report.total_energy_j += beacon_j;
+                        self.lane(aid).beacon_nj += beacon_nj;
+                    }
+                }
             }
-            self.report.total_energy_j = total;
-            self.report.baseline_energy_j = baseline;
             self.ap.port_table().charge_lookups(0, 0, 0);
             let next = now + Self::dtim_interval();
             if next < self.cfg.duration_secs {
@@ -737,10 +784,18 @@ impl<'a> Engine<'a> {
             let Some(aid) = self.clients.aids[i] else {
                 continue;
             };
-            // Every associated client receives the DTIM beacon.
-            self.report.total_energy_j += beacon_j;
-            self.report.baseline_energy_j += beacon_j;
-            self.lane(aid).beacon_nj += pricing.beacon_nj;
+            // Every associated client receives the DTIM beacon — except
+            // a suspended scheduled-wake client outside its service
+            // window, which deep-sleeps through it. The receive-all
+            // baseline hears every beacon regardless of policy.
+            let receives_beacon = self.sched.is_none() || !self.clients.suspended[i] || in_window;
+            if receives_beacon {
+                self.report.total_energy_j += beacon_j;
+                self.report.baseline_energy_j += beacon_j;
+                self.lane(aid).beacon_nj += pricing.beacon_nj;
+            } else {
+                self.report.baseline_energy_j += beacon_j;
+            }
 
             if !self.clients.suspended[i] {
                 // Radio already awake: the burst is heard either way.
@@ -755,22 +810,40 @@ impl<'a> Engine<'a> {
             }
             if !self.clients.hide[i] {
                 if have_burst {
-                    self.report.wakeups += 1;
-                    self.report.total_energy_j += wake_cost_j + burst_rx_j;
-                    let e = self.lane(aid);
-                    e.charge_wake(WakeClass::Legacy, WakeCause::Proper, &pricing);
-                    e.burst_rx_nj += burst_rx_nj;
-                    if trace.is_enabled() {
-                        trace.emit(
-                            now,
-                            TraceEventKind::WakeDecision {
-                                aid: aid.value(),
-                                port: 0,
-                                frame_id: self.buffered.first().map(|(id, _)| *id).unwrap_or(0),
-                                class: WakeClass::Legacy,
-                                cause: WakeCause::Proper,
-                            },
-                        );
+                    // A scheduled-wake client wakes only inside its
+                    // service window; an out-of-window useful burst is
+                    // deferred to the next window, never missed (the
+                    // AP still holds it). Legacy PSM (and the legacy
+                    // share of a HIDE fleet) wakes for any burst.
+                    let wakes = match self.sched {
+                        None => true,
+                        Some(_) => in_window,
+                    };
+                    if wakes {
+                        self.report.wakeups += 1;
+                        if self.sched.is_some() {
+                            self.report.scheduled_wakes += 1;
+                            rec.incr(Counter::FleetScheduledWakes);
+                        }
+                        self.report.total_energy_j += wake_cost_j + burst_rx_j;
+                        let e = self.lane(aid);
+                        e.charge_wake(WakeClass::Legacy, WakeCause::Proper, &pricing);
+                        e.burst_rx_nj += burst_rx_nj;
+                        if trace.is_enabled() {
+                            trace.emit(
+                                now,
+                                TraceEventKind::WakeDecision {
+                                    aid: aid.value(),
+                                    port: 0,
+                                    frame_id: self.buffered.first().map(|(id, _)| *id).unwrap_or(0),
+                                    class: WakeClass::Legacy,
+                                    cause: WakeCause::Proper,
+                                },
+                            );
+                        }
+                    } else if self.useful_first[i] != NO_PORT_IDX {
+                        self.report.deferred_wakeups += 1;
+                        rec.incr(Counter::FleetDeferredWakeups);
                     }
                 }
                 continue;
@@ -1001,6 +1074,8 @@ pub(crate) fn run_bss_profiled<T: TraceSink, P: StageProfiler>(
     rec.add(Counter::FleetWakeups, report.wakeups);
     rec.add(Counter::FleetMissedWakeups, report.missed_wakeups);
     rec.add(Counter::FleetSpuriousWakeups, report.spurious_wakeups);
+    rec.add(Counter::FleetScheduledWakes, report.scheduled_wakes);
+    rec.add(Counter::FleetDeferredWakeups, report.deferred_wakeups);
     rec.observe(Distribution::FleetClientsPerBss, cfg.clients_per_bss as u64);
     rec.add_span(Stage::Fleet, start.elapsed().as_nanos() as u64);
     Ok((report, rec))

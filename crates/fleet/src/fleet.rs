@@ -12,8 +12,10 @@ use crate::bss::{run_bss, run_bss_profiled, run_bss_traced, BssReport};
 use crate::churn::ChurnConfig;
 use crate::error::FleetError;
 use crate::profile::{FleetStage, StageProfile, StageProfiler};
+use hide_energy::battery::Battery;
 use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
 use hide_obs::{FlightRecorder, Recorder, Stage};
+use hide_policy::{LifetimeProjection, WakePolicy};
 use hide_traces::scenario::Scenario;
 use std::time::Instant;
 
@@ -37,6 +39,13 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Client lifecycle knobs.
     pub churn: ChurnConfig,
+    /// Power-save protocol suspended clients run. The default
+    /// ([`WakePolicy::Hide`]) reproduces the pre-seam engine
+    /// byte-for-byte; the other policies force every client legacy
+    /// (no port refreshes) and change only the wake decision.
+    pub policy: WakePolicy,
+    /// Battery the lifetime projection extrapolates onto.
+    pub battery: Battery,
 }
 
 impl Default for FleetConfig {
@@ -50,6 +59,8 @@ impl Default for FleetConfig {
             profile: NEXUS_ONE,
             seed: 42,
             churn: ChurnConfig::default(),
+            policy: WakePolicy::Hide,
+            battery: Battery::NEXUS_ONE,
         }
     }
 }
@@ -231,6 +242,12 @@ pub struct FleetResult {
     /// Share of total fleet airtime consumed by UDP Port Messages
     /// (Eq. 21): refresh airtime over `duration × bss_count`.
     pub port_message_airtime_share: f64,
+    /// The wake policy the fleet ran.
+    pub policy: WakePolicy,
+    /// Battery-lifetime projection for the configured battery: the
+    /// policy's average per-client draw extrapolated to standby
+    /// seconds, against the receive-all baseline.
+    pub lifetime: LifetimeProjection,
     /// Merged observability recorder (counters, histograms, stages).
     pub recorder: Recorder,
 }
@@ -249,8 +266,30 @@ impl FleetResult {
         } else {
             0.0
         };
+        let clients = (cfg.bss_count * cfg.clients_per_bss) as u64;
+        let lifetime = if report.total_energy_j > 0.0 && report.baseline_energy_j > 0.0 {
+            LifetimeProjection::project(
+                &cfg.battery,
+                report.total_energy_j,
+                report.baseline_energy_j,
+                cfg.duration_secs,
+                clients,
+            )
+        } else {
+            // A horizon too short for any charge projects nothing.
+            LifetimeProjection {
+                capacity_mwh: (cfg.battery.capacity_wh() * 1e3).round() as u64,
+                clients,
+                avg_draw_uw: 0,
+                projected_secs: 0,
+                baseline_secs: 0,
+                lifetime_gain_ppm: 0,
+            }
+        };
         FleetResult {
             fleet_saving,
+            policy: cfg.policy,
+            lifetime,
             missed_wakeup_rate: ratio(report.missed_wakeups, report.useful_opportunities),
             spurious_wakeup_rate: ratio(report.spurious_wakeups, report.hide_wakeups),
             port_message_airtime_share: report.refresh_airtime_secs
@@ -274,12 +313,38 @@ impl FleetResult {
         &self.report.attribution
     }
 
+    /// The `policy` section body for the `hide-metrics/1` artifact:
+    /// which policy ran (`kind`: 0 = hide, 1 = psm, 2 = scheduled),
+    /// its schedule knobs (0/0 when no schedule), and the
+    /// scheduled-wake tallies. Integer-only, single line.
+    pub fn policy_metrics_section(&self) -> String {
+        let (interval, period) = self
+            .policy
+            .schedule()
+            .map_or((0, 0), |s| (s.interval_dtims, s.period_dtims));
+        format!(
+            "{{\"kind\":{},\"interval_dtims\":{},\"period_dtims\":{},\"scheduled_wakes\":{},\"deferred_wakeups\":{}}}",
+            self.policy.kind_id(),
+            interval,
+            period,
+            self.report.scheduled_wakes,
+            self.report.deferred_wakeups
+        )
+    }
+
     /// [`metrics_json`](Self::metrics_json) with the fleet-wide
-    /// `"energy"` attribution section spliced in — still integer-only
-    /// and byte-identical across reruns and `jobs` counts.
+    /// `"energy"` attribution, `"policy"`, and `"battery"` lifetime
+    /// sections spliced in — still integer-only and byte-identical
+    /// across reruns and `jobs` counts.
     pub fn metrics_json_with_energy(&self) -> String {
         let energy = self.report.attribution.to_metrics_section();
-        self.recorder.to_json_with_sections(&[("energy", &energy)])
+        let policy = self.policy_metrics_section();
+        let battery = self.lifetime.to_metrics_section();
+        self.recorder.to_json_with_sections(&[
+            ("energy", &energy),
+            ("policy", &policy),
+            ("battery", &battery),
+        ])
     }
 
     /// A small deterministic JSON document with the derived fleet

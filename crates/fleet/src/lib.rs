@@ -76,5 +76,6 @@ pub use bss::BssReport;
 pub use churn::ChurnConfig;
 pub use error::FleetError;
 pub use fleet::{FleetConfig, FleetResult};
+pub use hide_policy::{ScheduleConfig, WakePolicy};
 pub use kernel::{derive_seed, EventQueue, HeapEventQueue};
 pub use profile::{FleetStage, NoopProfiler, StageProfile, StageProfiler};

@@ -94,11 +94,17 @@ pub enum Counter {
     FleetSpuriousPortChurn,
     /// Spurious wakeups with no attributable cause.
     FleetSpuriousUnknown,
+    /// Scheduled-wake window wake-ups (clients on a negotiated wake
+    /// schedule waking inside their service period).
+    FleetScheduledWakes,
+    /// Useful bursts a scheduled client deep-slept through because
+    /// they fell outside its service window (deferred, not missed).
+    FleetDeferredWakeups,
 }
 
 impl Counter {
     /// Every counter, in declaration (serialization) order.
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 41] = [
         Counter::SimsRun,
         Counter::TraceFrames,
         Counter::FramesDelivered,
@@ -138,6 +144,8 @@ impl Counter {
         Counter::FleetMissedUnknown,
         Counter::FleetSpuriousPortChurn,
         Counter::FleetSpuriousUnknown,
+        Counter::FleetScheduledWakes,
+        Counter::FleetDeferredWakeups,
     ];
 
     /// Number of counters.
@@ -185,6 +193,8 @@ impl Counter {
             Counter::FleetMissedUnknown => "fleet_missed_unknown",
             Counter::FleetSpuriousPortChurn => "fleet_spurious_port_churn",
             Counter::FleetSpuriousUnknown => "fleet_spurious_unknown",
+            Counter::FleetScheduledWakes => "fleet_scheduled_wakes",
+            Counter::FleetDeferredWakeups => "fleet_deferred_wakeups",
         }
     }
 
@@ -297,11 +307,13 @@ pub enum Stage {
     FleetEventLoop,
     /// Input-order fan-in of fleet shard reports and recorders.
     FleetMerge,
+    /// Cross-policy × cross-device comparison runs.
+    Policy,
 }
 
 impl Stage {
     /// Every stage, in declaration (serialization) order.
-    pub const ALL: [Stage; 16] = [
+    pub const ALL: [Stage; 17] = [
         Stage::TraceGen,
         Stage::Table1,
         Stage::Table2,
@@ -318,6 +330,7 @@ impl Stage {
         Stage::Fleet,
         Stage::FleetEventLoop,
         Stage::FleetMerge,
+        Stage::Policy,
     ];
 
     /// Number of stages.
@@ -342,6 +355,7 @@ impl Stage {
             Stage::Fleet => "fleet",
             Stage::FleetEventLoop => "fleet_event_loop",
             Stage::FleetMerge => "fleet_merge",
+            Stage::Policy => "policy",
         }
     }
 

@@ -1,0 +1,145 @@
+//! Life-Add-style battery-lifetime projection: turn joules spent over a
+//! simulated horizon into projected standby time on a named battery.
+//!
+//! The projection is deliberately simple — constant average draw over
+//! the horizon, scaled to one client — because its job is comparative:
+//! the same battery under two policies yields a lifetime *gain*, and
+//! that gain is what the `hide-metrics/1` artifact pins. All exported
+//! numbers are integers (micro-watts, seconds, parts-per-million) so
+//! the artifact stays byte-stable across platforms.
+
+use hide_energy::battery::Battery;
+
+/// An integer-only battery-lifetime projection for one policy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifetimeProjection {
+    /// Battery capacity, milli-watt-hours (rounded).
+    pub capacity_mwh: u64,
+    /// Clients the fleet energy was averaged over.
+    pub clients: u64,
+    /// Average per-client draw under the policy, micro-watts (rounded).
+    pub avg_draw_uw: u64,
+    /// Projected standby seconds on this battery under the policy.
+    pub projected_secs: u64,
+    /// Projected standby seconds under the receive-all baseline.
+    pub baseline_secs: u64,
+    /// Lifetime gain of the policy over the baseline, parts-per-million
+    /// (negative when the policy costs battery life).
+    pub lifetime_gain_ppm: i64,
+}
+
+impl LifetimeProjection {
+    /// Projects standby lifetime from fleet totals.
+    ///
+    /// `total_j` and `baseline_j` are the summed energy of `clients`
+    /// clients over `duration_secs` of simulated time; the projection
+    /// divides down to one client before extrapolating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_secs`, `clients`, or either energy total is
+    /// not positive — a projection over an empty run is meaningless.
+    #[must_use]
+    pub fn project(
+        battery: &Battery,
+        total_j: f64,
+        baseline_j: f64,
+        duration_secs: f64,
+        clients: u64,
+    ) -> Self {
+        assert!(duration_secs > 0.0, "duration must be positive");
+        assert!(clients > 0, "need at least one client");
+        assert!(
+            total_j > 0.0 && baseline_j > 0.0,
+            "energy totals must be positive"
+        );
+        let n = clients as f64;
+        let draw_w = total_j / duration_secs / n;
+        let baseline_draw_w = baseline_j / duration_secs / n;
+        let projected = battery.standby_hours(draw_w) * 3600.0;
+        let baseline = battery.standby_hours(baseline_draw_w) * 3600.0;
+        let gain_ppm = (projected / baseline - 1.0) * 1e6;
+        LifetimeProjection {
+            capacity_mwh: (battery.capacity_wh() * 1e3).round() as u64,
+            clients,
+            avg_draw_uw: (draw_w * 1e6).round() as u64,
+            projected_secs: projected.round() as u64,
+            baseline_secs: baseline.round() as u64,
+            lifetime_gain_ppm: gain_ppm.round() as i64,
+        }
+    }
+
+    /// The `battery` section body for the `hide-metrics/1` artifact:
+    /// a single-line JSON object of integers, keys in declaration
+    /// order.
+    #[must_use]
+    pub fn to_metrics_section(&self) -> String {
+        format!(
+            "{{\"capacity_mwh\":{},\"clients\":{},\"avg_draw_uw\":{},\"projected_secs\":{},\"baseline_secs\":{},\"lifetime_gain_ppm\":{}}}",
+            self.capacity_mwh,
+            self.clients,
+            self.avg_draw_uw,
+            self.projected_secs,
+            self.baseline_secs,
+            self.lifetime_gain_ppm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_energy_extends_life() {
+        let b = Battery::NEXUS_ONE;
+        // Policy spends half the baseline energy → double the lifetime.
+        let p = LifetimeProjection::project(&b, 50.0, 100.0, 1000.0, 1);
+        assert_eq!(p.projected_secs, 2 * p.baseline_secs);
+        assert_eq!(p.lifetime_gain_ppm, 1_000_000);
+    }
+
+    #[test]
+    fn equal_energy_means_zero_gain() {
+        let b = Battery::GALAXY_S4;
+        let p = LifetimeProjection::project(&b, 70.0, 70.0, 600.0, 7);
+        assert_eq!(p.projected_secs, p.baseline_secs);
+        assert_eq!(p.lifetime_gain_ppm, 0);
+    }
+
+    #[test]
+    fn costlier_policy_goes_negative() {
+        let b = Battery::NEXUS_ONE;
+        let p = LifetimeProjection::project(&b, 120.0, 100.0, 1000.0, 2);
+        assert!(p.lifetime_gain_ppm < 0);
+        assert!(p.projected_secs < p.baseline_secs);
+    }
+
+    #[test]
+    fn per_client_scaling() {
+        let b = Battery::NEXUS_ONE;
+        // Ten clients spending 10x the energy of one client draw the
+        // same per-client power → identical projection.
+        let one = LifetimeProjection::project(&b, 30.0, 60.0, 600.0, 1);
+        let ten = LifetimeProjection::project(&b, 300.0, 600.0, 600.0, 10);
+        assert_eq!(one.projected_secs, ten.projected_secs);
+        assert_eq!(one.avg_draw_uw, ten.avg_draw_uw);
+    }
+
+    #[test]
+    fn section_is_single_line_integer_json() {
+        let b = Battery::NEXUS_ONE;
+        let p = LifetimeProjection::project(&b, 50.0, 100.0, 1000.0, 1);
+        let s = p.to_metrics_section();
+        assert!(!s.contains('\n'));
+        assert!(!s.contains('.'));
+        assert!(s.starts_with("{\"capacity_mwh\":"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        let _ = LifetimeProjection::project(&Battery::NEXUS_ONE, 1.0, 1.0, 0.0, 1);
+    }
+}

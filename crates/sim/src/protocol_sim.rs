@@ -9,7 +9,7 @@
 //! on which DTIM intervals wake the client and (closely) on energy.
 
 use crate::solution::Solution;
-use hide_core::ap::{AccessPoint, ApCtx};
+use hide_core::ap::{AccessPoint, ApCtx, BeaconMode};
 use hide_core::client::{HideClient, OpenPortRegistry, WakeDecision};
 use hide_core::CoreError;
 use hide_energy::profile::DeviceProfile;
@@ -18,6 +18,7 @@ use hide_energy::EnergyReport;
 use hide_obs::{
     Counter, MetricsSink, NoopSink, NoopTrace, TraceEventKind, TraceSink, WakeCause, WakeClass,
 };
+use hide_policy::WakePolicy;
 use hide_traces::record::Trace;
 use hide_traces::useful::Usefulness;
 use hide_wifi::frame::{Beacon, BroadcastDataFrame};
@@ -59,6 +60,7 @@ pub struct ProtocolSimulation<'a> {
     useful_fraction: f64,
     sync_interval_secs: f64,
     beacon_interval: f64,
+    policy: WakePolicy,
 }
 
 impl<'a> ProtocolSimulation<'a> {
@@ -72,12 +74,25 @@ impl<'a> ProtocolSimulation<'a> {
             useful_fraction,
             sync_interval_secs: 10.0,
             beacon_interval: hide_wifi::timing::TIME_UNIT_SECS * 100.0,
+            policy: WakePolicy::Hide,
         }
     }
 
     /// Sets the UDP Port Message interval.
     pub fn sync_interval_secs(mut self, secs: f64) -> Self {
         self.sync_interval_secs = secs;
+        self
+    }
+
+    /// Sets the wake policy the client runs. [`WakePolicy::Hide`] (the
+    /// default) drives the real BTIM protocol; the other policies run
+    /// the AP TIM-only (no BTIM bytes, no UDP Port Messages) and make
+    /// the wake decision from the buffered burst alone —
+    /// [`WakePolicy::LegacyPsm`] wakes whenever the AP delivers, while
+    /// [`WakePolicy::ScheduledWake`] wakes only inside its negotiated
+    /// service window and lets the AP buffer across the rest.
+    pub fn policy(mut self, policy: WakePolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -123,9 +138,13 @@ impl<'a> ProtocolSimulation<'a> {
     ) -> Result<ProtocolOutcome, CoreError> {
         let tau = self.profile.wakelock_secs;
         let marking = Usefulness::port_based(self.trace, self.useful_fraction);
+        let hide_mode = self.policy.uses_port_refresh();
 
         // --- set up AP and client with the real handshake ---
         let mut ap = AccessPoint::new(MacAddr::station(0));
+        if !self.policy.ap_btim_enabled() {
+            ap.set_beacon_mode(BeaconMode::TimOnly);
+        }
         let mut registry = OpenPortRegistry::new();
         for &port in marking.useful_ports() {
             registry.bind(port, [0, 0, 0, 0])?;
@@ -138,7 +157,9 @@ impl<'a> ProtocolSimulation<'a> {
             let ack = ap.process_port_message(&msg, &mut ApCtx::untimed())?;
             client.handle_ack(&ack)
         };
-        sync(&mut client, &mut ap)?;
+        if hide_mode {
+            sync(&mut client, &mut ap)?;
+        }
 
         // --- walk the beacon schedule ---
         let intervals = (self.trace.duration / self.beacon_interval).ceil() as u64;
@@ -149,7 +170,7 @@ impl<'a> ProtocolSimulation<'a> {
             wake_intervals: 0,
             frames_delivered: 0,
             frames_consumed: 0,
-            port_messages: 1,
+            port_messages: u64::from(hide_mode),
             btim_bytes: 0,
         };
         let mut next_sync = self.sync_interval_secs;
@@ -187,6 +208,55 @@ impl<'a> ProtocolSimulation<'a> {
             stats.beacons += 1;
             let beacon = Beacon::parse(&beacon_bytes).map_err(CoreError::Wifi)?;
             stats.btim_bytes += beacon.btim().map(|b| b.body_len() as u64 + 2).unwrap_or(0);
+
+            if !hide_mode {
+                // Non-HIDE policies never consult the BTIM: the wake
+                // decision is burst-presence (legacy PSM) optionally
+                // gated by the negotiated window (scheduled wake). An
+                // out-of-window DTIM leaves the AP buffering, so the
+                // burst is deferred to the next window, not dropped.
+                let in_window = self.policy.schedule().is_none_or(|s| s.in_window(i));
+                if !in_window {
+                    continue;
+                }
+                let delivered = ap.drain_broadcasts(&mut ApCtx::untimed().with_metrics(&mut *sink));
+                if delivered.is_empty() {
+                    continue;
+                }
+                stats.wake_intervals += 1;
+                // Receive-all semantics: the radio hears the entire
+                // burst; the app consumes only its useful frames.
+                let mut t = interval_end;
+                for frame in &delivered {
+                    stats.frames_delivered += 1;
+                    if client.consumes(frame) {
+                        stats.frames_consumed += 1;
+                    }
+                    let airtime = phy::airtime_of_total_bytes(frame.len_bytes(), DataRate::R1M);
+                    if t <= self.trace.duration {
+                        timeline_frames.push(TimelineFrame {
+                            start: t,
+                            airtime,
+                            more_data: false,
+                            hold: tau,
+                        });
+                    }
+                    t += airtime;
+                }
+                if trace.is_enabled() {
+                    trace.emit(
+                        interval_end,
+                        TraceEventKind::WakeDecision {
+                            aid: client.aid().map(|a| a.value()).unwrap_or(0),
+                            port: 0,
+                            frame_id: stats.frames_delivered,
+                            class: WakeClass::Legacy,
+                            cause: WakeCause::Proper,
+                        },
+                    );
+                }
+                continue;
+            }
 
             let decision = client.handle_beacon(&beacon)?;
             let delivered = ap.drain_broadcasts(&mut ApCtx::untimed().with_metrics(&mut *sink));
@@ -243,8 +313,18 @@ impl<'a> ProtocolSimulation<'a> {
             }
         }
 
+        // A scheduled-wake client deep-sleeps through out-of-window
+        // beacons, so the energy model's beacon cadence stretches by
+        // the schedule's interval:period ratio. Hide and PSM hear every
+        // beacon.
+        let heard_beacon_interval = match self.policy.schedule() {
+            Some(s) => {
+                self.beacon_interval * f64::from(s.interval_dtims) / f64::from(s.period_dtims)
+            }
+            None => self.beacon_interval,
+        };
         let mut timeline =
-            Timeline::new(self.trace.duration, self.beacon_interval, timeline_frames)
+            Timeline::new(self.trace.duration, heard_beacon_interval, timeline_frames)
                 .expect("protocol timeline is valid");
         timeline.recompute_more_data();
 
@@ -345,6 +425,55 @@ mod tests {
         );
         assert_eq!(rec.counter(Counter::EnergyEvals), 1);
         assert!(rec.counter(Counter::PortLookups) > 0);
+    }
+
+    #[test]
+    fn psm_never_beats_hide_and_carries_no_hide_overhead() {
+        // Legacy PSM wakes for every buffered burst and hears the whole
+        // thing, so on any traffic-bearing trace it spends at least as
+        // much as HIDE — while transmitting zero port messages and
+        // hearing zero BTIM bytes.
+        use hide_policy::WakePolicy;
+        let trace = Scenario::Starbucks.generate(300.0, 91);
+        let base = ProtocolSimulation::new(&trace, NEXUS_ONE, 0.10);
+        let hide = base.clone().run().unwrap();
+        let psm = base.policy(WakePolicy::LegacyPsm).run().unwrap();
+        assert_eq!(psm.stats.port_messages, 0);
+        assert_eq!(psm.stats.btim_bytes, 0);
+        assert!(psm.stats.wake_intervals >= hide.stats.wake_intervals);
+        assert!(psm.stats.frames_delivered > psm.stats.frames_consumed);
+        assert!(
+            psm.energy.breakdown.total() >= hide.energy.breakdown.total(),
+            "psm {} J vs hide {} J",
+            psm.energy.breakdown.total(),
+            hide.energy.breakdown.total()
+        );
+    }
+
+    #[test]
+    fn scheduled_wake_defers_bursts_into_windows() {
+        // A 1-in-8 schedule wakes in at most 1/8 of the DTIMs, and the
+        // AP buffers across closed windows, so every delivered frame
+        // still arrives (at the next open window).
+        use hide_policy::{ScheduleConfig, WakePolicy};
+        let trace = Scenario::Starbucks.generate(300.0, 91);
+        let base = ProtocolSimulation::new(&trace, NEXUS_ONE, 0.10);
+        let psm = base.clone().policy(WakePolicy::LegacyPsm).run().unwrap();
+        let sched = base
+            .policy(WakePolicy::ScheduledWake(ScheduleConfig {
+                interval_dtims: 8,
+                period_dtims: 1,
+            }))
+            .run()
+            .unwrap();
+        assert!(sched.stats.wake_intervals <= sched.stats.beacons / 8 + 1);
+        assert!(sched.stats.wake_intervals < psm.stats.wake_intervals);
+        // Buffering across windows preserves delivery.
+        assert_eq!(sched.stats.frames_delivered, psm.stats.frames_delivered);
+        assert_eq!(sched.stats.btim_bytes, 0);
+        // Fewer wake cycles and 1/8 the heard beacons: scheduled wake
+        // undercuts receive-all PSM.
+        assert!(sched.energy.breakdown.total() < psm.energy.breakdown.total());
     }
 
     #[test]

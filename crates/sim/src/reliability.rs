@@ -13,6 +13,8 @@
 //!   client wakes spuriously, paying the full wake-cycle energy HIDE
 //!   was supposed to avoid.
 
+use hide_obs::provenance::CauseCounts;
+use hide_obs::WakeCause;
 use hide_traces::record::Trace;
 use hide_traces::useful::Usefulness;
 use rand::rngs::StdRng;
@@ -105,6 +107,16 @@ pub struct ReliabilityResult {
     pub spurious_wake_fraction: f64,
     /// Fraction of trace time the AP's table was out of date.
     pub stale_time_fraction: f64,
+    /// Every missed frame attributed to its causal event — the nearest
+    /// de-sync (failed sync → `refresh_lost`, port swap → `port_churn`)
+    /// preceding the frame, exactly the fleet engine's online walk.
+    /// This model has no AP-side staleness expiry, so `entry_expired`
+    /// is always 0. `total()` equals the missed-frame count.
+    pub missed_causes: CauseCounts,
+    /// Every spurious wake attributed likewise. Spurious wakes need the
+    /// AP to believe in ports the client left, so `port_churn` is the
+    /// only attributable cause; `total()` equals the spurious count.
+    pub spurious_causes: CauseCounts,
 }
 
 impl ReliabilityResult {
@@ -169,28 +181,92 @@ pub fn run(trace: &Trace, config: &ReliabilityConfig) -> ReliabilityResult {
     let mut ap_views: Vec<(f64, Vec<u16>)> = vec![(0.0, true_sets[0].1.clone())];
     let mut syncs_attempted = 0u64;
     let mut syncs_failed = 0u64;
+    let mut sync_outcomes: Vec<(f64, bool)> = Vec::new();
     let mut sync_t = config.sync_interval_secs;
     while sync_t < trace.duration {
         syncs_attempted += 1;
-        if rng.gen_range(0.0..1.0) < fail_prob {
-            syncs_failed += 1;
-        } else {
+        let ok = rng.gen_range(0.0..1.0) >= fail_prob;
+        if ok {
             let current = current_set(&true_sets, sync_t).to_vec();
             ap_views.push((sync_t, current));
+        } else {
+            syncs_failed += 1;
         }
+        sync_outcomes.push((sync_t, ok));
         sync_t += config.sync_interval_secs;
     }
 
-    // Classify every frame.
+    // Per-event cause timeline — the fleet engine's `last_desync` /
+    // `churned_since_sync` columns replayed over the merged event
+    // stream: a port swap or failed sync records the de-sync, a
+    // successful sync clears it. Each misclassified frame is then
+    // attributed to the nearest preceding de-sync, not statistically.
+    let mut causes: Vec<(f64, Option<WakeCause>, bool)> = vec![(0.0, None, false)];
+    {
+        let mut churn_iter = true_sets.iter().skip(1).map(|&(t, _)| t).peekable();
+        let mut sync_iter = sync_outcomes.iter().copied().peekable();
+        // Every arm assigns `desync` before the push reads it.
+        let mut desync;
+        let mut churned = false;
+        loop {
+            let next_churn = churn_iter.peek().copied();
+            let next_sync = sync_iter.peek().copied();
+            match (next_churn, next_sync) {
+                (Some(ct), st) if st.is_none_or(|(t, _)| ct <= t) => {
+                    churn_iter.next();
+                    desync = Some(WakeCause::PortChurn);
+                    churned = true;
+                    causes.push((ct, desync, churned));
+                }
+                (_, Some((st, ok))) => {
+                    sync_iter.next();
+                    if ok {
+                        desync = None;
+                        churned = false;
+                    } else {
+                        desync = Some(WakeCause::RefreshLost);
+                    }
+                    causes.push((st, desync, churned));
+                }
+                // Only (None, None) reaches here: a Some churn with no
+                // pending sync always satisfies the first arm's guard.
+                _ => break,
+            }
+        }
+    }
+    let cause_at = |t: f64| -> (Option<WakeCause>, bool) {
+        let idx = causes.partition_point(|&(start, _, _)| start <= t);
+        let (_, desync, churned) = causes[idx.saturating_sub(1)];
+        (desync, churned)
+    };
+
+    // Classify every frame, attributing each miss and spurious wake.
     let total = trace.len().max(1) as f64;
     let mut missed = 0u64;
     let mut spurious = 0u64;
+    let mut missed_causes = CauseCounts::default();
+    let mut spurious_causes = CauseCounts::default();
     for f in &trace.frames {
         let truth = current_set(&true_sets, f.time).contains(&f.dst_port);
         let flagged = current_set(&ap_views, f.time).contains(&f.dst_port);
         match (truth, flagged) {
-            (true, false) => missed += 1,
-            (false, true) => spurious += 1,
+            (true, false) => {
+                missed += 1;
+                match cause_at(f.time).0 {
+                    Some(WakeCause::RefreshLost) => missed_causes.refresh_lost += 1,
+                    Some(WakeCause::EntryExpired) => missed_causes.entry_expired += 1,
+                    Some(WakeCause::PortChurn) => missed_causes.port_churn += 1,
+                    _ => missed_causes.unknown += 1,
+                }
+            }
+            (false, true) => {
+                spurious += 1;
+                if cause_at(f.time).1 {
+                    spurious_causes.port_churn += 1;
+                } else {
+                    spurious_causes.unknown += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -213,6 +289,8 @@ pub fn run(trace: &Trace, config: &ReliabilityConfig) -> ReliabilityResult {
         missed_useful_fraction: missed as f64 / total,
         spurious_wake_fraction: spurious as f64 / total,
         stale_time_fraction: stale / trace.duration,
+        missed_causes,
+        spurious_causes,
     }
 }
 
@@ -337,6 +415,75 @@ mod tests {
         // churning, misses or spurious wakes must appear.
         assert!(r.missed_useful_fraction + r.spurious_wake_fraction > 0.0);
         assert!(r.stale_time_fraction > 0.3);
+    }
+
+    #[test]
+    fn every_miss_and_spurious_wake_is_attributed_per_event() {
+        let t = trace();
+        let total = t.len() as f64;
+        let r = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 0.6,
+                retries: 0,
+                churn_interval_secs: 45.0,
+                ..ReliabilityConfig::default()
+            },
+        );
+        // The per-event cause walk covers exactly the statistically
+        // counted misclassifications — no frame double-counted or lost.
+        assert_eq!(
+            r.missed_causes.total() as f64 / total,
+            r.missed_useful_fraction
+        );
+        assert_eq!(
+            r.spurious_causes.total() as f64 / total,
+            r.spurious_wake_fraction
+        );
+        // This model has no AP-side expiry, and both failure modes
+        // found real causal events.
+        assert_eq!(r.missed_causes.entry_expired, 0);
+        assert_eq!(r.missed_causes.unknown, 0);
+        assert_eq!(r.spurious_causes.unknown, 0);
+        assert!(r.missed_causes.total() + r.spurious_causes.total() > 0);
+    }
+
+    #[test]
+    fn loss_free_churn_attributes_everything_to_port_churn() {
+        // With refreshes never lost, the only de-sync events are port
+        // swaps, so every miss and spurious wake is a churn race.
+        let t = trace();
+        let r = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 0.0,
+                churn_interval_secs: 30.0,
+                ..ReliabilityConfig::default()
+            },
+        );
+        assert_eq!(r.missed_causes.refresh_lost, 0);
+        assert_eq!(r.missed_causes.total(), r.missed_causes.port_churn);
+        assert_eq!(r.spurious_causes.total(), r.spurious_causes.port_churn);
+    }
+
+    #[test]
+    fn lossy_no_churn_attributes_misses_to_lost_refreshes() {
+        // Without churn the true set never moves, so the AP can only go
+        // stale... it never does (view == truth forever): nothing to
+        // attribute. Add churn-free loss as the control.
+        let t = trace();
+        let r = run(
+            &t,
+            &ReliabilityConfig {
+                loss_probability: 0.9,
+                retries: 0,
+                churn_interval_secs: 1e12,
+                ..ReliabilityConfig::default()
+            },
+        );
+        assert!(r.syncs_failed > 0);
+        assert_eq!(r.missed_causes.total(), 0);
+        assert_eq!(r.spurious_causes.total(), 0);
     }
 
     #[test]

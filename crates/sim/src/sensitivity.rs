@@ -59,10 +59,7 @@ pub fn wakelock_sweep(
         assert!(tau > 0.0, "wakelock duration must be positive");
     }
     hide_par::par_map(taus_secs, |&tau| {
-        let profile = DeviceProfile {
-            wakelock_secs: tau,
-            ..base
-        };
+        let profile = base.derive().wakelock_secs(tau).build();
         point(trace, profile, tau)
     })
 }
@@ -83,11 +80,11 @@ pub fn state_cost_sweep(
         assert!(k > 0.0, "multiplier must be positive");
     }
     hide_par::par_map(multipliers, |&k| {
-        let profile = DeviceProfile {
-            resume_energy: base.resume_energy * k,
-            suspend_energy: base.suspend_energy * k,
-            ..base
-        };
+        let profile = base
+            .derive()
+            .resume_energy(base.resume_energy * k)
+            .suspend_energy(base.suspend_energy * k)
+            .build();
         point(trace, profile, k)
     })
 }

@@ -9,6 +9,8 @@
 //! * [`energy`] — the Section-IV smartphone energy model
 //! * [`traces`] — synthetic broadcast-traffic traces for the five scenarios
 //! * [`sim`] — the trace-driven simulator and experiment runners
+//! * [`policy`] — the device-profile registry and the pluggable
+//!   wake-policy seam (HIDE, legacy PSM, scheduled wake)
 //! * [`fleet`] — the discrete-event multi-BSS fleet simulator with
 //!   client lifecycle churn
 //! * [`apd`] — the AP as a long-running UDP service (`hide-apd`) with
@@ -45,6 +47,7 @@ pub use hide_core as protocol;
 pub use hide_energy as energy;
 pub use hide_fleet as fleet;
 pub use hide_obs as obs;
+pub use hide_policy as policy;
 pub use hide_sim as sim;
 pub use hide_traces as traces;
 pub use hide_wifi as wifi;
@@ -69,6 +72,7 @@ pub mod prelude {
         Counter, Distribution, FlightRecorder, Histogram, MetricsSink, NoopSink, NoopTrace,
         Recorder, Stage, TraceEvent, TraceEventKind, TraceSink, WakeCause, WakeClass,
     };
+    pub use hide_policy::{DeviceEntry, LifetimeProjection, ScheduleConfig, WakePolicy};
     pub use hide_sim::network::{fleet, NetworkSimulation};
     pub use hide_sim::protocol_sim::ProtocolSimulation;
     pub use hide_sim::solution::Solution;
