@@ -4,14 +4,20 @@
 //! hide-apd [--bind ADDR] [--ctrl ADDR] [--shards N]
 //!          [--beacon-interval-ms MS] [--stale-timeout SECS]
 //!          [--snapshot PATH] [--restore] [--telemetry PATH]
-//!          [--metrics-every-ticks N]
+//!          [--metrics-every-ticks N] [--health PATH]
+//!          [--log-level LEVEL] [--watchdog-stall SECS]
+//!          [--watchdog-interval SECS] [--no-runtime-telemetry]
 //! ```
 //!
 //! Prints the bound data and control addresses on stdout, then serves
 //! until a `shutdown` control request arrives. A final snapshot is
-//! written on the way out when `--snapshot` is set.
+//! written on the way out when `--snapshot` is set, and a final
+//! `hide-apd-health/1` dump when `--health` is set. All diagnostics go
+//! through the leveled logger: `--log-level off` makes stderr
+//! byte-silent.
 
 use hide_apd::{ApdConfig, DaemonHandle};
+use hide_obs::{log_error, log_info, LogLevel};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,12 +46,27 @@ fn main() -> ExitCode {
                 cfg.metrics_every_ticks =
                     parse(&value("--metrics-every-ticks"), "--metrics-every-ticks");
             }
+            "--health" => cfg.health_path = Some(value("--health").into()),
+            "--log-level" => {
+                let level: LogLevel = parse(&value("--log-level"), "--log-level");
+                hide_obs::log::set_level(level);
+            }
+            "--watchdog-stall" => {
+                cfg.watchdog_stall_secs = parse(&value("--watchdog-stall"), "--watchdog-stall");
+            }
+            "--watchdog-interval" => {
+                cfg.watchdog_interval_secs =
+                    parse(&value("--watchdog-interval"), "--watchdog-interval");
+            }
+            "--no-runtime-telemetry" => cfg.runtime_telemetry = false,
             "--help" | "-h" => {
                 println!(
                     "hide-apd: the HIDE access point as a long-running UDP service\n\
                      options: --bind ADDR --ctrl ADDR --shards N --beacon-interval-ms MS\n\
                      \x20        --stale-timeout SECS --snapshot PATH --restore\n\
-                     \x20        --telemetry PATH --metrics-every-ticks N"
+                     \x20        --telemetry PATH --metrics-every-ticks N --health PATH\n\
+                     \x20        --log-level off|error|warn|info|debug --watchdog-stall SECS\n\
+                     \x20        --watchdog-interval SECS --no-runtime-telemetry"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -56,7 +77,7 @@ fn main() -> ExitCode {
     let handle = match DaemonHandle::spawn(cfg) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("hide-apd: {e}");
+            log_error!("spawn failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -66,11 +87,11 @@ fn main() -> ExitCode {
     handle.wait_for_shutdown_request();
     match handle.shutdown() {
         Ok(stats) => {
-            eprintln!("hide-apd: clean shutdown; {}", stats.to_line());
+            log_info!("clean shutdown; {}", stats.to_line());
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("hide-apd: shutdown error: {e}");
+            log_error!("shutdown error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -84,6 +105,8 @@ where
         .unwrap_or_else(|e| fail(&format!("bad {what} value {text:?}: {e}")))
 }
 
+/// Usage errors always print, regardless of log level: the user asked
+/// for something unintelligible, so silence would be worse.
 fn fail(msg: &str) -> ! {
     eprintln!("hide-apd: {msg}");
     std::process::exit(2);

@@ -53,6 +53,21 @@ pub struct ApdConfig {
     /// router starts dropping them (management frames are never
     /// dropped).
     pub backpressure_watermark: usize,
+    /// Record wall-clock stage latencies through the live
+    /// [`hide_obs::AtomicRuntime`] seam. When `false` the daemon is
+    /// compiled against [`hide_obs::NoopRuntime`] and never reads the
+    /// clock on the hot path; `health`/`expo` still work but report
+    /// empty stage histograms.
+    pub runtime_telemetry: bool,
+    /// Last-progress age (seconds) beyond which the watchdog flags a
+    /// shard with a non-empty inbound queue as stalled.
+    pub watchdog_stall_secs: f64,
+    /// Seconds between watchdog checks (also the rate-meter sampling
+    /// cadence).
+    pub watchdog_interval_secs: f64,
+    /// Where the final `hide-apd-health/1` document is written at
+    /// shutdown.
+    pub health_path: Option<PathBuf>,
 }
 
 impl ApdConfig {
@@ -74,6 +89,10 @@ impl ApdConfig {
             restore: false,
             stale_timeout_secs: None,
             backpressure_watermark: 4096,
+            runtime_telemetry: true,
+            watchdog_stall_secs: 5.0,
+            watchdog_interval_secs: 1.0,
+            health_path: None,
         }
     }
 
@@ -140,6 +159,35 @@ impl ApdConfig {
         self
     }
 
+    /// Enables or disables wall-clock stage-latency recording.
+    #[must_use]
+    pub fn runtime_telemetry(mut self, on: bool) -> Self {
+        self.runtime_telemetry = on;
+        self
+    }
+
+    /// Sets the watchdog stall threshold (seconds of no progress with
+    /// a non-empty queue).
+    #[must_use]
+    pub fn watchdog_stall_secs(mut self, secs: f64) -> Self {
+        self.watchdog_stall_secs = secs;
+        self
+    }
+
+    /// Sets the watchdog check cadence.
+    #[must_use]
+    pub fn watchdog_interval_secs(mut self, secs: f64) -> Self {
+        self.watchdog_interval_secs = secs;
+        self
+    }
+
+    /// Sets the shutdown health-dump path.
+    #[must_use]
+    pub fn health_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.health_path = Some(path.into());
+        self
+    }
+
     /// The disjoint AID range `(lo, hi)` shard `index` owns.
     ///
     /// The 2007 AIDs are split as evenly as possible; earlier shards
@@ -183,6 +231,16 @@ impl ApdConfig {
             return Err(ApdError::Config(
                 "backpressure watermark must be >= 1".into(),
             ));
+        }
+        for (name, secs) in [
+            ("watchdog stall threshold", self.watchdog_stall_secs),
+            ("watchdog interval", self.watchdog_interval_secs),
+        ] {
+            if secs.is_nan() || secs <= 0.0 {
+                return Err(ApdError::Config(format!(
+                    "{name} must be positive, got {secs}"
+                )));
+            }
         }
         Ok(())
     }
@@ -229,6 +287,14 @@ mod tests {
             .is_err());
         assert!(ApdConfig::new()
             .backpressure_watermark(0)
+            .validate()
+            .is_err());
+        assert!(ApdConfig::new()
+            .watchdog_stall_secs(0.0)
+            .validate()
+            .is_err());
+        assert!(ApdConfig::new()
+            .watchdog_interval_secs(f64::NAN)
             .validate()
             .is_err());
         assert!(ApdConfig::new().validate().is_ok());

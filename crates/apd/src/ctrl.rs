@@ -5,14 +5,23 @@
 //! nc -u 127.0.0.1 <ctrl-port>` is a complete client. Replaces a
 //! signal-based trigger (SIGUSR1) so the daemon needs no platform
 //! bindings and tests can drive it over loopback.
+//!
+//! Protocol `hide-apd-ctrl/1`: ping replies carry the protocol
+//! version (`pong hide-apd-ctrl/1`), and failures carry a stable
+//! machine-readable code (`err:unknown-command launch-missiles`) so
+//! scrapers can branch without string-matching free-form prose. Bare
+//! `pong` and `err <message>` replies from older daemons still parse.
 
 use crate::error::ApdError;
+
+/// The control protocol version tag carried on ping replies.
+pub const CTRL_PROTOCOL_VERSION: &str = "hide-apd-ctrl/1";
 
 /// A request to the daemon's control socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CtrlRequest {
-    /// Liveness probe; answered with `pong`.
+    /// Liveness probe; answered with `pong hide-apd-ctrl/1`.
     Ping,
     /// One-line daemon statistics (`ok key=value ...`).
     Stats,
@@ -20,11 +29,44 @@ pub enum CtrlRequest {
     Metrics,
     /// Write the client table to the configured snapshot path.
     Snapshot,
+    /// A full `hide-apd-health/1` wall-clock health dump, returned
+    /// inline.
+    Health,
+    /// The Prometheus-style text exposition, returned inline.
+    Expo,
     /// Advance the DTIM cadence by `n` beacons (virtual time; used
     /// when the timer thread is disabled).
     Tick(u64),
     /// Begin a clean shutdown.
     Shutdown,
+}
+
+/// Why a control request failed to parse. The two variants map to the
+/// two stable wire error codes the daemon replies with:
+/// `err:unknown-command` and `err:malformed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlParseError {
+    /// The leading verb is not part of the protocol.
+    UnknownCommand(String),
+    /// A known verb with bad or trailing arguments.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CtrlParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrlParseError::UnknownCommand(verb) => write!(f, "unknown command {verb:?}"),
+            CtrlParseError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlParseError {}
+
+impl From<CtrlParseError> for ApdError {
+    fn from(e: CtrlParseError) -> Self {
+        ApdError::Ctrl(e.to_string())
+    }
 }
 
 impl CtrlRequest {
@@ -36,6 +78,8 @@ impl CtrlRequest {
             CtrlRequest::Stats => "stats".into(),
             CtrlRequest::Metrics => "metrics".into(),
             CtrlRequest::Snapshot => "snapshot".into(),
+            CtrlRequest::Health => "health".into(),
+            CtrlRequest::Expo => "expo".into(),
             CtrlRequest::Tick(n) => format!("tick {n}"),
             CtrlRequest::Shutdown => "shutdown".into(),
         }
@@ -45,9 +89,10 @@ impl CtrlRequest {
     ///
     /// # Errors
     ///
-    /// Returns [`ApdError::Ctrl`] for unknown verbs or malformed
-    /// arguments.
-    pub fn parse(text: &str) -> Result<Self, ApdError> {
+    /// [`CtrlParseError::UnknownCommand`] for verbs outside the
+    /// protocol, [`CtrlParseError::Malformed`] for known verbs with
+    /// bad or trailing arguments.
+    pub fn parse(text: &str) -> Result<Self, CtrlParseError> {
         let mut words = text.split_ascii_whitespace();
         let verb = words.next().unwrap_or("");
         let req = match verb {
@@ -55,20 +100,24 @@ impl CtrlRequest {
             "stats" => CtrlRequest::Stats,
             "metrics" => CtrlRequest::Metrics,
             "snapshot" => CtrlRequest::Snapshot,
+            "health" => CtrlRequest::Health,
+            "expo" => CtrlRequest::Expo,
             "tick" => {
                 let arg = words
                     .next()
-                    .ok_or_else(|| ApdError::Ctrl("tick needs a beacon count".into()))?;
-                let n = arg
-                    .parse()
-                    .map_err(|e| ApdError::Ctrl(format!("bad tick count {arg:?}: {e}")))?;
+                    .ok_or_else(|| CtrlParseError::Malformed("tick needs a beacon count".into()))?;
+                let n = arg.parse().map_err(|e| {
+                    CtrlParseError::Malformed(format!("bad tick count {arg:?}: {e}"))
+                })?;
                 CtrlRequest::Tick(n)
             }
             "shutdown" => CtrlRequest::Shutdown,
-            other => return Err(ApdError::Ctrl(format!("unknown request {other:?}"))),
+            other => return Err(CtrlParseError::UnknownCommand(other.into())),
         };
         if words.next().is_some() {
-            return Err(ApdError::Ctrl(format!("trailing words in {text:?}")));
+            return Err(CtrlParseError::Malformed(format!(
+                "trailing words in {text:?}"
+            )));
         }
         Ok(req)
     }
@@ -78,28 +127,60 @@ impl CtrlRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CtrlResponse {
-    /// Reply to [`CtrlRequest::Ping`].
-    Pong,
+    /// Reply to [`CtrlRequest::Ping`]. `version` is the daemon's
+    /// control protocol tag (empty when talking to a pre-versioning
+    /// daemon).
+    Pong {
+        /// Protocol version tag, normally [`CTRL_PROTOCOL_VERSION`].
+        version: String,
+    },
     /// Success, with an optional payload (stats line, snapshot path,
-    /// or a full metrics document).
+    /// or a full metrics/health document).
     Ok(String),
-    /// Failure, with the error message.
-    Err(String),
+    /// Failure: a stable machine-readable `code` (no whitespace, e.g.
+    /// `unknown-command`, `malformed`, `internal`) plus free-form
+    /// human detail.
+    Err {
+        /// Stable machine-readable failure code.
+        code: String,
+        /// Free-form human-readable detail.
+        detail: String,
+    },
 }
 
 impl CtrlResponse {
+    /// The versioned ping reply this daemon sends.
+    #[must_use]
+    pub fn pong() -> Self {
+        CtrlResponse::Pong {
+            version: CTRL_PROTOCOL_VERSION.into(),
+        }
+    }
+
+    /// A coded error reply.
+    #[must_use]
+    pub fn err(code: impl Into<String>, detail: impl Into<String>) -> Self {
+        CtrlResponse::Err {
+            code: code.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// Encodes the response to its wire text.
     #[must_use]
     pub fn encode(&self) -> String {
         match self {
-            CtrlResponse::Pong => "pong".into(),
+            CtrlResponse::Pong { version } if version.is_empty() => "pong".into(),
+            CtrlResponse::Pong { version } => format!("pong {version}"),
             CtrlResponse::Ok(payload) if payload.is_empty() => "ok".into(),
             CtrlResponse::Ok(payload) => format!("ok {payload}"),
-            CtrlResponse::Err(msg) => format!("err {msg}"),
+            CtrlResponse::Err { code, detail } if detail.is_empty() => format!("err:{code}"),
+            CtrlResponse::Err { code, detail } => format!("err:{code} {detail}"),
         }
     }
 
-    /// Parses a response from wire text.
+    /// Parses a response from wire text. Legacy `err <message>` (no
+    /// code) parses with code `error`.
     ///
     /// # Errors
     ///
@@ -108,7 +189,14 @@ impl CtrlResponse {
     pub fn parse(text: &str) -> Result<Self, ApdError> {
         let text = text.trim_end_matches(['\r', '\n']);
         if text == "pong" {
-            return Ok(CtrlResponse::Pong);
+            return Ok(CtrlResponse::Pong {
+                version: String::new(),
+            });
+        }
+        if let Some(version) = text.strip_prefix("pong ") {
+            return Ok(CtrlResponse::Pong {
+                version: version.into(),
+            });
         }
         if text == "ok" {
             return Ok(CtrlResponse::Ok(String::new()));
@@ -116,8 +204,24 @@ impl CtrlResponse {
         if let Some(payload) = text.strip_prefix("ok ") {
             return Ok(CtrlResponse::Ok(payload.into()));
         }
+        if let Some(rest) = text.strip_prefix("err:") {
+            let (code, detail) = match rest.split_once(' ') {
+                Some((code, detail)) => (code, detail),
+                None => (rest, ""),
+            };
+            if code.is_empty() {
+                return Err(ApdError::Ctrl(format!("empty error code in {text:?}")));
+            }
+            return Ok(CtrlResponse::Err {
+                code: code.into(),
+                detail: detail.into(),
+            });
+        }
         if let Some(msg) = text.strip_prefix("err ") {
-            return Ok(CtrlResponse::Err(msg.into()));
+            return Ok(CtrlResponse::Err {
+                code: "error".into(),
+                detail: msg.into(),
+            });
         }
         Err(ApdError::Ctrl(format!("unparseable response {text:?}")))
     }
@@ -134,6 +238,8 @@ mod tests {
             CtrlRequest::Stats,
             CtrlRequest::Metrics,
             CtrlRequest::Snapshot,
+            CtrlRequest::Health,
+            CtrlRequest::Expo,
             CtrlRequest::Tick(0),
             CtrlRequest::Tick(u64::MAX),
             CtrlRequest::Shutdown,
@@ -145,21 +251,60 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         for resp in [
-            CtrlResponse::Pong,
+            CtrlResponse::pong(),
             CtrlResponse::Ok(String::new()),
             CtrlResponse::Ok("port=1234".into()),
-            CtrlResponse::Err("no snapshot path configured".into()),
+            CtrlResponse::err("unknown-command", "launch-missiles"),
+            CtrlResponse::err("no-snapshot-path", ""),
+            CtrlResponse::err("internal", "no snapshot path configured"),
         ] {
             assert_eq!(CtrlResponse::parse(&resp.encode()).unwrap(), resp);
         }
     }
 
     #[test]
-    fn garbage_is_rejected() {
-        assert!(CtrlRequest::parse("launch-missiles").is_err());
-        assert!(CtrlRequest::parse("tick").is_err());
-        assert!(CtrlRequest::parse("tick four").is_err());
-        assert!(CtrlRequest::parse("ping pong").is_err());
+    fn ping_reply_carries_the_protocol_version() {
+        let wire = CtrlResponse::pong().encode();
+        assert_eq!(wire, "pong hide-apd-ctrl/1");
+        match CtrlResponse::parse(&wire).unwrap() {
+            CtrlResponse::Pong { version } => assert_eq!(version, CTRL_PROTOCOL_VERSION),
+            other => panic!("expected pong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_replies_still_parse() {
+        assert_eq!(
+            CtrlResponse::parse("pong").unwrap(),
+            CtrlResponse::Pong {
+                version: String::new()
+            }
+        );
+        assert_eq!(
+            CtrlResponse::parse("err no snapshot path configured").unwrap(),
+            CtrlResponse::err("error", "no snapshot path configured"),
+        );
+    }
+
+    #[test]
+    fn unknown_verbs_and_malformed_args_are_distinguished() {
+        assert_eq!(
+            CtrlRequest::parse("launch-missiles"),
+            Err(CtrlParseError::UnknownCommand("launch-missiles".into())),
+        );
+        assert!(matches!(
+            CtrlRequest::parse("tick"),
+            Err(CtrlParseError::Malformed(_)),
+        ));
+        assert!(matches!(
+            CtrlRequest::parse("tick four"),
+            Err(CtrlParseError::Malformed(_)),
+        ));
+        assert!(matches!(
+            CtrlRequest::parse("ping pong"),
+            Err(CtrlParseError::Malformed(_)),
+        ));
         assert!(CtrlResponse::parse("maybe").is_err());
+        assert!(CtrlResponse::parse("err: missing code").is_err());
     }
 }

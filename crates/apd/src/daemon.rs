@@ -19,12 +19,13 @@
 //! like a real AP's bounded broadcast buffer.
 
 use crate::config::ApdConfig;
-use crate::ctrl::{CtrlRequest, CtrlResponse};
+use crate::ctrl::{CtrlParseError, CtrlRequest, CtrlResponse};
 use crate::error::ApdError;
 use crate::shard::{monotonic_secs, shard_of, Shard, ShardCmd, ShardFinal, ShardStats};
 use crate::snapshot::ApdSnapshot;
+use crate::telemetry::{self, RouterCounters, RuntimePlane, ShardHealth};
 use hide_core::ap::{AccessPoint, ApSnapshot};
-use hide_obs::Recorder;
+use hide_obs::{log_info, AtomicRuntime, NoopRuntime, Recorder, RtStage, RuntimeSink};
 use hide_wifi::frame::AnyFrame;
 use hide_wifi::mac::MacAddr;
 use std::net::{SocketAddr, UdpSocket};
@@ -83,14 +84,6 @@ impl DaemonStats {
     }
 }
 
-/// Counters the router updates and every plane can read.
-#[derive(Default)]
-struct RouterCounters {
-    frames_received: AtomicU64,
-    parse_errors: AtomicU64,
-    dropped_backpressure: AtomicU64,
-}
-
 /// Everything the control plane needs to serve requests; shared
 /// between the ctrl thread and the in-process [`DaemonHandle`] so both
 /// answer identically.
@@ -98,6 +91,7 @@ struct ControlPlane {
     cfg: ApdConfig,
     shard_txs: Vec<Sender<ShardCmd>>,
     counters: Arc<RouterCounters>,
+    rt: Arc<RuntimePlane>,
     tick_counter: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
 }
@@ -188,27 +182,39 @@ impl ControlPlane {
         Ok(())
     }
 
+    /// The `hide-apd-health/1` wall-clock health document.
+    fn health_json(&self) -> String {
+        telemetry::health_json(&self.rt, &self.counters)
+    }
+
+    /// The Prometheus-style text exposition.
+    fn expo_text(&self) -> String {
+        telemetry::expo_text(&self.rt, &self.counters)
+    }
+
     fn serve(&self, req: CtrlRequest) -> CtrlResponse {
         match req {
-            CtrlRequest::Ping => CtrlResponse::Pong,
+            CtrlRequest::Ping => CtrlResponse::pong(),
             CtrlRequest::Stats => match self.gather_stats() {
                 Ok(stats) => CtrlResponse::Ok(stats.to_line()),
-                Err(e) => CtrlResponse::Err(e.to_string()),
+                Err(e) => CtrlResponse::err("internal", e.to_string()),
             },
             CtrlRequest::Metrics => match self.metrics_json() {
                 Ok(json) => CtrlResponse::Ok(json),
-                Err(e) => CtrlResponse::Err(e.to_string()),
+                Err(e) => CtrlResponse::err("internal", e.to_string()),
             },
             CtrlRequest::Snapshot => match &self.cfg.snapshot_path {
                 Some(path) => match self.write_snapshot(path) {
                     Ok(()) => CtrlResponse::Ok(path.display().to_string()),
-                    Err(e) => CtrlResponse::Err(e.to_string()),
+                    Err(e) => CtrlResponse::err("internal", e.to_string()),
                 },
-                None => CtrlResponse::Err("no snapshot path configured".into()),
+                None => CtrlResponse::err("no-snapshot-path", "no snapshot path configured"),
             },
+            CtrlRequest::Health => CtrlResponse::Ok(self.health_json()),
+            CtrlRequest::Expo => CtrlResponse::Ok(self.expo_text()),
             CtrlRequest::Tick(n) => match self.tick(n) {
                 Ok(()) => CtrlResponse::Ok(String::new()),
-                Err(e) => CtrlResponse::Err(e.to_string()),
+                Err(e) => CtrlResponse::err("internal", e.to_string()),
             },
             CtrlRequest::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -228,6 +234,7 @@ pub struct DaemonHandle {
     router: Option<JoinHandle<()>>,
     timer: Option<JoinHandle<()>>,
     ctrl: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<ShardFinal>>,
 }
 
@@ -243,7 +250,24 @@ impl DaemonHandle {
     /// is malformed or does not match the shard count.
     pub fn spawn(cfg: ApdConfig) -> Result<DaemonHandle, ApdError> {
         cfg.validate()?;
+        if cfg.runtime_telemetry {
+            let hists = Arc::new(AtomicRuntime::new());
+            Self::spawn_inner(cfg, Arc::clone(&hists), Some(hists))
+        } else {
+            // Monomorphized against the no-op sink: the hot paths
+            // never read the clock for stage timing.
+            Self::spawn_inner(cfg, NoopRuntime, None)
+        }
+    }
 
+    fn spawn_inner<R>(
+        cfg: ApdConfig,
+        runtime: R,
+        hists: Option<Arc<AtomicRuntime>>,
+    ) -> Result<DaemonHandle, ApdError>
+    where
+        R: RuntimeSink + Clone + 'static,
+    {
         let data_socket = UdpSocket::bind(&cfg.bind_addr)?;
         data_socket.set_read_timeout(Some(POLL_INTERVAL))?;
         let data_addr = data_socket.local_addr()?;
@@ -257,13 +281,32 @@ impl DaemonHandle {
         let counters = Arc::new(RouterCounters::default());
         let tick_counter = Arc::new(AtomicU64::new(0));
 
-        // --- shard threads ---
+        // Per-shard channels, depth counters and health cells exist
+        // before any thread starts so the runtime plane (and its
+        // shared epoch) covers every shard from the first command.
         let mut shard_txs = Vec::with_capacity(cfg.shards);
+        let mut shard_rxs = Vec::with_capacity(cfg.shards);
         let mut depths = Vec::with_capacity(cfg.shards);
-        let mut shards = Vec::with_capacity(cfg.shards);
-        for i in 0..cfg.shards {
+        let mut cells = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
             let (tx, rx) = channel();
             let depth = Arc::new(AtomicUsize::new(0));
+            cells.push(Arc::new(ShardHealth::new(Arc::clone(&depth))));
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+            depths.push(depth);
+        }
+        let rt = Arc::new(RuntimePlane::new(
+            hists,
+            cells.clone(),
+            cfg.backpressure_watermark,
+            cfg.watchdog_stall_secs,
+            cfg.watchdog_interval_secs,
+        ));
+
+        // --- shard threads ---
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for (i, rx) in shard_rxs.into_iter().enumerate() {
             let ap = match &restored {
                 Some(snaps) => AccessPoint::from_snapshot(&snaps[i])?,
                 None => {
@@ -278,22 +321,24 @@ impl DaemonHandle {
                 ap,
                 reply_socket: data_socket.try_clone()?,
                 rx,
-                depth: Arc::clone(&depth),
+                depth: Arc::clone(&depths[i]),
                 stale_timeout_secs: cfg.stale_timeout_secs,
+                runtime: runtime.clone(),
+                health: Arc::clone(&cells[i]),
+                epoch: rt.epoch,
             };
             shards.push(
                 std::thread::Builder::new()
                     .name(format!("apd-shard-{i}"))
                     .spawn(move || shard.run())?,
             );
-            shard_txs.push(tx);
-            depths.push(depth);
         }
 
         let plane = Arc::new(ControlPlane {
             cfg: cfg.clone(),
             shard_txs: shard_txs.clone(),
             counters: Arc::clone(&counters),
+            rt: Arc::clone(&rt),
             tick_counter: Arc::clone(&tick_counter),
             shutdown: Arc::clone(&shutdown),
         });
@@ -305,10 +350,19 @@ impl DaemonHandle {
             let txs = shard_txs.clone();
             let depths = depths.clone();
             let watermark = cfg.backpressure_watermark;
+            let runtime = runtime.clone();
             std::thread::Builder::new()
                 .name("apd-router".into())
                 .spawn(move || {
-                    route_loop(&data_socket, &txs, &depths, watermark, &counters, &shutdown)
+                    route_loop(
+                        &data_socket,
+                        &txs,
+                        &depths,
+                        watermark,
+                        &counters,
+                        &runtime,
+                        &shutdown,
+                    );
                 })?
         };
 
@@ -336,6 +390,22 @@ impl DaemonHandle {
             None => None,
         };
 
+        // --- watchdog thread ---
+        let watchdog = {
+            let shutdown = Arc::clone(&shutdown);
+            let rt = Arc::clone(&rt);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("apd-watchdog".into())
+                .spawn(move || telemetry::watchdog_loop(&rt, &counters, &shutdown))?
+        };
+
+        log_info!(
+            "listening data={data_addr} ctrl={ctrl_addr} shards={} telemetry={}",
+            cfg.shards,
+            if cfg.runtime_telemetry { "on" } else { "off" },
+        );
+
         Ok(DaemonHandle {
             data_addr,
             ctrl_addr,
@@ -344,6 +414,7 @@ impl DaemonHandle {
             router: Some(router),
             timer,
             ctrl: Some(ctrl),
+            watchdog: Some(watchdog),
             shards,
         })
     }
@@ -421,6 +492,21 @@ impl DaemonHandle {
         self.plane.metrics_json()
     }
 
+    /// The live `hide-apd-health/1` wall-clock health document (stage
+    /// latency summaries, per-shard gauges, watchdog state, recent
+    /// warn/error log records). Never blocks on shard threads.
+    #[must_use]
+    pub fn health_json(&self) -> String {
+        self.plane.health_json()
+    }
+
+    /// The live Prometheus-style text exposition of the wall-clock
+    /// plane. Never blocks on shard threads.
+    #[must_use]
+    pub fn expo_text(&self) -> String {
+        self.plane.expo_text()
+    }
+
     /// Blocks until shutdown is requested (e.g. by a `shutdown`
     /// control request), polling at the socket cadence.
     pub fn wait_for_shutdown_request(&self) {
@@ -440,9 +526,14 @@ impl DaemonHandle {
     /// case.
     pub fn shutdown(mut self) -> Result<DaemonStats, ApdError> {
         self.shutdown.store(true, Ordering::SeqCst);
-        for handle in [self.router.take(), self.timer.take(), self.ctrl.take()]
-            .into_iter()
-            .flatten()
+        for handle in [
+            self.router.take(),
+            self.timer.take(),
+            self.ctrl.take(),
+            self.watchdog.take(),
+        ]
+        .into_iter()
+        .flatten()
         {
             let _ = handle.join();
         }
@@ -488,21 +579,36 @@ impl DaemonHandle {
         if let Some(path) = &self.plane.cfg.snapshot_path {
             std::fs::write(path, ApdSnapshot::new(snapshots).to_bytes())?;
         }
+        // Final wall-clock health dump — written last so it reflects
+        // the fully drained daemon.
+        if let Some(path) = &self.plane.cfg.health_path {
+            std::fs::write(path, self.plane.health_json())?;
+        }
+        log_info!(
+            "shutdown complete: frames_received={} port_messages={} clients={}",
+            stats.frames_received,
+            stats.shards.port_messages,
+            stats.shards.clients,
+        );
         Ok(stats)
     }
 }
 
-/// The router loop: receive, parse, route.
-fn route_loop(
+/// The router loop: receive, parse, route. The `recv` stage times the
+/// blocking receive of datagrams that actually arrive; the `route`
+/// stage times parse plus shard dispatch.
+fn route_loop<R: RuntimeSink>(
     socket: &UdpSocket,
     txs: &[Sender<ShardCmd>],
     depths: &[Arc<AtomicUsize>],
     watermark: usize,
     counters: &RouterCounters,
+    runtime: &R,
     shutdown: &AtomicBool,
 ) {
     let mut buf = [0u8; 65536];
     while !shutdown.load(Ordering::SeqCst) {
+        let recv_timer = runtime.start();
         let (len, from) = match socket.recv_from(&mut buf) {
             Ok(ok) => ok,
             Err(e)
@@ -513,11 +619,14 @@ fn route_loop(
             }
             Err(_) => continue,
         };
+        runtime.finish(RtStage::Recv, recv_timer);
+        let route_timer = runtime.start();
         counters.frames_received.fetch_add(1, Ordering::Relaxed);
         let frame = match AnyFrame::parse(&buf[..len]) {
             Ok(frame) => frame,
             Err(_) => {
                 counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                runtime.finish(RtStage::Route, route_timer);
                 continue;
             }
         };
@@ -542,6 +651,7 @@ fn route_loop(
                 }
             }
         }
+        runtime.finish(RtStage::Route, route_timer);
     }
 }
 
@@ -581,9 +691,12 @@ fn ctrl_loop(socket: &UdpSocket, plane: &ControlPlane, shutdown: &AtomicBool) {
         let resp = match std::str::from_utf8(&buf[..len]) {
             Ok(text) => match CtrlRequest::parse(text) {
                 Ok(req) => plane.serve(req),
-                Err(e) => CtrlResponse::Err(e.to_string()),
+                Err(CtrlParseError::UnknownCommand(verb)) => {
+                    CtrlResponse::err("unknown-command", verb)
+                }
+                Err(CtrlParseError::Malformed(detail)) => CtrlResponse::err("malformed", detail),
             },
-            Err(_) => CtrlResponse::Err("request is not utf-8".into()),
+            Err(_) => CtrlResponse::err("malformed", "request is not utf-8"),
         };
         let _ = socket.send_to(resp.encode().as_bytes(), from);
     }
@@ -650,6 +763,49 @@ mod tests {
         assert!(json.contains("\"daemon\": {"));
         assert!(json.contains("\"beacons\": 2"));
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn health_and_expo_are_always_served() {
+        let handle = DaemonHandle::spawn(ApdConfig::new().shards(2)).unwrap();
+        handle.tick(1).unwrap();
+        let health = handle.health_json();
+        assert!(health.contains("\"schema\": \"hide-apd-health/1\""));
+        assert!(health.contains("\"telemetry\": \"on\""));
+        assert_eq!(telemetry::parse_health_shards(&health).len(), 2);
+        let expo = handle.expo_text();
+        assert!(expo.contains("hide_apd_shard_queue_depth{shard=\"1\"}"));
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn noop_runtime_daemon_serves_empty_stage_histograms() {
+        let handle = DaemonHandle::spawn(ApdConfig::new().runtime_telemetry(false)).unwrap();
+        handle.tick(4).unwrap();
+        // Stats is served by the shard thread after the queued ticks,
+        // so once it returns the progress gauges are up to date.
+        handle.stats().unwrap();
+        let health = handle.health_json();
+        assert!(health.contains("\"telemetry\": \"off\""));
+        for (stage, count) in telemetry::parse_health_stage_counts(&health) {
+            assert_eq!(count, 0, "stage {stage} recorded through the noop sink");
+        }
+        // The always-on gauge plane still works without the clocked seam.
+        let shards = telemetry::parse_health_shards(&health);
+        assert!(shards[0].processed >= 4);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_writes_the_health_dump() {
+        let path = std::env::temp_dir().join(format!("apd_health_{}.json", std::process::id()));
+        let handle = DaemonHandle::spawn(ApdConfig::new().health_path(path.clone())).unwrap();
+        handle.tick(2).unwrap();
+        handle.shutdown().unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"schema\": \"hide-apd-health/1\""));
+        assert!(json.contains("\"watchdog\": {"));
     }
 
     #[test]

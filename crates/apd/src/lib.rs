@@ -15,10 +15,18 @@
 //!   with offline replays (see the `loopback` integration test).
 //! * **Control plane, not signals** — a UDP control socket speaks the
 //!   tiny text protocol in [`ctrl`]: `ping`, `stats`, `metrics` (a
-//!   live `hide-metrics/1` dump), `snapshot`, `tick`, `shutdown`.
+//!   live `hide-metrics/1` dump), `snapshot`, `health`, `expo`,
+//!   `tick`, `shutdown`.
 //! * **Snapshot/restore** — the client table serializes to the
 //!   `hide-apdsnap/1` container ([`ApdSnapshot`]) on request and at
 //!   shutdown, and restores at spawn.
+//! * **Two observability planes** — the deterministic `hide-metrics/1`
+//!   plane (byte-identical with offline replays) and a wall-clock
+//!   runtime plane ([`telemetry`]): stage latency histograms recorded
+//!   through the zero-cost [`hide_obs::RuntimeSink`] seam, per-shard
+//!   health gauges, a stall watchdog, and the `hide-apd-health/1` /
+//!   Prometheus-style `expo` outputs. Nothing from the wall-clock
+//!   plane ever feeds the deterministic artifact.
 //!
 //! # Example
 //!
@@ -42,11 +50,16 @@ pub mod error;
 pub mod loadgen;
 mod shard;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use config::ApdConfig;
-pub use ctrl::{CtrlRequest, CtrlResponse};
+pub use ctrl::{CtrlParseError, CtrlRequest, CtrlResponse, CTRL_PROTOCOL_VERSION};
 pub use daemon::{DaemonHandle, DaemonStats};
 pub use error::ApdError;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use shard::ShardStats;
 pub use snapshot::ApdSnapshot;
+pub use telemetry::{
+    parse_health_shards, parse_health_stage_counts, parse_health_stalled_shards, render_top,
+    ShardRow,
+};

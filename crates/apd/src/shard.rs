@@ -7,13 +7,15 @@
 //! (ACKs, association responses) go straight out a clone of the data
 //! socket.
 
+use crate::telemetry::{ShardHealth, GAUGE_SAMPLE_EVERY};
 use hide_core::ap::{AccessPoint, ApCtx, ApSnapshot};
-use hide_obs::Recorder;
+use hide_obs::{Recorder, RtStage, RuntimeSink};
 use hide_wifi::frame::AnyFrame;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A command delivered to a shard thread.
 pub(crate) enum ShardCmd {
@@ -87,7 +89,7 @@ pub(crate) struct ShardFinal {
     pub recorder: Recorder,
 }
 
-pub(crate) struct Shard {
+pub(crate) struct Shard<R: RuntimeSink> {
     pub ap: AccessPoint,
     pub reply_socket: UdpSocket,
     pub rx: Receiver<ShardCmd>,
@@ -96,21 +98,35 @@ pub(crate) struct Shard {
     /// Staleness window in seconds; `None` disables expiry and makes
     /// refreshes untimed.
     pub stale_timeout_secs: Option<f64>,
+    /// Wall-clock stage-latency sink ([`hide_obs::NoopRuntime`] when
+    /// runtime telemetry is off — then the clock is never read here).
+    pub runtime: R,
+    /// This shard's live health cells (watchdog and `health` readers).
+    pub health: Arc<ShardHealth>,
+    /// The runtime plane's epoch, shared so progress stamps are
+    /// comparable with the watchdog's clock.
+    pub epoch: Instant,
 }
 
-impl Shard {
+impl<R: RuntimeSink> Shard<R> {
     /// Runs the shard loop until shutdown (or all senders dropped).
     pub fn run(mut self) -> ShardFinal {
         let mut stats = ShardStats::default();
         let mut recorder = Recorder::new();
+        let mut processed = 0u64;
         while let Ok(cmd) = self.rx.recv() {
             match cmd {
                 ShardCmd::Frame(frame, from) => {
                     self.depth.fetch_sub(1, Ordering::Relaxed);
+                    let t = self.runtime.start();
                     self.handle_frame(frame, from, &mut stats, &mut recorder);
+                    self.runtime.finish(RtStage::Handle, t);
                 }
                 ShardCmd::Tick { index, now } => {
+                    let t = self.runtime.start();
                     self.handle_tick(index, now, &mut stats, &mut recorder);
+                    self.runtime.finish(RtStage::Handle, t);
+                    self.sample_gauges();
                 }
                 ShardCmd::Snapshot(reply) => {
                     let _ = reply.send(self.ap.snapshot());
@@ -120,6 +136,7 @@ impl Shard {
                 }
                 ShardCmd::Stats(reply) => {
                     stats.clients = self.ap.client_count() as u64;
+                    self.sample_gauges();
                     let _ = reply.send(stats);
                 }
                 ShardCmd::Shutdown(reply) => {
@@ -132,6 +149,8 @@ impl Shard {
                     break;
                 }
             }
+            processed += 1;
+            self.mark_progress(processed);
         }
         stats.clients = self.ap.client_count() as u64;
         ShardFinal {
@@ -139,6 +158,31 @@ impl Shard {
             stats,
             recorder,
         }
+    }
+
+    /// Stamp forward progress after every command; refresh the gauges
+    /// every [`GAUGE_SAMPLE_EVERY`] commands so their staleness is
+    /// bounded without per-message table walks.
+    fn mark_progress(&self, processed: u64) {
+        self.health.processed.store(processed, Ordering::Relaxed);
+        self.health
+            .last_progress_nanos
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if processed.is_multiple_of(GAUGE_SAMPLE_EVERY) {
+            self.sample_gauges();
+        }
+    }
+
+    fn sample_gauges(&self) {
+        self.health
+            .backlog
+            .store(self.ap.buffered_broadcasts() as u64, Ordering::Relaxed);
+        self.health
+            .ports
+            .store(self.ap.port_table().port_count() as u64, Ordering::Relaxed);
+        self.health
+            .clients
+            .store(self.ap.client_count() as u64, Ordering::Relaxed);
     }
 
     fn handle_frame(
@@ -158,7 +202,11 @@ impl Shard {
                 match self.ap.process_port_message(&msg, &mut ctx) {
                     Ok(ack) => {
                         stats.port_messages += 1;
-                        if self.reply_socket.send_to(&ack.to_bytes(), from).is_ok() {
+                        let bytes = ack.to_bytes();
+                        let t = self.runtime.start();
+                        let sent = self.reply_socket.send_to(&bytes, from).is_ok();
+                        self.runtime.finish(RtStage::Send, t);
+                        if sent {
                             stats.acks_sent += 1;
                         }
                     }
@@ -172,7 +220,10 @@ impl Shard {
                 } else {
                     stats.assoc_denied += 1;
                 }
-                let _ = self.reply_socket.send_to(&resp.to_bytes(), from);
+                let bytes = resp.to_bytes();
+                let t = self.runtime.start();
+                let _ = self.reply_socket.send_to(&bytes, from);
+                self.runtime.finish(RtStage::Send, t);
             }
             AnyFrame::Disassociation(notice) => match self.ap.handle_disassociation(&notice) {
                 Ok(()) => stats.disassociations += 1,

@@ -154,8 +154,38 @@ fn ctrl_socket_serves_the_protocol() {
         CtrlResponse::parse(std::str::from_utf8(&buf[..len]).unwrap()).unwrap()
     };
 
-    assert_eq!(ask(CtrlRequest::Ping), CtrlResponse::Pong);
+    assert_eq!(ask(CtrlRequest::Ping), CtrlResponse::pong());
+    match ask(CtrlRequest::Ping) {
+        CtrlResponse::Pong { version } => {
+            assert_eq!(version, hide_apd::CTRL_PROTOCOL_VERSION);
+        }
+        other => panic!("ping failed: {other:?}"),
+    }
     assert!(matches!(ask(CtrlRequest::Tick(3)), CtrlResponse::Ok(_)));
+    match ask(CtrlRequest::Health) {
+        CtrlResponse::Ok(json) => {
+            assert!(json.contains("\"schema\": \"hide-apd-health/1\""));
+            assert_eq!(hide_apd::parse_health_shards(&json).len(), 1);
+        }
+        other => panic!("health failed: {other:?}"),
+    }
+    match ask(CtrlRequest::Expo) {
+        CtrlResponse::Ok(text) => {
+            assert!(text.contains("hide_apd_frames_received_total"));
+        }
+        other => panic!("expo failed: {other:?}"),
+    }
+    // Unknown verbs come back with the stable error code.
+    {
+        let mut raw = [0u8; 512];
+        ctrl.send(b"launch-missiles").unwrap();
+        let len = ctrl.recv(&mut raw).unwrap();
+        let text = std::str::from_utf8(&raw[..len]).unwrap();
+        assert!(
+            text.starts_with("err:unknown-command"),
+            "unexpected reply {text:?}"
+        );
+    }
     match ask(CtrlRequest::Stats) {
         CtrlResponse::Ok(line) => assert!(line.contains("beacons=3"), "{line}"),
         other => panic!("stats failed: {other:?}"),

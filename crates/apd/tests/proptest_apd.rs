@@ -10,14 +10,24 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn request_strategy() -> impl Strategy<Value = CtrlRequest> {
-    (0usize..6, any::<u64>()).prop_map(|(which, n)| match which {
+    (0usize..8, any::<u64>()).prop_map(|(which, n)| match which {
         0 => CtrlRequest::Ping,
         1 => CtrlRequest::Stats,
         2 => CtrlRequest::Metrics,
         3 => CtrlRequest::Snapshot,
         4 => CtrlRequest::Tick(n),
+        5 => CtrlRequest::Health,
+        6 => CtrlRequest::Expo,
         _ => CtrlRequest::Shutdown,
     })
+}
+
+/// Error codes that survive the wire: non-empty, no whitespace, no
+/// colon (the `err:` separator charset).
+fn code_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    vec(0usize..CHARSET.len(), 1..24)
+        .prop_map(|idxs| idxs.into_iter().map(|i| CHARSET[i] as char).collect())
 }
 
 /// Payload text that survives the line-oriented ctrl codec: printable
@@ -63,13 +73,42 @@ proptest! {
     }
 
     #[test]
-    fn ctrl_responses_round_trip(payload in payload_strategy(), which in 0usize..3) {
+    fn ctrl_responses_round_trip(
+        payload in payload_strategy(),
+        code in code_strategy(),
+        which in 0usize..4,
+    ) {
         let resp = match which {
-            0 => CtrlResponse::Pong,
-            1 => CtrlResponse::Ok(payload),
-            _ => CtrlResponse::Err(payload),
+            0 => CtrlResponse::pong(),
+            1 => CtrlResponse::Pong { version: payload },
+            2 => CtrlResponse::Ok(payload),
+            _ => CtrlResponse::Err { code, detail: payload },
         };
         prop_assert_eq!(CtrlResponse::parse(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Every unknown-verb request maps to the stable
+    /// `err:unknown-command` reply shape, and its encoding parses
+    /// back to the same code — the scraping contract.
+    #[test]
+    fn unknown_verbs_reply_with_a_stable_code(verb in code_strategy()) {
+        match CtrlRequest::parse(&verb) {
+            // Known verbs parse; everything else must be UnknownCommand.
+            Ok(_) => {}
+            Err(hide_apd::CtrlParseError::UnknownCommand(got)) => {
+                prop_assert_eq!(&got, &verb);
+                let wire = CtrlResponse::err("unknown-command", got).encode();
+                prop_assert!(wire.starts_with("err:unknown-command"));
+                match CtrlResponse::parse(&wire).unwrap() {
+                    CtrlResponse::Err { code, detail } => {
+                        prop_assert_eq!(code, "unknown-command");
+                        prop_assert_eq!(&detail, &verb);
+                    }
+                    other => return Err(TestCaseError::fail(format!("not an err: {other:?}"))),
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!           [--port-churn P] [--stale-timeout SECS]
 //!           [--metrics PATH] [--summary PATH] [--trace PATH]
 //!           [--energy-attribution] [--attribution-out PATH]
-//!           [--profile-stages] [--smoke]
+//!           [--profile-stages] [--smoke] [--log-level LEVEL]
 //! ```
 //!
 //! `--policy` selects the suspended clients' power-save protocol:
@@ -57,6 +57,7 @@
 use hide::fleet::{ChurnConfig, FleetConfig, FleetResult};
 use hide::obs::{export, Counter, DEFAULT_TRACE_CAPACITY};
 use hide::policy::{lookup, registry_keys, WakePolicy};
+use hide_obs::{log_error, log_info, LogLevel};
 use hide_traces::scenario::Scenario;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -77,6 +78,9 @@ fn parse_scenario(name: &str) -> Option<Scenario> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(level) = parse_flag::<LogLevel>(&args, "--log-level") {
+        hide_obs::log::set_level(level);
+    }
 
     let mut cfg = FleetConfig {
         bss_count: if smoke { 200 } else { 1000 },
@@ -128,7 +132,7 @@ fn main() -> ExitCode {
         match parse_scenario(&name) {
             Some(s) => cfg.scenario = s,
             None => {
-                eprintln!(
+                log_error!(
                     "unknown scenario {name:?}; valid: {}",
                     Scenario::ALL.map(|s| s.label()).join(", ")
                 );
@@ -140,7 +144,7 @@ fn main() -> ExitCode {
         match WakePolicy::parse(&spec) {
             Ok(p) => cfg.policy = p,
             Err(e) => {
-                eprintln!("fleet_sim: --policy {spec:?}: {e}");
+                log_error!("--policy {spec:?}: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -152,7 +156,7 @@ fn main() -> ExitCode {
                 cfg.battery = entry.battery();
             }
             None => {
-                eprintln!(
+                log_error!(
                     "unknown device {name:?}; valid: {}",
                     registry_keys().join(", ")
                 );
@@ -165,7 +169,7 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let jobs: usize = parse_flag(&args, "--jobs").unwrap_or(cores);
 
-    eprintln!(
+    log_info!(
         "fleet: {} BSS x {} clients, {:.0}% adoption, {} s horizon, \
          scenario {}, policy {}, device {}, seed {}, jobs {}",
         cfg.bss_count,
@@ -181,7 +185,7 @@ fn main() -> ExitCode {
     let trace_path = parse_flag::<String>(&args, "--trace");
     let profile_stages = args.iter().any(|a| a == "--profile-stages");
     if profile_stages && trace_path.is_some() {
-        eprintln!("fleet_sim: --profile-stages is incompatible with --trace");
+        log_error!("--profile-stages is incompatible with --trace");
         return ExitCode::FAILURE;
     }
     let t0 = Instant::now();
@@ -189,7 +193,7 @@ fn main() -> ExitCode {
         let (result, profile) = match cfg.try_run_profiled_with_jobs(jobs) {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("fleet_sim: {e}");
+                log_error!("{e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -200,7 +204,7 @@ fn main() -> ExitCode {
         let (result, flight) = match cfg.try_run_traced_with_jobs(jobs, DEFAULT_TRACE_CAPACITY) {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("fleet_sim: {e}");
+                log_error!("{e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -213,10 +217,10 @@ fn main() -> ExitCode {
             export::to_chrome_trace(&flight, None)
         };
         if let Err(e) = std::fs::write(path, rendered) {
-            eprintln!("fleet_sim: writing {path}: {e}");
+            log_error!("writing {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!(
+        log_info!(
             "trace written to {path} ({} events{})",
             flight.len(),
             if flight.dropped() > 0 {
@@ -230,7 +234,7 @@ fn main() -> ExitCode {
         match cfg.try_run_with_jobs(jobs) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("fleet_sim: {e}");
+                log_error!("{e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -249,10 +253,10 @@ fn main() -> ExitCode {
             result.metrics_json()
         };
         if let Err(e) = std::fs::write(&path, rendered) {
-            eprintln!("fleet_sim: writing {path}: {e}");
+            log_error!("writing {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("metrics written to {path}");
+        log_info!("metrics written to {path}");
     }
     if let Some(path) = parse_flag::<String>(&args, "--attribution-out") {
         let ledger = result.attribution();
@@ -262,20 +266,20 @@ fn main() -> ExitCode {
             ledger.to_jsonl()
         };
         if let Err(e) = std::fs::write(&path, rendered) {
-            eprintln!("fleet_sim: writing {path}: {e}");
+            log_error!("writing {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!(
+        log_info!(
             "attribution ledger written to {path} ({} client lanes)",
             ledger.len()
         );
     }
     if let Some(path) = parse_flag::<String>(&args, "--summary") {
         if let Err(e) = std::fs::write(&path, result.summary_json()) {
-            eprintln!("fleet_sim: writing {path}: {e}");
+            log_error!("writing {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("summary written to {path}");
+        log_info!("summary written to {path}");
     }
 
     if smoke {
@@ -377,11 +381,11 @@ fn report_attribution(result: &FleetResult) {
 /// CI invariants: determinism across jobs counts and the loss-free
 /// missed-wakeup guarantee.
 fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCode {
-    eprintln!("smoke: re-running at jobs=1 for the determinism check...");
+    log_info!("smoke: re-running at jobs=1 for the determinism check...");
     let serial = match cfg.try_run_with_jobs(1) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("fleet_sim: smoke rerun failed: {e}");
+            log_error!("smoke rerun failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -390,22 +394,22 @@ fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCod
         || serial.metrics_json_with_energy() != result.metrics_json_with_energy()
         || serial.attribution().to_csv() != result.attribution().to_csv()
     {
-        eprintln!("fleet_sim: SMOKE FAIL: jobs=1 and jobs={jobs} outputs differ");
+        log_error!("SMOKE FAIL: jobs=1 and jobs={jobs} outputs differ");
         return ExitCode::FAILURE;
     }
     let mut lossless = cfg.clone();
     lossless.churn.refresh_loss = 0.0;
-    eprintln!("smoke: loss-free control run...");
+    log_info!("smoke: loss-free control run...");
     let control = match lossless.try_run_with_jobs(jobs) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("fleet_sim: smoke control failed: {e}");
+            log_error!("smoke control failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     if control.report.missed_wakeups != 0 {
-        eprintln!(
-            "fleet_sim: SMOKE FAIL: {} missed wakeups with zero refresh loss",
+        log_error!(
+            "SMOKE FAIL: {} missed wakeups with zero refresh loss",
             control.report.missed_wakeups
         );
         return ExitCode::FAILURE;
@@ -415,8 +419,8 @@ fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCod
     if !cfg.policy.uses_port_refresh()
         && (result.report.refreshes_sent != 0 || result.report.hide_wakeups != 0)
     {
-        eprintln!(
-            "fleet_sim: SMOKE FAIL: policy {} ran HIDE machinery \
+        log_error!(
+            "SMOKE FAIL: policy {} ran HIDE machinery \
              ({} refreshes, {} hide wakeups)",
             cfg.policy.name(),
             result.report.refreshes_sent,
@@ -425,12 +429,13 @@ fn smoke_checks(cfg: &FleetConfig, result: &FleetResult, jobs: usize) -> ExitCod
         return ExitCode::FAILURE;
     }
     if cfg.policy.schedule().is_some() && result.report.wakeups != result.report.scheduled_wakes {
-        eprintln!(
-            "fleet_sim: SMOKE FAIL: {} wakeups but only {} inside the service window",
-            result.report.wakeups, result.report.scheduled_wakes
+        log_error!(
+            "SMOKE FAIL: {} wakeups but only {} inside the service window",
+            result.report.wakeups,
+            result.report.scheduled_wakes
         );
         return ExitCode::FAILURE;
     }
-    eprintln!("smoke: ok (deterministic across jobs, loss-free run missed 0 wakeups)");
+    log_info!("smoke: ok (deterministic across jobs, loss-free run missed 0 wakeups)");
     ExitCode::SUCCESS
 }

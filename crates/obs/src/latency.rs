@@ -1,0 +1,353 @@
+//! Log-scale latency histograms for the wall-clock telemetry plane.
+//!
+//! [`LatencyHistogram`] is the wall-clock sibling of the deterministic
+//! [`crate::Histogram`]: fixed log-scale buckets (so two histograms
+//! merge by elementwise addition), sized for nanosecond latencies from
+//! ~100 ns to ~10 s, with deterministic quantile readout. Unlike the
+//! deterministic plane it is *expected* to hold wall-clock values, so
+//! it must never feed the `hide-metrics/1` artifact — it belongs to
+//! `hide-apd-health/1` and the Prometheus-style exposition.
+//!
+//! # Bucket layout
+//!
+//! An HdrHistogram-style linear-log grid with 8 sub-buckets per power
+//! of two (3 mantissa bits, so ≤ 12.5 % relative bucket width):
+//!
+//! * values `0..8` get one exact bucket each (indices 0..8);
+//! * a value with floor-log2 `e >= 3` lands in index
+//!   `(e - 3) * 8 + 8 + sub`, where `sub` is the 3 bits after the
+//!   leading one;
+//! * everything at or above 2^34 ns (~17.2 s) saturates into the last
+//!   bucket, comfortably past the 10 s ceiling the daemon cares about.
+//!
+//! The layout is pure integer arithmetic on `u64`, so bucket
+//! boundaries are identical on every platform — a property the
+//! cross-platform proptests pin.
+
+/// Mantissa bits per bucket: 2^3 = 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per power of two.
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Number of buckets in every [`LatencyHistogram`]: 8 exact unit
+/// buckets plus 31 octaves (exponents 3..=33) of 8 sub-buckets.
+pub const LATENCY_BUCKETS: usize = (SUBS + (34 - SUB_BITS as u64) * SUBS) as usize;
+
+/// A mergeable log-scale histogram of nanosecond latencies.
+///
+/// Recording is an index computation plus an array increment; merging
+/// is elementwise addition (associative and commutative), so per-shard
+/// histograms fold into a daemon-wide view in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` while empty so the first `record` always wins.
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket a nanosecond value lands in.
+    #[inline]
+    #[must_use]
+    pub fn bucket_index(nanos: u64) -> usize {
+        if nanos < SUBS {
+            nanos as usize
+        } else {
+            let exp = 63 - u64::from(nanos.leading_zeros());
+            let sub = (nanos >> (exp - u64::from(SUB_BITS))) & (SUBS - 1);
+            let index = (exp - u64::from(SUB_BITS)) * SUBS + SUBS + sub;
+            (index as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower bound of a bucket, in nanoseconds.
+    #[must_use]
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUBS {
+            index
+        } else {
+            let octave = (index - SUBS) / SUBS;
+            let sub = (index - SUBS) % SUBS;
+            (SUBS + sub) << octave
+        }
+    }
+
+    /// Record one latency observation, in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        if nanos < self.min {
+            self.min = nanos;
+        }
+        if nanos > self.max {
+            self.max = nanos;
+        }
+    }
+
+    /// Fold another histogram into this one (elementwise addition).
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating), in nanoseconds.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean latency in nanoseconds, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Rebuild a histogram from raw parts — the snapshot path of the
+    /// atomic runtime plane, where buckets and extremes are read from
+    /// separate atomics. `count` is derived from the buckets so
+    /// quantile walks always terminate consistently.
+    #[must_use]
+    pub(crate) fn from_raw(buckets: [u64; LATENCY_BUCKETS], sum: u64, min: u64, max: u64) -> Self {
+        let count = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, in nanoseconds.
+    ///
+    /// Walks the bucket counts to the observation of rank
+    /// `ceil(q * count)` and returns that bucket's lower bound clamped
+    /// into `[min, max]` — deterministic, monotone in `q`, within one
+    /// bucket width (≤ 12.5 %) of the true order statistic, and exact
+    /// at the extremes. Returns 0 when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Extremes read from racy atomics in the live plane can be
+        // transiently inconsistent; order the clamp bounds defensively.
+        let hi = self.max;
+        let lo = self.min().min(hi);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lower_bound(i).clamp(lo, hi);
+            }
+        }
+        hi
+    }
+
+    /// Shorthand: the p50/p90/p99/max readout the health artifact
+    /// reports.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max(),
+        }
+    }
+
+    /// The non-empty buckets as `(lower bound ns, observation count)`
+    /// pairs, in latency order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_lower_bound(i), n))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// The fixed readout of one [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median (bucket-resolution) in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile (bucket-resolution) in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile (bucket-resolution) in nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum in nanoseconds.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_deterministic() {
+        // Unit buckets.
+        for v in 0..8u64 {
+            assert_eq!(LatencyHistogram::bucket_index(v), v as usize);
+            assert_eq!(LatencyHistogram::bucket_lower_bound(v as usize), v);
+        }
+        // First octave bucket: 8 lands at index 8.
+        assert_eq!(LatencyHistogram::bucket_index(8), 8);
+        // Every bucket's lower bound maps back to its own index, and
+        // the value just below the next bound stays put.
+        for i in 0..LATENCY_BUCKETS - 1 {
+            let lo = LatencyHistogram::bucket_lower_bound(i);
+            let next = LatencyHistogram::bucket_lower_bound(i + 1);
+            assert!(next > lo, "bounds must be strictly increasing at {i}");
+            assert_eq!(LatencyHistogram::bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(LatencyHistogram::bucket_index(next - 1), i, "top of {i}");
+        }
+        // ~100 ns and ~10 s both resolve inside the grid; 2^34 ns and
+        // beyond saturate into the last bucket.
+        assert!(LatencyHistogram::bucket_index(100) > 8);
+        assert!(LatencyHistogram::bucket_index(10_000_000_000) < LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_index(1 << 34), LATENCY_BUCKETS - 1);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            LATENCY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in 9..LATENCY_BUCKETS - 1 {
+            let lo = LatencyHistogram::bucket_lower_bound(i);
+            let hi = LatencyHistogram::bucket_lower_bound(i + 1);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 0.125 + 1e-9,
+                "bucket {i} is wider than 12.5%: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_read_out_in_order() {
+        let mut h = LatencyHistogram::new();
+        for v in [150u64, 150, 150, 900, 900, 5_000, 80_000, 2_000_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert!(s.p50_ns <= s.p90_ns);
+        assert!(s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert_eq!(s.max_ns, 2_000_000);
+        assert_eq!(h.min(), 150);
+        // p50 of 8 values is rank 4: the 900 bucket.
+        assert_eq!(
+            h.quantile(0.5),
+            LatencyHistogram::bucket_lower_bound(LatencyHistogram::bucket_index(900))
+        );
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let parts: [&[u64]; 3] = [&[1, 100, 100, 1_000_000], &[], &[0, 0, 77_777]];
+        let mut seq = LatencyHistogram::new();
+        let mut merged = LatencyHistogram::new();
+        for part in parts {
+            let mut h = LatencyHistogram::new();
+            for &v in part {
+                h.record(v);
+                seq.record(v);
+            }
+            merged.merge_from(&h);
+        }
+        assert_eq!(merged, seq);
+        assert_eq!(merged.count(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -19,6 +19,15 @@
 //! exportable as JSONL or Chrome-trace JSON ([`crate::export`]) and
 //! analyzable for wakeup provenance ([`crate::provenance`]).
 //!
+//! A third seam serves long-running services and is deliberately kept
+//! on the *other* side of the determinism fence: the wall-clock
+//! runtime plane ([`crate::runtime`]) times hot-path stages into
+//! log-scale [`LatencyHistogram`]s behind a [`RuntimeSink`]
+//! ([`NoopRuntime`] is zero-cost and never reads the clock), and the
+//! leveled structured logger ([`crate::log`]) gates stderr output and
+//! retains recent warn/error records. Nothing from this plane may
+//! feed the `hide-metrics/1` artifact.
+//!
 //! # Determinism rules
 //!
 //! The recorder is built for **byte-identical output at any `--jobs`
@@ -59,16 +68,22 @@
 
 pub mod export;
 pub mod hist;
+pub mod latency;
+pub mod log;
 pub mod metric;
 pub mod provenance;
 pub mod recorder;
+pub mod runtime;
 pub mod sink;
 pub mod trace;
 
 pub use hist::Histogram;
+pub use latency::{LatencyHistogram, LatencySummary, LATENCY_BUCKETS};
+pub use log::{LogLevel, LogRecord};
 pub use metric::{Counter, Distribution, Stage};
 pub use provenance::{CauseCounts, ClientKey, ClientWakes, ProvenanceBreakdown, ProvenanceLedger};
 pub use recorder::{Recorder, StageTiming};
+pub use runtime::{AtomicRuntime, NoopRuntime, RateMeter, RtStage, RuntimeSink};
 pub use sink::{MetricsSink, NoopSink};
 pub use trace::{
     FlightRecorder, NoopTrace, TraceEvent, TraceEventKind, TraceSink, WakeCause, WakeClass,

@@ -1,0 +1,371 @@
+//! The wall-clock runtime-telemetry seam.
+//!
+//! This is the third zero-cost instrumentation seam in the workspace,
+//! and the first one that is *allowed* to observe wall-clock time:
+//!
+//! * [`crate::MetricsSink`] — deterministic counters/histograms
+//!   (feeds `hide-metrics/1`, byte-identical at any `--jobs`);
+//! * [`crate::TraceSink`] — deterministic structured events;
+//! * [`RuntimeSink`] (this module) — wall-clock stage latencies for
+//!   long-running services (feeds `hide-apd-health/1` and the
+//!   Prometheus-style exposition, **never** the deterministic
+//!   artifacts).
+//!
+//! Hot paths are generic over `R: RuntimeSink`. With [`NoopRuntime`]
+//! the [`RuntimeSink::start`] token is `()` and both calls inline to
+//! nothing — crucially, the clock is never read — so the
+//! uninstrumented daemon pays zero cost, a claim `apd_loadgen --smoke`
+//! enforces against the budget in `golden/perf_floors.toml`. With
+//! [`AtomicRuntime`] each stage records into a lock-free
+//! [`LatencyHistogram`]-shaped grid of atomics that any thread can
+//! snapshot without stopping the world.
+
+use crate::latency::{LatencyHistogram, LATENCY_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented stages of a service hot path, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtStage {
+    /// Blocking socket receive (successful receives only).
+    Recv,
+    /// Datagram parse plus shard routing.
+    Route,
+    /// Per-shard frame/tick handling.
+    Handle,
+    /// Reply (ACK / association response) transmission.
+    Send,
+}
+
+impl RtStage {
+    /// Number of stages.
+    pub const COUNT: usize = 4;
+
+    /// All stages, in pipeline order.
+    pub const ALL: [RtStage; RtStage::COUNT] = [
+        RtStage::Recv,
+        RtStage::Route,
+        RtStage::Handle,
+        RtStage::Send,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            RtStage::Recv => 0,
+            RtStage::Route => 1,
+            RtStage::Handle => 2,
+            RtStage::Send => 3,
+        }
+    }
+
+    /// Stable lowercase label (artifact and exposition key).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RtStage::Recv => "recv",
+            RtStage::Route => "route",
+            RtStage::Handle => "handle",
+            RtStage::Send => "send",
+        }
+    }
+}
+
+/// Where a service hot path sends its wall-clock stage timings.
+///
+/// The `start`/`finish` pair brackets one stage execution; the token
+/// carries the start instant so the no-op implementation never touches
+/// the clock.
+pub trait RuntimeSink: Send + Sync {
+    /// Opaque start token returned by [`RuntimeSink::start`].
+    type Timer: Copy;
+
+    /// Begin timing a stage execution.
+    fn start(&self) -> Self::Timer;
+
+    /// Finish timing and record the elapsed nanoseconds for `stage`.
+    fn finish(&self, stage: RtStage, timer: Self::Timer);
+}
+
+/// A runtime sink that discards everything — and never reads the
+/// clock — at zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRuntime;
+
+impl RuntimeSink for NoopRuntime {
+    type Timer = ();
+
+    #[inline]
+    fn start(&self) -> Self::Timer {}
+
+    #[inline]
+    fn finish(&self, _stage: RtStage, _timer: Self::Timer) {}
+}
+
+/// One lock-free latency grid: the atomic twin of
+/// [`LatencyHistogram`], snapshot-able while threads keep recording.
+struct AtomicLatency {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicLatency {
+    fn new() -> Self {
+        AtomicLatency {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, nanos: u64) {
+        self.buckets[LatencyHistogram::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Concurrent recording can skew the
+    /// separately-loaded atomics against each other by in-flight
+    /// increments; the copy derives `count` from the bucket totals so
+    /// quantile walks always terminate consistently.
+    fn snapshot(&self) -> LatencyHistogram {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        LatencyHistogram::from_raw(
+            buckets,
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The live runtime-telemetry sink: one atomic latency grid per
+/// [`RtStage`], shared across every daemon thread.
+pub struct AtomicRuntime {
+    stages: [AtomicLatency; RtStage::COUNT],
+}
+
+impl AtomicRuntime {
+    /// A fresh, empty runtime plane.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicRuntime {
+            stages: std::array::from_fn(|_| AtomicLatency::new()),
+        }
+    }
+
+    /// Record a latency directly (used by tests and by callers that
+    /// already hold a duration).
+    #[inline]
+    pub fn record_nanos(&self, stage: RtStage, nanos: u64) {
+        self.stages[stage.index()].record(nanos);
+    }
+
+    /// A point-in-time copy of one stage's histogram.
+    #[must_use]
+    pub fn snapshot(&self, stage: RtStage) -> LatencyHistogram {
+        self.stages[stage.index()].snapshot()
+    }
+}
+
+impl Default for AtomicRuntime {
+    fn default() -> Self {
+        AtomicRuntime::new()
+    }
+}
+
+impl RuntimeSink for AtomicRuntime {
+    type Timer = Instant;
+
+    #[inline]
+    fn start(&self) -> Self::Timer {
+        Instant::now()
+    }
+
+    #[inline]
+    fn finish(&self, stage: RtStage, timer: Self::Timer) {
+        self.record_nanos(stage, timer.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Forwarding impls so call sites can hold `Arc<R>` or `&R` without
+/// extra generics.
+impl<R: RuntimeSink + ?Sized> RuntimeSink for &R {
+    type Timer = R::Timer;
+
+    #[inline]
+    fn start(&self) -> Self::Timer {
+        (**self).start()
+    }
+
+    #[inline]
+    fn finish(&self, stage: RtStage, timer: Self::Timer) {
+        (**self).finish(stage, timer);
+    }
+}
+
+impl<R: RuntimeSink + ?Sized> RuntimeSink for std::sync::Arc<R> {
+    type Timer = R::Timer;
+
+    #[inline]
+    fn start(&self) -> Self::Timer {
+        (**self).start()
+    }
+
+    #[inline]
+    fn finish(&self, stage: RtStage, timer: Self::Timer) {
+        (**self).finish(stage, timer);
+    }
+}
+
+/// Default number of one-second slots a [`RateMeter`] retains.
+pub const RATE_WINDOW_SLOTS: usize = 60;
+
+/// A windowed rate meter over a monotone counter.
+///
+/// Call [`RateMeter::sample`] once per second with the counter's
+/// current total (a ticker thread owns the meter; readers get the
+/// computed rates). Rates over 1 s / 10 s / 60 s windows are the mean
+/// of the most recent per-second deltas — decaying automatically as
+/// slots age out.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    deltas: [u64; RATE_WINDOW_SLOTS],
+    head: usize,
+    filled: usize,
+    last_total: u64,
+    primed: bool,
+}
+
+impl RateMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        RateMeter {
+            deltas: [0; RATE_WINDOW_SLOTS],
+            head: 0,
+            filled: 0,
+            last_total: 0,
+            primed: false,
+        }
+    }
+
+    /// Feed the counter's current total; call at a 1 Hz cadence. The
+    /// first call primes the baseline and records no delta.
+    pub fn sample(&mut self, total: u64) {
+        if !self.primed {
+            self.primed = true;
+            self.last_total = total;
+            return;
+        }
+        let delta = total.saturating_sub(self.last_total);
+        self.last_total = total;
+        self.deltas[self.head] = delta;
+        self.head = (self.head + 1) % RATE_WINDOW_SLOTS;
+        self.filled = (self.filled + 1).min(RATE_WINDOW_SLOTS);
+    }
+
+    /// Mean events/second over the last `window_secs` samples (clamped
+    /// to what has been observed). Returns 0.0 before two samples.
+    #[must_use]
+    pub fn rate(&self, window_secs: usize) -> f64 {
+        let n = window_secs.clamp(1, RATE_WINDOW_SLOTS).min(self.filled);
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        for k in 1..=n {
+            let i = (self.head + RATE_WINDOW_SLOTS - k) % RATE_WINDOW_SLOTS;
+            sum += self.deltas[i];
+        }
+        sum as f64 / n as f64
+    }
+}
+
+impl Default for RateMeter {
+    fn default() -> Self {
+        RateMeter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the seam the way the daemon does: generically, so the
+    /// noop monomorphization is exercised without unit-value lints.
+    fn time_one_stage<R: RuntimeSink>(sink: &R) {
+        let t = sink.start();
+        sink.finish(RtStage::Recv, t);
+    }
+
+    #[test]
+    fn noop_runtime_is_inert() {
+        time_one_stage(&NoopRuntime);
+    }
+
+    #[test]
+    fn atomic_runtime_records_and_snapshots() {
+        let rt = AtomicRuntime::new();
+        rt.record_nanos(RtStage::Handle, 1_500);
+        rt.record_nanos(RtStage::Handle, 1_500);
+        rt.record_nanos(RtStage::Handle, 900_000);
+        let snap = rt.snapshot(RtStage::Handle);
+        assert_eq!(snap.count(), 3);
+        assert!(snap.quantile(0.5) <= snap.quantile(0.99));
+        assert!(rt.snapshot(RtStage::Recv).is_empty());
+    }
+
+    #[test]
+    fn atomic_runtime_times_through_the_seam() {
+        let rt = AtomicRuntime::new();
+        let t = rt.start();
+        std::hint::black_box(0u64);
+        rt.finish(RtStage::Send, t);
+        assert_eq!(rt.snapshot(RtStage::Send).count(), 1);
+    }
+
+    #[test]
+    fn arc_forwarding_reaches_the_shared_plane() {
+        let rt = std::sync::Arc::new(AtomicRuntime::new());
+        fn drive<R: RuntimeSink>(sink: &R) {
+            let t = sink.start();
+            sink.finish(RtStage::Route, t);
+        }
+        drive(&rt);
+        assert_eq!(rt.snapshot(RtStage::Route).count(), 1);
+    }
+
+    #[test]
+    fn rate_meter_windows_decay() {
+        let mut m = RateMeter::new();
+        m.sample(0); // prime
+        for k in 1..=5u64 {
+            m.sample(k * 100); // 100 events/s for 5 seconds
+        }
+        assert_eq!(m.rate(1), 100.0);
+        assert_eq!(m.rate(10), 100.0); // clamped to 5 observed slots
+        m.sample(500); // one idle second
+        assert_eq!(m.rate(1), 0.0);
+        assert!(m.rate(10) > 0.0 && m.rate(10) < 100.0);
+    }
+
+    #[test]
+    fn rate_meter_handles_counter_resets() {
+        let mut m = RateMeter::new();
+        m.sample(1000);
+        m.sample(10); // reset: saturating delta is 0, not huge
+        assert_eq!(m.rate(1), 0.0);
+    }
+}

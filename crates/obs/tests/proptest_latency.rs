@@ -1,0 +1,129 @@
+//! Property tests for the wall-clock [`LatencyHistogram`]: the merge
+//! algebra the daemon's per-shard fan-in relies on, the quantile
+//! readout's ordering guarantees, and the cross-platform determinism
+//! of the bucket layout (pure integer arithmetic, so the boundaries
+//! must be reproducible from first principles).
+
+use hide_obs::latency::{LatencyHistogram, LATENCY_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Latency-shaped values: everything from sub-bucket integers to
+/// saturating outliers (the vendored proptest has no `prop_oneof`, so
+/// the class is picked by a mapped discriminant).
+fn nanos_strategy() -> impl Strategy<Value = u64> {
+    (0usize..5, any::<u64>()).prop_map(|(class, raw)| match class {
+        0 => raw % 16,                         // exact unit buckets
+        1 => 100 + raw % 1_000_000,            // the µs range
+        2 => 1_000_000 + raw % 10_000_000_000, // ms to the 10 s ceiling
+        3 => u64::MAX,                         // saturation
+        _ => raw,                              // anything
+    })
+}
+
+fn record_all(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merge is associative and commutative with sequential recording
+    /// as the identity, and preserves exact counts and extremes.
+    #[test]
+    fn merge_associative_commutative_exact(
+        a in vec(nanos_strategy(), 0..64),
+        b in vec(nanos_strategy(), 0..64),
+        c in vec(nanos_strategy(), 0..64),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        let mut seq = LatencyHistogram::new();
+        for &v in a.iter().chain(&b).chain(&c) {
+            seq.record(v);
+        }
+
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge_from(&hb);
+        left.merge_from(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge_from(&hc);
+        let mut right = ha.clone();
+        right.merge_from(&bc);
+        // c + b + a
+        let mut rev = hc.clone();
+        rev.merge_from(&hb);
+        rev.merge_from(&ha);
+
+        prop_assert_eq!(&left, &seq);
+        prop_assert_eq!(&right, &seq);
+        prop_assert_eq!(&rev, &seq);
+        prop_assert_eq!(seq.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// Quantiles are monotone in q, bracketed by min/max, and the
+    /// summary readout is internally ordered.
+    #[test]
+    fn quantiles_are_monotone(values in vec(nanos_strategy(), 1..256)) {
+        let h = record_all(&values);
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let at = h.quantile(q);
+            prop_assert!(at >= prev, "quantile({q}) = {at} < {prev}");
+            prop_assert!(at >= h.min());
+            prop_assert!(at <= h.max());
+            prev = at;
+        }
+        let s = h.summary();
+        prop_assert!(s.p50_ns <= s.p90_ns);
+        prop_assert!(s.p90_ns <= s.p99_ns);
+        prop_assert!(s.p99_ns <= s.max_ns);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max_ns, *values.iter().max().unwrap());
+    }
+
+    /// A quantile readout is within one bucket (≤ 12.5 % relative, or
+    /// exact below 8 ns) of the true order statistic.
+    #[test]
+    fn quantile_error_is_bounded(values in vec(0u64..20_000_000_000, 1..128)) {
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let read = h.quantile(q);
+            // The readout is the truth's bucket lower bound (clamped
+            // into the observed range), so it never overshoots and
+            // undershoots by at most the bucket width.
+            prop_assert!(read <= truth);
+            let bucket_lo = LatencyHistogram::bucket_lower_bound(
+                LatencyHistogram::bucket_index(truth));
+            prop_assert!(read >= bucket_lo.min(h.min()).min(truth),
+                "q={q}: read {read}, truth {truth}, bucket_lo {bucket_lo}");
+        }
+    }
+
+    /// The bucket function is deterministic from first principles on
+    /// every platform: index and boundary round-trip, and the mapping
+    /// is monotone non-decreasing in the value.
+    #[test]
+    fn bucket_layout_is_deterministic(v in any::<u64>()) {
+        let i = LatencyHistogram::bucket_index(v);
+        prop_assert!(i < LATENCY_BUCKETS);
+        let lo = LatencyHistogram::bucket_lower_bound(i);
+        prop_assert!(lo <= v);
+        prop_assert_eq!(LatencyHistogram::bucket_index(lo), i);
+        if i + 1 < LATENCY_BUCKETS {
+            let hi = LatencyHistogram::bucket_lower_bound(i + 1);
+            prop_assert!(v < hi);
+        }
+        if v > 0 {
+            prop_assert!(LatencyHistogram::bucket_index(v - 1) <= i);
+        }
+    }
+}
