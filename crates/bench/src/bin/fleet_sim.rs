@@ -9,6 +9,8 @@
 //!           [--port-churn P] [--stale-timeout SECS]
 //!           [--metrics PATH] [--summary PATH] [--trace PATH]
 //!           [--energy-attribution] [--attribution-out PATH]
+//!           [--stream-export] [--spill-dir DIR] [--spill-chunk N]
+//!           [--stream-window N] [--trace-cap N] [--stream-smoke]
 //!           [--profile-stages] [--smoke] [--log-level LEVEL]
 //! ```
 //!
@@ -53,12 +55,36 @@
 //! asserts the two tier-1 invariants inline: a loss-free control run
 //! reports zero missed wakeups, and `--jobs 1` versus all-cores
 //! produces identical metrics and summary JSON.
+//!
+//! `--stream-export` switches every export onto the out-of-core
+//! pipeline: the fleet runs in bounded windows, each window's trace
+//! log spills to a framed run file under `--spill-dir` (default: the
+//! OS temp dir), attribution rows stream to `--attribution-out` shard
+//! by shard, and `--trace`/`--metrics`/`--summary` are produced by a
+//! chunked k-way merge over the spilled runs — resident memory is
+//! bounded by the window, not the fleet, and every output byte matches
+//! the in-memory path. `--spill-chunk` (events per framed chunk),
+//! `--stream-window` (shards per window) and `--trace-cap` (per-shard
+//! ring capacity) tune the residency/IO trade.
+//!
+//! `--stream-smoke` is the metro-scale CI gate: it implies
+//! `--stream-export`, streams the merged trace through a counting
+//! FNV-1a hasher (to a file when `--trace` is given, to a null sink
+//! otherwise), prints the content hash, and fails if peak RSS exceeds
+//! `stream_peak_rss_mb_ceiling` or throughput falls below
+//! `streamed_events_per_sec_floor` (both in `golden/perf_floors.toml`).
 
-use hide::fleet::{ChurnConfig, FleetConfig, FleetResult};
-use hide::obs::{export, Counter, DEFAULT_TRACE_CAPACITY};
+use hide::energy::ClientEnergy;
+use hide::fleet::{
+    ChurnConfig, FleetConfig, FleetResult, StreamExportConfig, StreamSinks, StreamedFleetResult,
+};
+use hide::obs::{export, Counter, HashingWriter, DEFAULT_TRACE_CAPACITY};
 use hide::policy::{lookup, registry_keys, WakePolicy};
 use hide_obs::{log_error, log_info, LogLevel};
 use hide_traces::scenario::Scenario;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -187,6 +213,14 @@ fn main() -> ExitCode {
     if profile_stages && trace_path.is_some() {
         log_error!("--profile-stages is incompatible with --trace");
         return ExitCode::FAILURE;
+    }
+    let stream_smoke = args.iter().any(|a| a == "--stream-smoke");
+    if stream_smoke || args.iter().any(|a| a == "--stream-export") {
+        if profile_stages {
+            log_error!("--stream-export is incompatible with --profile-stages");
+            return ExitCode::FAILURE;
+        }
+        return run_streamed(&args, &cfg, jobs, trace_path.as_deref(), stream_smoke);
     }
     let t0 = Instant::now();
     let result = if profile_stages {
@@ -352,14 +386,19 @@ fn report(result: &FleetResult, wall: f64) {
 /// Human-readable per-cause joule split of the attribution ledger.
 fn report_attribution(result: &FleetResult) {
     let ledger = result.attribution();
-    let t = ledger.totals();
+    print_attribution_totals(ledger.len(), &ledger.totals());
+}
+
+/// Shared body of [`report_attribution`]: the streamed path calls it
+/// with the accumulated totals instead of a materialized ledger.
+fn print_attribution_totals(lanes: usize, t: &ClientEnergy) {
     let j = |nj: u64| nj as f64 / 1e9;
     println!(
         "attribution: {} client lanes, spent {:.3} J  \
          [proper {:.3}  legacy {:.3}  spurious {:.3}  beacon {:.3}  \
          burst-rx {:.3}  refresh-tx {:.3}]",
-        ledger.len(),
-        j(ledger.spent_nj()),
+        lanes,
+        j(t.spent_nj()),
         j(t.proper_nj),
         j(t.legacy_nj),
         j(t.spurious_nj.total()),
@@ -376,6 +415,253 @@ fn report_attribution(result: &FleetResult) {
         j(t.missed_forgone_nj.port_churn),
         j(t.missed_forgone_nj.unknown),
     );
+}
+
+/// The out-of-core export path (`--stream-export` / `--stream-smoke`).
+fn run_streamed(
+    args: &[String],
+    cfg: &FleetConfig,
+    jobs: usize,
+    trace_path: Option<&str>,
+    smoke: bool,
+) -> ExitCode {
+    let mut stream = StreamExportConfig::new(
+        parse_flag::<PathBuf>(args, "--spill-dir").unwrap_or_else(std::env::temp_dir),
+    );
+    if let Some(n) = parse_flag(args, "--spill-chunk") {
+        stream.chunk_events = n;
+    }
+    if let Some(n) = parse_flag(args, "--stream-window") {
+        stream.window = n;
+    }
+    if let Some(n) = parse_flag(args, "--trace-cap") {
+        stream.trace_capacity = n;
+    }
+
+    // Attribution rows leave memory during the run, so the sink must
+    // be open before it starts.
+    let attr_path = parse_flag::<String>(args, "--attribution-out");
+    let mut attr_file = match &attr_path {
+        Some(path) => match File::create(path) {
+            Ok(f) => Some(BufWriter::new(f)),
+            Err(e) => {
+                log_error!("creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let attr_is_csv = attr_path.as_deref().is_some_and(|p| p.ends_with(".csv"));
+    let sinks = match (&mut attr_file, attr_is_csv) {
+        (Some(f), true) => StreamSinks {
+            attribution_csv: Some(f),
+            attribution_jsonl: None,
+        },
+        (Some(f), false) => StreamSinks {
+            attribution_csv: None,
+            attribution_jsonl: Some(f),
+        },
+        (None, _) => StreamSinks::default(),
+    };
+
+    let t0 = Instant::now();
+    let streamed = match cfg.try_run_streamed_with_jobs(jobs, &stream, sinks) {
+        Ok(s) => s,
+        Err(e) => {
+            log_error!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_wall = t0.elapsed().as_secs_f64();
+    if let Some(f) = attr_file.as_mut() {
+        if let Err(e) = f.flush() {
+            log_error!("flushing attribution sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &attr_path {
+        log_info!(
+            "attribution ledger streamed to {path} ({} client lanes)",
+            streamed.energy_clients
+        );
+    }
+
+    report(&streamed.result, run_wall);
+    if args.iter().any(|a| a == "--energy-attribution") {
+        print_attribution_totals(streamed.energy_clients, &streamed.energy_totals);
+    }
+    log_info!(
+        "streamed: {} events in {} spilled runs ({} bytes), {} dropped by ring bounds",
+        streamed.events(),
+        streamed.spill.runs.len(),
+        streamed.spill.bytes,
+        streamed.dropped(),
+    );
+
+    // Merge the spilled runs into the trace export. The smoke gate
+    // always streams the JSONL render (to a null sink when no --trace
+    // path is given) so the full merge+render path is exercised and
+    // content-hashed even without an output file.
+    let export_start = Instant::now();
+    let mut exported_events: Option<u64> = None;
+    let export_result: Result<(), hide::fleet::FleetError> = match trace_path {
+        Some(path) => match File::create(path) {
+            Ok(f) => {
+                let mut out = HashingWriter::new(BufWriter::new(f));
+                let written = if path.ends_with(".jsonl") {
+                    streamed.write_trace_jsonl(&mut out)
+                } else {
+                    streamed.write_chrome_trace(None, &mut out)
+                };
+                written
+                    .and_then(|n| {
+                        out.flush()
+                            .map_err(|e| hide::fleet::FleetError::Export(e.to_string()))?;
+                        Ok(n)
+                    })
+                    .map(|n| {
+                        exported_events = Some(n);
+                        log_info!(
+                            "trace streamed to {path} ({n} events, {} bytes, fnv1a64 {:016x})",
+                            out.bytes(),
+                            out.hash()
+                        );
+                    })
+            }
+            Err(e) => Err(hide::fleet::FleetError::Export(e.to_string())),
+        },
+        None if smoke => {
+            let mut out = HashingWriter::new(std::io::sink());
+            streamed.write_trace_jsonl(&mut out).map(|n| {
+                exported_events = Some(n);
+                log_info!(
+                    "trace jsonl hashed ({n} events, {} bytes, fnv1a64 {:016x})",
+                    out.bytes(),
+                    out.hash()
+                );
+            })
+        }
+        None => Ok(()),
+    };
+    if let Err(e) = export_result {
+        log_error!("{e}");
+        let _ = streamed.cleanup();
+        return ExitCode::FAILURE;
+    }
+    let export_wall = export_start.elapsed().as_secs_f64();
+
+    if let Some(path) = parse_flag::<String>(args, "--metrics") {
+        let rendered = if args.iter().any(|a| a == "--energy-attribution") {
+            streamed.metrics_json_with_energy()
+        } else {
+            streamed.result.metrics_json()
+        };
+        if let Err(e) = std::fs::write(&path, rendered) {
+            log_error!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        log_info!("metrics written to {path}");
+    }
+    if let Some(path) = parse_flag::<String>(args, "--summary") {
+        if let Err(e) = std::fs::write(&path, streamed.result.summary_json()) {
+            log_error!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        log_info!("summary written to {path}");
+    }
+
+    let code = if smoke {
+        stream_smoke_checks(&streamed, exported_events, run_wall + export_wall)
+    } else {
+        ExitCode::SUCCESS
+    };
+    if let Err(e) = streamed.cleanup() {
+        log_error!("removing spill file: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+/// Peak resident set of this process (`VmHWM`), in MiB. `None` when
+/// `/proc` is unavailable (non-Linux).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Metro-scale CI gate: bounded peak RSS and a streamed-throughput
+/// floor, thresholds from `golden/perf_floors.toml`.
+fn stream_smoke_checks(
+    streamed: &StreamedFleetResult,
+    exported_events: Option<u64>,
+    wall: f64,
+) -> ExitCode {
+    if let Some(n) = exported_events {
+        if n != streamed.events() {
+            log_error!(
+                "STREAM SMOKE FAIL: exported {n} events but spilled {}",
+                streamed.events()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let events_per_sec = streamed.result.report.events as f64 / wall.max(1e-9);
+    let floor = perf_floor("streamed_events_per_sec_floor");
+    log_info!(
+        "stream smoke: {:.0} kernel events/sec through run+export (floor {floor:.0})",
+        events_per_sec
+    );
+    if events_per_sec < floor {
+        log_error!(
+            "STREAM SMOKE FAIL: {events_per_sec:.0} events/sec below the \
+             {floor:.0} floor (golden/perf_floors.toml)"
+        );
+        return ExitCode::FAILURE;
+    }
+    match peak_rss_mb() {
+        Some(rss) => {
+            let ceiling = perf_floor("stream_peak_rss_mb_ceiling");
+            log_info!("stream smoke: peak RSS {rss:.0} MiB (ceiling {ceiling:.0})");
+            if rss > ceiling {
+                log_error!(
+                    "STREAM SMOKE FAIL: peak RSS {rss:.0} MiB exceeds the \
+                     {ceiling:.0} MiB ceiling (golden/perf_floors.toml)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        None => log_info!("stream smoke: /proc unavailable, skipping the RSS ceiling"),
+    }
+    log_info!("stream smoke: ok (bounded memory, throughput above floor)");
+    ExitCode::SUCCESS
+}
+
+/// Read one `key = value` number out of the checked-in perf-floor
+/// profile (flat TOML, comment-stripping line scan; path resolved from
+/// the crate manifest so the gate works from any working directory).
+fn perf_floor(key: &str) -> f64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../golden/perf_floors.toml");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == key {
+                return v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("parse {key} in {path}: {e}"));
+            }
+        }
+    }
+    panic!("{key} not found in {path}");
 }
 
 /// CI invariants: determinism across jobs counts and the loss-free

@@ -6,6 +6,7 @@
 //!           [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>]
 //!           [--policy NAME] [--device NAME]
 //!           [--energy-attribution] [--attribution-out <file>]
+//!           [--stream-export]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
@@ -43,6 +44,14 @@
 //! a failure audit (the fleet driver exercises the missed/spurious
 //! columns). `--attribution-out <file>` exports the per-client rows as
 //! CSV (`.csv`) or JSON Lines.
+//!
+//! `--stream-export` routes the `--trace` export through the
+//! out-of-core spill pipeline instead of rendering in memory: the
+//! flight-recorded events spill to a temp file in the framed
+//! `hide-spill/1` codec, then a k-way merge streams them into the
+//! JSONL/Chrome-trace writer. The output is byte-identical to the
+//! in-memory render — this knob exists to exercise the same code path
+//! the metro-scale fleet driver depends on, at reference-run scale.
 
 use hide::HideError;
 use hide_bench as harness;
@@ -256,7 +265,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
              fig6 fig7 fig8 fig9 fig10 fig11 fig12 host-costs ext policy \
              [--csv <dir>] [--jobs N] [--metrics <file.json>] [--trace <file>] \
              [--policy NAME] [--device NAME] \
-             [--energy-attribution] [--attribution-out <file>]"
+             [--energy-attribution] [--attribution-out <file>] [--stream-export]"
         )));
     }
 
@@ -269,17 +278,18 @@ fn run(args: &[String]) -> Result<(), Exit> {
         ProtocolSimulation::new(&traces[0], NEXUS_ONE, 0.10)
             .run_traced(&mut hide_obs::NoopSink, &mut flight)?;
         if let Some(path) = &trace_path {
-            let rendered = if path.extension().is_some_and(|e| e == "jsonl") {
-                export::to_jsonl(&flight)
+            let events = flight.len();
+            if args.iter().any(|a| a == "--stream-export") {
+                stream_trace_export(&flight, &recorder, path)?;
             } else {
-                export::to_chrome_trace(&flight, Some(&recorder))
-            };
-            std::fs::write(path, rendered).map_err(HideError::from)?;
-            println!(
-                "\ntrace written to {} ({} events)",
-                path.display(),
-                flight.len()
-            );
+                let rendered = if path.extension().is_some_and(|e| e == "jsonl") {
+                    export::to_jsonl(&flight)
+                } else {
+                    export::to_chrome_trace(&flight, Some(&recorder))
+                };
+                std::fs::write(path, rendered).map_err(HideError::from)?;
+            }
+            println!("\ntrace written to {} ({events} events)", path.display());
         }
         if energy_attr {
             // Trace join: per-client wake counts priced under the
@@ -328,6 +338,42 @@ fn run(args: &[String]) -> Result<(), Exit> {
         print!("{}", recorder.render_summary());
         println!("metrics json written to {}", path.display());
     }
+    Ok(())
+}
+
+/// `--stream-export` body: spill the flight-recorded events to a temp
+/// file in the `hide-spill/1` codec, then k-way-merge them back into a
+/// streaming JSONL / Chrome-trace render. Byte-identical to the
+/// in-memory export; the spill file is removed on success and on error.
+fn stream_trace_export(
+    flight: &FlightRecorder,
+    recorder: &Recorder,
+    path: &std::path::Path,
+) -> Result<(), Exit> {
+    use std::io::Write as _;
+    let to_io = |e: hide_obs::SpillError| std::io::Error::other(e.to_string());
+    let spill_path =
+        std::env::temp_dir().join(format!("hide-reproduce-spill-{}.bin", std::process::id()));
+    let run = || -> Result<(), std::io::Error> {
+        let mut writer = hide_obs::SpillWriter::create(&spill_path, 4096).map_err(to_io)?;
+        // Copy (not drain) so the later provenance join still sees the
+        // recorder's events.
+        let events: Vec<_> = flight.events().cloned().collect();
+        writer.write_run(&events, flight.dropped()).map_err(to_io)?;
+        drop(events);
+        let index = writer.finish().map_err(to_io)?;
+        let mut merge = index.merge().map_err(to_io)?;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            export::stream_jsonl(&mut merge, &mut out).map_err(to_io)?;
+        } else {
+            export::stream_chrome_trace(&mut merge, Some(recorder), &mut out).map_err(to_io)?;
+        }
+        out.flush()
+    };
+    let result = run();
+    let _ = std::fs::remove_file(&spill_path);
+    result.map_err(HideError::from)?;
     Ok(())
 }
 

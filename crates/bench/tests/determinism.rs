@@ -10,8 +10,8 @@
 
 use hide_bench as harness;
 use hide_energy::profile::NEXUS_ONE;
-use hide_fleet::{ChurnConfig, FleetConfig};
-use hide_obs::Recorder;
+use hide_fleet::{ChurnConfig, FleetConfig, StreamExportConfig, StreamSinks};
+use hide_obs::{HashingWriter, Recorder};
 use hide_sim::experiment::{self, PAPER_FRACTIONS};
 use hide_traces::scenario::Scenario;
 
@@ -210,4 +210,72 @@ fn fleet_runs_are_identical_across_job_counts() {
             "unattributed wakeup in trace: {line}"
         );
     }
+}
+
+/// Metro scale: the out-of-core pipeline inherits the determinism
+/// guarantee at 100k BSSes, where full goldens are too big to pin
+/// (the rendered trace alone is ~1.6 GB), so the gate is a content
+/// hash: the streamed JSONL render, the attribution CSV lane, and the
+/// energy-extended metrics document must be identical at `--jobs 1`
+/// and `--jobs 8`. Ignored by default — the workload needs a release
+/// build (CI runs it explicitly with `--ignored`); run locally with
+/// `cargo test --release -p hide-bench --test determinism -- --ignored`.
+#[test]
+#[ignore = "metro-scale workload; CI runs it in release with --ignored"]
+fn streamed_100k_bss_run_is_hash_identical_across_job_counts() {
+    let cfg = FleetConfig {
+        bss_count: 100_000,
+        clients_per_bss: 100,
+        duration_secs: 2.0,
+        seed: 42,
+        ..FleetConfig::default()
+    };
+
+    let run = |jobs: usize| {
+        let mut stream = StreamExportConfig::new(std::env::temp_dir());
+        stream.chunk_events = 1024;
+        let mut attr = HashingWriter::new(std::io::sink());
+        let streamed = cfg
+            .try_run_streamed_with_jobs(
+                jobs,
+                &stream,
+                StreamSinks {
+                    attribution_csv: Some(&mut attr),
+                    attribution_jsonl: None,
+                },
+            )
+            .expect("valid fleet config");
+        let mut trace = HashingWriter::new(std::io::sink());
+        let events = streamed
+            .write_trace_jsonl(&mut trace)
+            .expect("merge the spill file");
+        let metrics = streamed.metrics_json_with_energy();
+        let out = (
+            trace.hash(),
+            trace.bytes(),
+            attr.hash(),
+            attr.bytes(),
+            events,
+            streamed.dropped(),
+            metrics,
+        );
+        streamed.cleanup().expect("remove spill file");
+        out
+    };
+
+    let serial = run(1);
+    let parallel = run(8);
+    assert!(serial.4 > 1_000_000, "metro run logged too few events");
+    assert_eq!(
+        (serial.0, serial.1),
+        (parallel.0, parallel.1),
+        "streamed 100k-BSS trace hash differs between job counts"
+    );
+    assert_eq!(
+        (serial.2, serial.3),
+        (parallel.2, parallel.3),
+        "streamed 100k-BSS attribution hash differs between job counts"
+    );
+    assert_eq!(serial.5, parallel.5, "drop accounting differs");
+    assert_eq!(serial.6, parallel.6, "metrics JSON differs");
 }

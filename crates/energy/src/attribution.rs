@@ -419,34 +419,9 @@ impl AttributionLedger {
     /// appear in fixed order, so the output is deterministic.
     #[must_use]
     pub fn to_metrics_section(&self) -> String {
-        let t = self.totals();
-        format!(
-            "{{\"clients\": {}, \"proper_wake_nj\": {}, \"legacy_wake_nj\": {}, \
-             \"spurious_wake_nj\": {}, \"spurious_refresh_lost_nj\": {}, \
-             \"spurious_entry_expired_nj\": {}, \"spurious_port_churn_nj\": {}, \
-             \"spurious_unknown_nj\": {}, \"missed_forgone_nj\": {}, \
-             \"missed_refresh_lost_nj\": {}, \"missed_entry_expired_nj\": {}, \
-             \"missed_port_churn_nj\": {}, \"missed_unknown_nj\": {}, \
-             \"beacon_nj\": {}, \"burst_rx_nj\": {}, \"refresh_tx_nj\": {}, \
-             \"spent_nj\": {}}}",
-            self.len(),
-            t.proper_nj,
-            t.legacy_nj,
-            t.spurious_nj.total(),
-            t.spurious_nj.refresh_lost,
-            t.spurious_nj.entry_expired,
-            t.spurious_nj.port_churn,
-            t.spurious_nj.unknown,
-            t.missed_forgone_nj.total(),
-            t.missed_forgone_nj.refresh_lost,
-            t.missed_forgone_nj.entry_expired,
-            t.missed_forgone_nj.port_churn,
-            t.missed_forgone_nj.unknown,
-            t.beacon_nj,
-            t.burst_rx_nj,
-            t.refresh_tx_nj,
-            self.spent_nj(),
-        )
+        // `totals().spent_nj()` equals the row-wise `spent_nj()` sum
+        // exactly: both are the same `u64` additions reassociated.
+        metrics_section_for(&self.totals(), self.len())
     }
 
     /// Renders the per-client rows as CSV (header + one line per lane),
@@ -454,23 +429,9 @@ impl AttributionLedger {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(64 + self.rows.len() * 96);
-        out.push_str(
-            "source,aid,proper_nj,legacy_nj,spurious_nj,missed_forgone_nj,\
-             beacon_nj,burst_rx_nj,refresh_tx_nj,spent_nj\n",
-        );
-        for ((source, aid), e) in &self.rows {
-            let _ = writeln!(
-                out,
-                "{source},{aid},{},{},{},{},{},{},{},{}",
-                e.proper_nj,
-                e.legacy_nj,
-                e.spurious_nj.total(),
-                e.missed_forgone_nj.total(),
-                e.beacon_nj,
-                e.burst_rx_nj,
-                e.refresh_tx_nj,
-                e.spent_nj()
-            );
+        out.push_str(ATTRIBUTION_CSV_HEADER);
+        for (key, e) in &self.rows {
+            write_csv_row(&mut out, *key, e);
         }
         out
     }
@@ -480,32 +441,99 @@ impl AttributionLedger {
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.rows.len() * 256);
-        for ((source, aid), e) in &self.rows {
-            let _ = writeln!(
-                out,
-                "{{\"source\":{source},\"aid\":{aid},\"proper_nj\":{},\"legacy_nj\":{},\
-                 \"spurious\":{{\"refresh_lost\":{},\"entry_expired\":{},\"port_churn\":{},\
-                 \"unknown\":{}}},\"missed_forgone\":{{\"refresh_lost\":{},\
-                 \"entry_expired\":{},\"port_churn\":{},\"unknown\":{}}},\"beacon_nj\":{},\
-                 \"burst_rx_nj\":{},\"refresh_tx_nj\":{},\"spent_nj\":{}}}",
-                e.proper_nj,
-                e.legacy_nj,
-                e.spurious_nj.refresh_lost,
-                e.spurious_nj.entry_expired,
-                e.spurious_nj.port_churn,
-                e.spurious_nj.unknown,
-                e.missed_forgone_nj.refresh_lost,
-                e.missed_forgone_nj.entry_expired,
-                e.missed_forgone_nj.port_churn,
-                e.missed_forgone_nj.unknown,
-                e.beacon_nj,
-                e.burst_rx_nj,
-                e.refresh_tx_nj,
-                e.spent_nj()
-            );
+        for (key, e) in &self.rows {
+            write_jsonl_row(&mut out, *key, e);
         }
         out
     }
+}
+
+/// Header line of the attribution CSV export (trailing newline
+/// included).
+pub const ATTRIBUTION_CSV_HEADER: &str =
+    "source,aid,proper_nj,legacy_nj,spurious_nj,missed_forgone_nj,\
+     beacon_nj,burst_rx_nj,refresh_tx_nj,spent_nj\n";
+
+/// Renders one attribution CSV row (trailing newline included) — the
+/// shared renderer behind [`AttributionLedger::to_csv`] and the
+/// streamed export lane, so both paths emit identical bytes per row.
+pub fn write_csv_row(out: &mut String, (source, aid): ClientKey, e: &ClientEnergy) {
+    let _ = writeln!(
+        out,
+        "{source},{aid},{},{},{},{},{},{},{},{}",
+        e.proper_nj,
+        e.legacy_nj,
+        e.spurious_nj.total(),
+        e.missed_forgone_nj.total(),
+        e.beacon_nj,
+        e.burst_rx_nj,
+        e.refresh_tx_nj,
+        e.spent_nj()
+    );
+}
+
+/// Renders one attribution JSONL row (trailing newline included) — the
+/// shared renderer behind [`AttributionLedger::to_jsonl`] and the
+/// streamed export lane.
+pub fn write_jsonl_row(out: &mut String, (source, aid): ClientKey, e: &ClientEnergy) {
+    let _ = writeln!(
+        out,
+        "{{\"source\":{source},\"aid\":{aid},\"proper_nj\":{},\"legacy_nj\":{},\
+         \"spurious\":{{\"refresh_lost\":{},\"entry_expired\":{},\"port_churn\":{},\
+         \"unknown\":{}}},\"missed_forgone\":{{\"refresh_lost\":{},\
+         \"entry_expired\":{},\"port_churn\":{},\"unknown\":{}}},\"beacon_nj\":{},\
+         \"burst_rx_nj\":{},\"refresh_tx_nj\":{},\"spent_nj\":{}}}",
+        e.proper_nj,
+        e.legacy_nj,
+        e.spurious_nj.refresh_lost,
+        e.spurious_nj.entry_expired,
+        e.spurious_nj.port_churn,
+        e.spurious_nj.unknown,
+        e.missed_forgone_nj.refresh_lost,
+        e.missed_forgone_nj.entry_expired,
+        e.missed_forgone_nj.port_churn,
+        e.missed_forgone_nj.unknown,
+        e.beacon_nj,
+        e.burst_rx_nj,
+        e.refresh_tx_nj,
+        e.spent_nj()
+    );
+}
+
+/// Renders the `"energy"` metrics section from already-accumulated
+/// totals and a lane count — the streamed fleet path accumulates
+/// `ClientEnergy` totals shard by shard (exact `u64` addition) instead
+/// of materializing the fleet-wide ledger, then renders through the
+/// same formatter as [`AttributionLedger::to_metrics_section`].
+#[must_use]
+pub fn metrics_section_for(t: &ClientEnergy, clients: usize) -> String {
+    format!(
+        "{{\"clients\": {}, \"proper_wake_nj\": {}, \"legacy_wake_nj\": {}, \
+         \"spurious_wake_nj\": {}, \"spurious_refresh_lost_nj\": {}, \
+         \"spurious_entry_expired_nj\": {}, \"spurious_port_churn_nj\": {}, \
+         \"spurious_unknown_nj\": {}, \"missed_forgone_nj\": {}, \
+         \"missed_refresh_lost_nj\": {}, \"missed_entry_expired_nj\": {}, \
+         \"missed_port_churn_nj\": {}, \"missed_unknown_nj\": {}, \
+         \"beacon_nj\": {}, \"burst_rx_nj\": {}, \"refresh_tx_nj\": {}, \
+         \"spent_nj\": {}}}",
+        clients,
+        t.proper_nj,
+        t.legacy_nj,
+        t.spurious_nj.total(),
+        t.spurious_nj.refresh_lost,
+        t.spurious_nj.entry_expired,
+        t.spurious_nj.port_churn,
+        t.spurious_nj.unknown,
+        t.missed_forgone_nj.total(),
+        t.missed_forgone_nj.refresh_lost,
+        t.missed_forgone_nj.entry_expired,
+        t.missed_forgone_nj.port_churn,
+        t.missed_forgone_nj.unknown,
+        t.beacon_nj,
+        t.burst_rx_nj,
+        t.refresh_tx_nj,
+        t.spent_nj(),
+    )
 }
 
 #[cfg(test)]
@@ -708,5 +736,34 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.contains("\"missed_forgone\":{\"refresh_lost\":148468000"));
         assert_eq!(l.to_csv(), l.clone().to_csv());
+    }
+
+    #[test]
+    fn streamed_lane_renderers_match_ledger_exports() {
+        // The streamed fleet path emits header + rows shard by shard and
+        // accumulates totals instead of building the fleet ledger; both
+        // must be byte-equal to the in-memory ledger exports.
+        let mut l = AttributionLedger::new();
+        l.entry((0, 1)).proper_nj = 160_920_000;
+        l.entry((0, 3)).spurious_nj.port_churn = 321_840_000;
+        l.entry((2, 1)).missed_forgone_nj.unknown = 148_468_000;
+        l.entry((2, 1)).beacon_nj = 1_250_000;
+
+        let mut csv = String::from(ATTRIBUTION_CSV_HEADER);
+        let mut jsonl = String::new();
+        let mut totals = ClientEnergy::default();
+        let mut clients = 0usize;
+        for (key, e) in l.rows() {
+            write_csv_row(&mut csv, *key, e);
+            write_jsonl_row(&mut jsonl, *key, e);
+            totals.merge_from(e);
+            clients += 1;
+        }
+        assert_eq!(csv, l.to_csv());
+        assert_eq!(jsonl, l.to_jsonl());
+        assert_eq!(
+            metrics_section_for(&totals, clients),
+            l.to_metrics_section()
+        );
     }
 }

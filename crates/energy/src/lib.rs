@@ -57,7 +57,10 @@ pub mod profile;
 pub mod radio;
 pub mod timeline;
 
-pub use attribution::{AttributionLedger, CauseEnergy, ClientEnergy, WakePricing};
+pub use attribution::{
+    metrics_section_for, write_csv_row, write_jsonl_row, AttributionLedger, CauseEnergy,
+    ClientEnergy, WakePricing, ATTRIBUTION_CSV_HEADER,
+};
 pub use breakdown::{EnergyBreakdown, EnergyReport};
 pub use fsm::{RadioState, Transition, TransitionTable};
 pub use profile::{DeviceProfile, DeviceProfileBuilder};

@@ -43,6 +43,10 @@ pub enum FleetError {
     NoPorts,
     /// The HIDE protocol layer rejected an operation mid-run.
     Core(CoreError),
+    /// The out-of-core export pipeline failed: spill-file I/O, a codec
+    /// decode error, or a sink write. Carries the rendered cause
+    /// (`FleetError` is `Clone`; `io::Error` is not).
+    Export(String),
 }
 
 impl fmt::Display for FleetError {
@@ -69,6 +73,7 @@ impl fmt::Display for FleetError {
             ),
             FleetError::NoPorts => write!(f, "clients must listen on at least one port"),
             FleetError::Core(e) => write!(f, "protocol failure during fleet run: {e}"),
+            FleetError::Export(msg) => write!(f, "streamed export failed: {msg}"),
         }
     }
 }
@@ -85,6 +90,12 @@ impl std::error::Error for FleetError {
 impl From<CoreError> for FleetError {
     fn from(e: CoreError) -> Self {
         FleetError::Core(e)
+    }
+}
+
+impl From<hide_obs::SpillError> for FleetError {
+    fn from(e: hide_obs::SpillError) -> Self {
+        FleetError::Export(e.to_string())
     }
 }
 
@@ -111,6 +122,7 @@ mod tests {
                 refresh_interval_secs: 5.0,
             },
             FleetError::NoPorts,
+            FleetError::Export("spill file truncated at byte 9".into()),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
@@ -119,5 +131,10 @@ mod tests {
         let wrapped = FleetError::from(CoreError::NoFreeAid);
         assert!(wrapped.to_string().contains("protocol failure"));
         assert!(std::error::Error::source(&wrapped).is_some());
+        let spill = FleetError::from(hide_obs::SpillError::Truncated { offset: 9 });
+        assert_eq!(
+            spill,
+            FleetError::Export("spill file truncated at byte 9".into())
+        );
     }
 }

@@ -12,11 +12,17 @@ use crate::bss::{run_bss, run_bss_profiled, run_bss_traced, BssReport};
 use crate::churn::ChurnConfig;
 use crate::error::FleetError;
 use crate::profile::{FleetStage, StageProfile, StageProfiler};
+use hide_energy::attribution::{
+    metrics_section_for, write_csv_row, write_jsonl_row, ClientEnergy, ATTRIBUTION_CSV_HEADER,
+};
 use hide_energy::battery::Battery;
 use hide_energy::profile::{DeviceProfile, NEXUS_ONE};
+use hide_obs::spill::{SpillIndex, SpillWriter};
 use hide_obs::{FlightRecorder, Recorder, Stage};
 use hide_policy::{LifetimeProjection, WakePolicy};
 use hide_traces::scenario::Scenario;
+use std::io;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Full description of a fleet experiment.
@@ -223,6 +229,314 @@ impl FleetConfig {
             .unwrap_or_else(|| FlightRecorder::with_capacity(capacity));
         recorder.add_span(Stage::FleetMerge, merge_start.elapsed().as_nanos() as u64);
         Ok((FleetResult::assemble(self, report, recorder), flight))
+    }
+
+    /// [`try_run_traced_with_jobs`](Self::try_run_traced_with_jobs)
+    /// rebuilt for metro scale: instead of holding every shard's
+    /// flight log and attribution rows until the end, the fleet runs
+    /// in **windows** of consecutive BSS indices. Each window fans out
+    /// over `jobs` workers, its logs are tree-folded and appended to a
+    /// spill file as one sorted run ([`SpillWriter`]), and its
+    /// attribution rows stream straight into the optional `sinks`
+    /// (shard keys are disjoint and ascending, so concatenation equals
+    /// the merged ledger's export). Resident memory is bounded by the
+    /// window — not the fleet — and the trace exports are produced
+    /// afterwards by a chunked k-way merge over the spilled runs
+    /// ([`StreamedFleetResult::write_trace_jsonl`]).
+    ///
+    /// Determinism: `(time, source, seq)` is a strict total order, so
+    /// the k-way merge pops the same sequence the in-memory tree fold
+    /// produces, at any `jobs`, window, or chunk size — every exported
+    /// byte matches the in-memory path (pinned by
+    /// `crates/bench/tests/stream_differential.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error before any work starts, the first
+    /// (lowest-index) shard's protocol failure, or a
+    /// [`FleetError::Export`] if spilling or a sink write fails. The
+    /// spill file is removed on error.
+    pub fn try_run_streamed_with_jobs(
+        &self,
+        jobs: usize,
+        stream: &StreamExportConfig,
+        mut sinks: StreamSinks<'_>,
+    ) -> Result<StreamedFleetResult, FleetError> {
+        self.validate()?;
+        std::fs::create_dir_all(&stream.spill_dir).map_err(export_err)?;
+        let spill_path = stream.spill_dir.join(unique_spill_name());
+        let out = self.run_streamed_inner(jobs, stream, &mut sinks, &spill_path);
+        if out.is_err() {
+            let _ = std::fs::remove_file(&spill_path);
+        }
+        out
+    }
+
+    fn run_streamed_inner(
+        &self,
+        jobs: usize,
+        stream: &StreamExportConfig,
+        sinks: &mut StreamSinks<'_>,
+        spill_path: &std::path::Path,
+    ) -> Result<StreamedFleetResult, FleetError> {
+        let window = if stream.window == 0 {
+            (4 * jobs.max(1)).max(64)
+        } else {
+            stream.window.max(1)
+        };
+        let capacity = stream.trace_capacity.max(1);
+        let mut writer = SpillWriter::create(spill_path, stream.chunk_events)?;
+
+        let mut report = BssReport::default();
+        let mut recorder = Recorder::new();
+        let mut totals = ClientEnergy::default();
+        let mut clients = 0usize;
+        let mut lane = String::with_capacity(4096);
+        let mut merge_nanos = 0u64;
+
+        if let Some(csv) = sinks.attribution_csv.as_deref_mut() {
+            csv.write_all(ATTRIBUTION_CSV_HEADER.as_bytes())
+                .map_err(export_err)?;
+        }
+
+        let mut start = 0usize;
+        while start < self.bss_count {
+            let end = (start + window).min(self.bss_count);
+            let indices: Vec<usize> = (start..end).collect();
+            let shards = hide_par::par_map_jobs(jobs, &indices, |_, &i| {
+                let mut flight = FlightRecorder::with_capacity(capacity);
+                flight.set_source(i as u32);
+                run_bss_traced(self, i, &mut flight).map(|(bss, rec)| (bss, rec, flight))
+            });
+
+            let merge_start = Instant::now();
+            let mut logs = Vec::with_capacity(indices.len());
+            for shard in shards {
+                let (mut bss, rec, shard_flight) = shard?;
+                // Stream the shard's attribution rows out instead of
+                // accumulating the fleet-wide ledger: row keys are
+                // `(bss_index, aid)`, disjoint and ascending across
+                // shards, so appending per shard yields the exact rows
+                // (and bytes) the merged ledger would export.
+                let attribution = std::mem::take(&mut bss.attribution);
+                lane.clear();
+                for (key, e) in attribution.rows() {
+                    if sinks.attribution_csv.is_some() {
+                        write_csv_row(&mut lane, *key, e);
+                    }
+                    totals.merge_from(e);
+                    clients += 1;
+                }
+                if let Some(csv) = sinks.attribution_csv.as_deref_mut() {
+                    csv.write_all(lane.as_bytes()).map_err(export_err)?;
+                }
+                if let Some(jsonl) = sinks.attribution_jsonl.as_deref_mut() {
+                    lane.clear();
+                    for (key, e) in attribution.rows() {
+                        write_jsonl_row(&mut lane, *key, e);
+                    }
+                    jsonl.write_all(lane.as_bytes()).map_err(export_err)?;
+                }
+                report.merge_from(&bss);
+                recorder.merge_from(&rec);
+                logs.push(shard_flight);
+            }
+            // Tree-fold the window's logs (same fold as the in-memory
+            // path) and append the window as one sorted run. The fold
+            // never drops, so the run carries exactly the window's
+            // events plus the sum of its shards' ring-bound drops.
+            while logs.len() > 1 {
+                let mut next = Vec::with_capacity(logs.len().div_ceil(2));
+                let mut halves = logs.into_iter();
+                while let Some(mut left) = halves.next() {
+                    if let Some(right) = halves.next() {
+                        left.merge_from(&right);
+                    }
+                    next.push(left);
+                }
+                logs = next;
+            }
+            let mut folded = logs
+                .pop()
+                .unwrap_or_else(|| FlightRecorder::with_capacity(capacity));
+            let (events, dropped) = folded.take_spill_chunk();
+            writer.write_run(&events, dropped)?;
+            merge_nanos += merge_start.elapsed().as_nanos() as u64;
+            start = end;
+        }
+        let spill = writer.finish()?;
+        // One FleetMerge span, exactly like the in-memory paths — the
+        // artifact serializes stage *call counts*, so the streamed
+        // metrics JSON must record the same single merge stage.
+        recorder.add_span(Stage::FleetMerge, merge_nanos);
+        Ok(StreamedFleetResult {
+            result: FleetResult::assemble(self, report, recorder),
+            spill,
+            energy_totals: totals,
+            energy_clients: clients,
+        })
+    }
+}
+
+/// Knobs of the out-of-core streamed export
+/// ([`FleetConfig::try_run_streamed_with_jobs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamExportConfig {
+    /// Directory the spill file is created in (created if missing).
+    pub spill_dir: PathBuf,
+    /// Events per framed spill chunk — the unit of both write
+    /// batching and merge-time residency (the k-way merge holds one
+    /// decoded chunk per run).
+    pub chunk_events: usize,
+    /// Consecutive BSS shards per window: the bound on resident shard
+    /// state, and the number of runs is `ceil(bss_count / window)`.
+    /// `0` picks `max(64, 4 × jobs)`.
+    pub window: usize,
+    /// Per-shard flight-recorder ring capacity (events retained before
+    /// the oldest drop), as in
+    /// [`try_run_traced_with_jobs`](FleetConfig::try_run_traced_with_jobs).
+    pub trace_capacity: usize,
+}
+
+impl StreamExportConfig {
+    /// Defaults for everything but the spill directory.
+    #[must_use]
+    pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
+        StreamExportConfig {
+            spill_dir: spill_dir.into(),
+            chunk_events: 1024,
+            window: 0,
+            trace_capacity: hide_obs::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// Optional writers the streamed run feeds *during* execution — the
+/// attribution lanes, whose rows leave memory shard by shard.
+#[derive(Default)]
+pub struct StreamSinks<'a> {
+    /// Destination for the attribution CSV (header + one row per
+    /// client lane), byte-identical to
+    /// [`AttributionLedger::to_csv`](hide_energy::AttributionLedger::to_csv).
+    pub attribution_csv: Option<&'a mut dyn io::Write>,
+    /// Destination for the attribution JSONL, byte-identical to
+    /// [`AttributionLedger::to_jsonl`](hide_energy::AttributionLedger::to_jsonl).
+    pub attribution_jsonl: Option<&'a mut dyn io::Write>,
+}
+
+fn export_err(e: io::Error) -> FleetError {
+    FleetError::Export(e.to_string())
+}
+
+fn unique_spill_name() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("hide-spill-{}-{n}.bin", std::process::id())
+}
+
+/// Outcome of a streamed fleet run: the aggregate scalars and metrics
+/// of a [`FleetResult`], plus the spilled trace runs the exporters
+/// stream from and the energy totals accumulated in place of the
+/// fleet-wide ledger.
+///
+/// `result.report.attribution` is intentionally **empty** — the rows
+/// left memory through the [`StreamSinks`] as the fleet ran. Use
+/// [`metrics_json_with_energy`](Self::metrics_json_with_energy) (not
+/// `result.metrics_json_with_energy()`) so the energy section renders
+/// from the accumulated totals.
+#[derive(Debug)]
+pub struct StreamedFleetResult {
+    /// The assembled fleet result (attribution ledger empty; see the
+    /// struct docs).
+    pub result: FleetResult,
+    /// Index over the spilled trace runs; one file on disk.
+    pub spill: SpillIndex,
+    /// Field-wise sum of every streamed attribution row.
+    pub energy_totals: ClientEnergy,
+    /// Number of streamed attribution rows (client lanes).
+    pub energy_clients: usize,
+}
+
+impl StreamedFleetResult {
+    /// Ring-bound drops across the whole fleet — the sum every spilled
+    /// run carried, equal to the in-memory merged recorder's
+    /// [`dropped`](FlightRecorder::dropped).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.spill.total_dropped()
+    }
+
+    /// Trace events spilled across the whole fleet.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.spill.total_events()
+    }
+
+    /// The `"energy"` metrics section rendered from the accumulated
+    /// totals — byte-identical to the in-memory ledger's
+    /// [`to_metrics_section`](hide_energy::AttributionLedger::to_metrics_section).
+    #[must_use]
+    pub fn energy_metrics_section(&self) -> String {
+        metrics_section_for(&self.energy_totals, self.energy_clients)
+    }
+
+    /// The spliced `hide-metrics/1` document, byte-identical to the
+    /// in-memory path's
+    /// [`metrics_json_with_energy`](FleetResult::metrics_json_with_energy).
+    #[must_use]
+    pub fn metrics_json_with_energy(&self) -> String {
+        let energy = self.energy_metrics_section();
+        let policy = self.result.policy_metrics_section();
+        let battery = self.result.lifetime.to_metrics_section();
+        self.result.recorder.to_json_with_sections(&[
+            ("energy", &energy),
+            ("policy", &policy),
+            ("battery", &battery),
+        ])
+    }
+
+    /// Streams the merged trace as JSON Lines into `out`, holding one
+    /// decoded chunk per spilled run. Byte-identical to
+    /// [`hide_obs::export::to_jsonl`] over the in-memory merged log.
+    /// Returns the number of events written. Callable repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Decode or I/O failures surface as [`FleetError::Export`].
+    pub fn write_trace_jsonl<W: io::Write>(&self, out: &mut W) -> Result<u64, FleetError> {
+        let mut merge = self.spill.merge()?;
+        Ok(hide_obs::export::stream_jsonl(&mut merge, out)?)
+    }
+
+    /// Streams the merged trace in Chrome trace format into `out` (see
+    /// [`hide_obs::export::to_chrome_trace`] for the `stages` caveat).
+    /// Returns the number of simulation events written. Callable
+    /// repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Decode or I/O failures surface as [`FleetError::Export`].
+    pub fn write_chrome_trace<W: io::Write>(
+        &self,
+        stages: Option<&Recorder>,
+        out: &mut W,
+    ) -> Result<u64, FleetError> {
+        let mut merge = self.spill.merge()?;
+        Ok(hide_obs::export::stream_chrome_trace(
+            &mut merge, stages, out,
+        )?)
+    }
+
+    /// Deletes the spill file. Call when every export has been
+    /// written; dropping the result does *not* remove it (callers may
+    /// want the file for post-hoc analysis).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failure surfaces as [`FleetError::Export`].
+    pub fn cleanup(&self) -> Result<(), FleetError> {
+        std::fs::remove_file(&self.spill.path).map_err(export_err)
     }
 }
 
@@ -533,6 +847,61 @@ mod tests {
         assert!(result.fleet_saving > 0.0 && result.fleet_saving < 1.0);
         assert!(result.port_message_airtime_share > 0.0);
         assert!(result.port_message_airtime_share < 0.05);
+    }
+
+    #[test]
+    fn streamed_run_matches_in_memory_exports_byte_for_byte() {
+        let mut cfg = small();
+        cfg.churn.refresh_loss = 0.3;
+        let capacity = 1 << 14;
+        let (mem, flight) = cfg.try_run_traced_with_jobs(2, capacity).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("hide-stream-unit-{}", std::process::id()));
+        let mut stream = StreamExportConfig::new(&dir);
+        stream.trace_capacity = capacity;
+        stream.window = 2; // force several runs
+        stream.chunk_events = 3; // force many chunks per run
+        let mut csv = Vec::new();
+        let mut jsonl = Vec::new();
+        let streamed = cfg
+            .try_run_streamed_with_jobs(
+                3,
+                &stream,
+                StreamSinks {
+                    attribution_csv: Some(&mut csv),
+                    attribution_jsonl: Some(&mut jsonl),
+                },
+            )
+            .unwrap();
+
+        // Attribution lanes: streamed concatenation == merged ledger.
+        assert_eq!(csv, mem.attribution().to_csv().into_bytes());
+        assert_eq!(jsonl, mem.attribution().to_jsonl().into_bytes());
+
+        // Trace exports: k-way merge over spilled runs == tree fold.
+        let mut out = Vec::new();
+        streamed.write_trace_jsonl(&mut out).unwrap();
+        assert_eq!(out, hide_obs::export::to_jsonl(&flight).into_bytes());
+        let mut out = Vec::new();
+        streamed.write_chrome_trace(None, &mut out).unwrap();
+        assert_eq!(
+            out,
+            hide_obs::export::to_chrome_trace(&flight, None).into_bytes()
+        );
+
+        // Metrics and scalars: identical artifact, identical drops.
+        assert_eq!(
+            streamed.metrics_json_with_energy(),
+            mem.metrics_json_with_energy()
+        );
+        assert_eq!(streamed.result.summary_json(), mem.summary_json());
+        assert_eq!(streamed.dropped(), flight.dropped());
+        assert_eq!(streamed.events(), flight.len() as u64);
+        assert!(streamed.result.report.attribution.is_empty());
+
+        streamed.cleanup().unwrap();
+        assert!(!streamed.spill.path.exists());
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

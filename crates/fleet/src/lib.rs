@@ -75,7 +75,7 @@ pub mod profile;
 pub use bss::BssReport;
 pub use churn::ChurnConfig;
 pub use error::FleetError;
-pub use fleet::{FleetConfig, FleetResult};
+pub use fleet::{FleetConfig, FleetResult, StreamExportConfig, StreamSinks, StreamedFleetResult};
 pub use hide_policy::{ScheduleConfig, WakePolicy};
 pub use kernel::{derive_seed, EventQueue, HeapEventQueue};
 pub use profile::{FleetStage, NoopProfiler, StageProfile, StageProfiler};

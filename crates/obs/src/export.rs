@@ -7,10 +7,23 @@
 //! counts; the Chrome export can optionally append wall-clock stage
 //! spans from a [`Recorder`], which makes it informative but
 //! non-deterministic — pass `None` when determinism matters.
+//!
+//! Each format has two entry points sharing one per-event renderer:
+//! the in-memory functions ([`to_jsonl`], [`to_chrome_trace`]) take a
+//! merged recorder and return a `String`, while the streaming
+//! functions ([`stream_jsonl`], [`stream_chrome_trace`]) pull from any
+//! [`EventSource`] — typically a [`KWayMerge`](crate::spill::KWayMerge)
+//! over spilled runs — and push straight into an [`io::Write`],
+//! holding one event at a time. Because both paths render through the
+//! same helpers, their output is byte-identical for the same event
+//! sequence; the differential battery in
+//! `crates/bench/tests/stream_differential.rs` pins this.
 
 use std::fmt::Write as _;
+use std::io;
 
 use crate::recorder::Recorder;
+use crate::spill::{EventSource, SpillError};
 use crate::trace::{FlightRecorder, TraceEvent, TraceEventKind};
 use crate::Stage;
 
@@ -78,88 +91,111 @@ pub fn to_jsonl(rec: &FlightRecorder) -> String {
     out
 }
 
+/// Streams a sorted event source as JSON Lines into `out`, one event
+/// resident at a time. Renders through the same helper as
+/// [`to_jsonl`], so for the same event sequence the bytes are
+/// identical. Returns the number of events written.
+///
+/// # Errors
+///
+/// Propagates the source's decode failures and the writer's I/O
+/// failures as [`SpillError`].
+pub fn stream_jsonl<S, W>(src: &mut S, out: &mut W) -> Result<u64, SpillError>
+where
+    S: EventSource,
+    W: io::Write,
+{
+    let mut line = String::with_capacity(160);
+    let mut count = 0u64;
+    while let Some(e) = src.next_event()? {
+        line.clear();
+        write_event_jsonl(&mut line, &e);
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+        count += 1;
+    }
+    Ok(count)
+}
+
 /// Simulation seconds → Chrome-trace microsecond timestamps.
 fn sim_micros(time: f64) -> u64 {
     (time * 1e6).round() as u64
 }
 
-/// Serializes the event log in the Chrome trace event format (load it
-/// in `chrome://tracing` or Perfetto).
-///
-/// Simulation-time events render as instant events (`ph:"i"`) on
-/// process 1, one thread track per source lane. When `stages` is
-/// given, its wall-clock span timers render as complete events
-/// (`ph:"X"`) laid out sequentially on process 2 — useful for eyeballing
-/// where an experiment run spent its time, but wall-clock and therefore
-/// not deterministic. Pass `None` for byte-stable output.
-#[must_use]
-pub fn to_chrome_trace(rec: &FlightRecorder, stages: Option<&Recorder>) -> String {
-    let mut out = String::with_capacity(rec.len() * 144 + 512);
+/// Renders the Chrome-trace opening: header plus process-name
+/// metadata (and the stages process when present).
+fn write_chrome_prelude(out: &mut String, with_stages: bool) {
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
          \"args\":{\"name\":\"simulation (sim time)\"}}",
     );
-    if stages.is_some() {
+    if with_stages {
         out.push_str(
             ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
              \"args\":{\"name\":\"stages (wall clock)\"}}",
         );
     }
+}
 
-    for e in rec.events() {
-        out.push_str(",\n");
-        let name: String = match e.kind {
-            TraceEventKind::WakeDecision { class, .. } => format!("wake:{}", class.name()),
-            _ => e.kind.name().to_string(),
-        };
-        let _ = write!(
-            out,
-            "{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\
-             \"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
-            e.source,
-            sim_micros(e.time)
-        );
-        match e.kind {
-            TraceEventKind::DtimBoundary {
-                buffered,
-                table_entries,
-            } => {
-                let _ = write!(
-                    out,
-                    "\"buffered\":{buffered},\"table_entries\":{table_entries}"
-                );
-            }
-            TraceEventKind::BtimEmitted { bytes, bits_set } => {
-                let _ = write!(out, "\"bytes\":{bytes},\"bits_set\":{bits_set}");
-            }
-            TraceEventKind::WakeDecision {
-                aid,
-                port,
-                frame_id,
-                cause,
-                ..
-            } => {
-                let _ = write!(
-                    out,
-                    "\"aid\":{aid},\"port\":{port},\"frame\":{frame_id},\"cause\":\"{}\"",
-                    cause.name()
-                );
-            }
-            TraceEventKind::Join { aid, hide } => {
-                let _ = write!(out, "\"aid\":{aid},\"hide\":{hide}");
-            }
-            TraceEventKind::RefreshApplied { aid }
-            | TraceEventKind::RefreshLost { aid }
-            | TraceEventKind::PortChurn { aid }
-            | TraceEventKind::EntryExpired { aid }
-            | TraceEventKind::Leave { aid } => {
-                let _ = write!(out, "\"aid\":{aid}");
-            }
+/// Renders one simulation event as a Chrome instant event, with its
+/// leading `",\n"` separator.
+fn write_event_chrome(out: &mut String, e: &TraceEvent) {
+    out.push_str(",\n");
+    let name: String = match e.kind {
+        TraceEventKind::WakeDecision { class, .. } => format!("wake:{}", class.name()),
+        _ => e.kind.name().to_string(),
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\
+         \"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
+        e.source,
+        sim_micros(e.time)
+    );
+    match e.kind {
+        TraceEventKind::DtimBoundary {
+            buffered,
+            table_entries,
+        } => {
+            let _ = write!(
+                out,
+                "\"buffered\":{buffered},\"table_entries\":{table_entries}"
+            );
         }
-        out.push_str("}}");
+        TraceEventKind::BtimEmitted { bytes, bits_set } => {
+            let _ = write!(out, "\"bytes\":{bytes},\"bits_set\":{bits_set}");
+        }
+        TraceEventKind::WakeDecision {
+            aid,
+            port,
+            frame_id,
+            cause,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "\"aid\":{aid},\"port\":{port},\"frame\":{frame_id},\"cause\":\"{}\"",
+                cause.name()
+            );
+        }
+        TraceEventKind::Join { aid, hide } => {
+            let _ = write!(out, "\"aid\":{aid},\"hide\":{hide}");
+        }
+        TraceEventKind::RefreshApplied { aid }
+        | TraceEventKind::RefreshLost { aid }
+        | TraceEventKind::PortChurn { aid }
+        | TraceEventKind::EntryExpired { aid }
+        | TraceEventKind::Leave { aid } => {
+            let _ = write!(out, "\"aid\":{aid}");
+        }
     }
+    out.push_str("}}");
+}
 
+/// Renders the wall-clock stage spans (complete events on process 2)
+/// plus the closing bracket.
+fn write_chrome_epilogue(out: &mut String, stages: Option<&Recorder>) {
     if let Some(rec) = stages {
         let mut offset_us = 0u64;
         for s in Stage::ALL {
@@ -180,12 +216,67 @@ pub fn to_chrome_trace(rec: &FlightRecorder, stages: Option<&Recorder>) -> Strin
         }
     }
     out.push_str("\n]}\n");
+}
+
+/// Serializes the event log in the Chrome trace event format (load it
+/// in `chrome://tracing` or Perfetto).
+///
+/// Simulation-time events render as instant events (`ph:"i"`) on
+/// process 1, one thread track per source lane. When `stages` is
+/// given, its wall-clock span timers render as complete events
+/// (`ph:"X"`) laid out sequentially on process 2 — useful for eyeballing
+/// where an experiment run spent its time, but wall-clock and therefore
+/// not deterministic. Pass `None` for byte-stable output.
+#[must_use]
+pub fn to_chrome_trace(rec: &FlightRecorder, stages: Option<&Recorder>) -> String {
+    let mut out = String::with_capacity(rec.len() * 144 + 512);
+    write_chrome_prelude(&mut out, stages.is_some());
+    for e in rec.events() {
+        write_event_chrome(&mut out, e);
+    }
+    write_chrome_epilogue(&mut out, stages);
     out
+}
+
+/// Streams a sorted event source in the Chrome trace event format into
+/// `out`, one event resident at a time. Renders through the same
+/// helpers as [`to_chrome_trace`], so for the same event sequence and
+/// the same `stages` the bytes are identical. Returns the number of
+/// simulation events written.
+///
+/// # Errors
+///
+/// Propagates the source's decode failures and the writer's I/O
+/// failures as [`SpillError`].
+pub fn stream_chrome_trace<S, W>(
+    src: &mut S,
+    stages: Option<&Recorder>,
+    out: &mut W,
+) -> Result<u64, SpillError>
+where
+    S: EventSource,
+    W: io::Write,
+{
+    let mut buf = String::with_capacity(512);
+    write_chrome_prelude(&mut buf, stages.is_some());
+    out.write_all(buf.as_bytes())?;
+    let mut count = 0u64;
+    while let Some(e) = src.next_event()? {
+        buf.clear();
+        write_event_chrome(&mut buf, &e);
+        out.write_all(buf.as_bytes())?;
+        count += 1;
+    }
+    buf.clear();
+    write_chrome_epilogue(&mut buf, stages);
+    out.write_all(buf.as_bytes())?;
+    Ok(count)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spill::MemSource;
     use crate::trace::{TraceSink, WakeCause, WakeClass};
     use crate::MetricsSink;
 
@@ -265,5 +356,33 @@ mod tests {
         assert!(json.contains("\"name\":\"fleet\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn streamed_jsonl_is_byte_identical_to_in_memory() {
+        let rec = sample();
+        let mut src = MemSource::new(rec.events().copied().collect());
+        let mut out = Vec::new();
+        let n = stream_jsonl(&mut src, &mut out).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(out, to_jsonl(&rec).into_bytes());
+    }
+
+    #[test]
+    fn streamed_chrome_trace_is_byte_identical_to_in_memory() {
+        let rec = sample();
+        let mut src = MemSource::new(rec.events().copied().collect());
+        let mut out = Vec::new();
+        let n = stream_chrome_trace(&mut src, None, &mut out).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(out, to_chrome_trace(&rec, None).into_bytes());
+
+        // With stage spans attached, the epilogue must match too.
+        let mut stages = Recorder::new();
+        stages.add_span(Stage::Fleet, 2_000_000);
+        let mut src = MemSource::new(rec.events().copied().collect());
+        let mut out = Vec::new();
+        stream_chrome_trace(&mut src, Some(&stages), &mut out).unwrap();
+        assert_eq!(out, to_chrome_trace(&rec, Some(&stages)).into_bytes());
     }
 }

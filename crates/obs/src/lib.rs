@@ -75,6 +75,7 @@ pub mod provenance;
 pub mod recorder;
 pub mod runtime;
 pub mod sink;
+pub mod spill;
 pub mod trace;
 
 pub use hist::Histogram;
@@ -85,6 +86,10 @@ pub use provenance::{CauseCounts, ClientKey, ClientWakes, ProvenanceBreakdown, P
 pub use recorder::{Recorder, StageTiming};
 pub use runtime::{AtomicRuntime, NoopRuntime, RateMeter, RtStage, RuntimeSink};
 pub use sink::{MetricsSink, NoopSink};
+pub use spill::{
+    EventSource, HashingWriter, KWayMerge, MemSource, RunMeta, RunReader, SpillError, SpillIndex,
+    SpillWriter, DEFAULT_CHUNK_EVENTS, SPILL_MAGIC,
+};
 pub use trace::{
     FlightRecorder, NoopTrace, TraceEvent, TraceEventKind, TraceSink, WakeCause, WakeClass,
     DEFAULT_TRACE_CAPACITY,

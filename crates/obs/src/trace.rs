@@ -329,6 +329,23 @@ impl FlightRecorder {
         self.events.iter()
     }
 
+    /// Removes and returns every retained event together with the drop
+    /// count accumulated since the last take, leaving the recorder
+    /// live (source lane, sequence counter and capacity all carry on).
+    ///
+    /// This is the spill seam: the caller becomes responsible for the
+    /// returned events **and** the returned drops — the recorder's own
+    /// [`dropped`](Self::dropped) resets to 0, so a spill file that
+    /// records the taken count and a recorder that keeps dropping
+    /// afterwards never double-count, and the sum of all taken counts
+    /// plus the final residue is exact across any number of spill
+    /// boundaries.
+    pub fn take_spill_chunk(&mut self) -> (Vec<TraceEvent>, u64) {
+        let events = self.events.drain(..).collect();
+        let dropped = std::mem::take(&mut self.dropped);
+        (events, dropped)
+    }
+
     /// Folds another recorder's log into this one with an ordered merge
     /// on `(time, source, seq)`.
     ///
@@ -369,7 +386,12 @@ impl Default for FlightRecorder {
 
 impl TraceSink for FlightRecorder {
     fn emit(&mut self, time: f64, kind: TraceEventKind) {
-        if self.events.len() == self.capacity {
+        // `>=`, not `==`: a merge can legitimately leave more than
+        // `capacity` events retained (merging never drops), and the
+        // next live emission must restore the ring bound and count
+        // every evicted event — an equality check would stop dropping
+        // entirely and let the ring grow without bound.
+        while self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
         }
@@ -465,6 +487,87 @@ mod tests {
             rev.merge_from(s);
         }
         assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn ring_bound_recovers_after_merge_growth() {
+        // Regression: merging can push the ring past its capacity; the
+        // next live emission must evict back down to the bound and
+        // count every eviction, instead of growing without bound (the
+        // old `==` check never fired again once len > capacity).
+        let mut a = FlightRecorder::with_capacity(3);
+        a.set_source(0);
+        for t in [0.1, 0.2, 0.3] {
+            a.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        let b = rec(1, &[0.15, 0.25, 0.35]);
+        a.merge_from(&b);
+        assert_eq!(a.len(), 6, "merge itself never drops");
+        assert_eq!(a.dropped(), 0);
+        a.emit(0.4, TraceEventKind::RefreshLost { aid: 2 });
+        assert_eq!(a.len(), 3, "live recording restores the bound");
+        assert_eq!(a.dropped(), 4, "every evicted event is counted");
+        a.emit(0.5, TraceEventKind::RefreshLost { aid: 2 });
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.dropped(), 5);
+    }
+
+    #[test]
+    fn take_spill_chunk_moves_drop_responsibility() {
+        let mut r = FlightRecorder::with_capacity(2);
+        r.set_source(4);
+        for t in [0.1, 0.2, 0.3] {
+            r.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        assert_eq!(r.dropped(), 1);
+        let (events, taken) = r.take_spill_chunk();
+        assert_eq!(events.len(), 2);
+        assert_eq!(taken, 1, "drops travel with the spilled chunk");
+        assert_eq!(r.dropped(), 0, "the live recorder starts a new tally");
+        assert!(r.is_empty());
+        // Recording continues with the same source and sequence stream.
+        r.emit(0.4, TraceEventKind::RefreshLost { aid: 1 });
+        let next: Vec<&TraceEvent> = r.events().collect();
+        assert_eq!(next[0].seq, 3);
+        assert_eq!(next[0].source, 4);
+        // Exactness across boundaries: taken + residue == total drops.
+        for t in [0.5, 0.6, 0.7] {
+            r.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        let (more, taken2) = r.take_spill_chunk();
+        assert_eq!(more.len(), 2);
+        assert_eq!(taken + taken2, 3);
+    }
+
+    #[test]
+    fn partially_spilled_merge_accounting_is_exact() {
+        // A recorder that already spilled a chunk (drops taken by the
+        // spill file) merges another shard that also dropped: the
+        // merged count must be exactly the *unspilled* drops of both —
+        // nothing double-counted, nothing lost.
+        let mut a = FlightRecorder::with_capacity(2);
+        a.set_source(0);
+        for t in [0.1, 0.2, 0.3] {
+            a.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        let (_, spilled_a) = a.take_spill_chunk();
+        assert_eq!(spilled_a, 1);
+        for t in [0.4, 0.5, 0.6] {
+            a.emit(t, TraceEventKind::RefreshLost { aid: 1 });
+        }
+        assert_eq!(a.dropped(), 1);
+
+        let mut b = FlightRecorder::with_capacity(2);
+        b.set_source(1);
+        for t in [0.35, 0.45, 0.55, 0.65] {
+            b.emit(t, TraceEventKind::RefreshLost { aid: 2 });
+        }
+        assert_eq!(b.dropped(), 2);
+
+        a.merge_from(&b);
+        assert_eq!(a.dropped(), 3, "merged residue excludes spilled drops");
+        assert_eq!(spilled_a + a.dropped(), 4, "file + live == total");
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Property tests of the `hide-spill/1` framed codec and the k-way
+//! merge the out-of-core export pipeline is built on.
+//!
+//! Three families:
+//!
+//! 1. **Round trip** — encode→decode is the identity, at the event
+//!    level and through a real spill file at any chunk size (including
+//!    1 and larger-than-input).
+//! 2. **Hostile bytes** — every strict prefix of a valid file and
+//!    every single-byte flip is rejected with a structured
+//!    [`SpillError`]; nothing panics and nothing allocates on
+//!    attacker-controlled lengths. The chunk checksum is FNV-1a-based,
+//!    and a single-byte change always alters the low 32 bits (xor
+//!    injects into the low byte, multiplication by an odd prime is
+//!    injective mod 2^32), so detection is a guarantee, not a
+//!    probability.
+//! 3. **Merge order** — [`KWayMerge`] over arbitrarily partitioned,
+//!    arbitrarily chunked spilled runs pops the exact sequence the
+//!    in-memory tree fold produces. The `(time, source, seq)` key is a
+//!    strict total order over distinct events, so this is equality of
+//!    sequences, not just multisets.
+//!
+//! The vendored proptest has no enum strategies, so events are decoded
+//! from plain integer tuples (the same idiom `proptest_recorder.rs`
+//! uses for the metric namespace).
+
+use hide_obs::spill::{decode_chunk_events, encode_event, read_all_runs};
+use hide_obs::trace::{TraceEvent, TraceEventKind, WakeCause, WakeClass};
+use hide_obs::{FlightRecorder, KWayMerge, SpillError, SpillIndex, SpillWriter, TraceSink};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp path per proptest case (cases run in one process, so a
+/// static counter keeps concurrently open files independent).
+fn temp_spill_path() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "hide-proptest-spill-{}-{n}.bin",
+        std::process::id()
+    ))
+}
+
+/// Removes the file even when an assertion inside the case fails.
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Decodes one event payload from a `(selector, a, b)` integer tuple,
+/// covering every kind, every wake class, and every wake cause.
+fn kind_from(selector: u8, a: u64, b: u64) -> TraceEventKind {
+    let aid = a as u16;
+    match selector % 9 {
+        0 => TraceEventKind::DtimBoundary {
+            buffered: a as u32,
+            table_entries: (a >> 32) as u32,
+        },
+        1 => TraceEventKind::BtimEmitted {
+            bytes: a as u32,
+            bits_set: (a >> 32) as u32,
+        },
+        2 => TraceEventKind::WakeDecision {
+            aid,
+            port: (a >> 16) as u16,
+            frame_id: b,
+            class: [
+                WakeClass::Proper,
+                WakeClass::Missed,
+                WakeClass::Spurious,
+                WakeClass::Legacy,
+            ][(a >> 32) as usize % 4],
+            cause: [
+                WakeCause::Proper,
+                WakeCause::RefreshLost,
+                WakeCause::EntryExpired,
+                WakeCause::PortChurn,
+                WakeCause::Unknown,
+            ][(a >> 40) as usize % 5],
+        },
+        3 => TraceEventKind::RefreshApplied { aid },
+        4 => TraceEventKind::RefreshLost { aid },
+        5 => TraceEventKind::PortChurn { aid },
+        6 => TraceEventKind::EntryExpired { aid },
+        7 => TraceEventKind::Join {
+            aid,
+            hide: b.is_multiple_of(2),
+        },
+        _ => TraceEventKind::Leave { aid },
+    }
+}
+
+/// Finite time from arbitrary bits — the codec stores exact IEEE-754
+/// bits and rejects NaN/inf on decode, so clearing the exponent of a
+/// non-finite draw keeps sign, subnormals, and negative zero in scope.
+fn time_from(bits: u64) -> f64 {
+    let t = f64::from_bits(bits);
+    if t.is_finite() {
+        t
+    } else {
+        f64::from_bits(bits & 0x800F_FFFF_FFFF_FFFF)
+    }
+}
+
+/// Raw material for one arbitrary event.
+type RawEvent = (u8, u64, u64, u64, u64);
+
+fn event_from((selector, a, b, time_bits, meta): RawEvent) -> TraceEvent {
+    TraceEvent {
+        time: time_from(time_bits),
+        source: meta as u32,
+        seq: meta >> 32,
+        kind: kind_from(selector, a, b),
+    }
+}
+
+fn events_from(raw: &[RawEvent]) -> Vec<TraceEvent> {
+    raw.iter().map(|r| event_from(*r)).collect()
+}
+
+/// Sorted per-source lanes, as the fleet shards produce them: each
+/// lane's events are time-ordered with sequential seq, so every run
+/// handed to the merge is sorted under `(time, source, seq)` and all
+/// events are globally distinct.
+fn lanes_from(raw: &[Vec<(u32, u8, u64, u64)>]) -> Vec<Vec<TraceEvent>> {
+    raw.iter()
+        .enumerate()
+        .map(|(source, lane)| {
+            let mut ticks: Vec<u32> = lane.iter().map(|(t, ..)| *t).collect();
+            ticks.sort_unstable();
+            ticks
+                .into_iter()
+                .zip(lane)
+                .enumerate()
+                .map(|(seq, (tick, (_, selector, a, b)))| TraceEvent {
+                    time: f64::from(tick) * 1e-3,
+                    source: source as u32,
+                    seq: seq as u64,
+                    kind: kind_from(*selector, *a, *b),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The in-memory reference: tree-fold the lanes through
+/// `FlightRecorder::merge_from`, exactly as the parallel fan-in does.
+fn tree_fold(lanes: &[Vec<TraceEvent>]) -> Vec<TraceEvent> {
+    let mut recorders: Vec<FlightRecorder> = lanes
+        .iter()
+        .enumerate()
+        .map(|(source, lane)| {
+            let mut r = FlightRecorder::new();
+            r.set_source(source as u32);
+            for e in lane {
+                r.emit(e.time, e.kind);
+            }
+            r
+        })
+        .collect();
+    while recorders.len() > 1 {
+        let mut next = Vec::with_capacity(recorders.len().div_ceil(2));
+        for pair in recorders.chunks(2) {
+            let mut left = pair[0].clone();
+            if let Some(right) = pair.get(1) {
+                left.merge_from(right);
+            }
+            next.push(left);
+        }
+        recorders = next;
+    }
+    recorders.remove(0).events().copied().collect()
+}
+
+/// Bit-exact event equality: `PartialEq` treats `-0.0 == 0.0`, but the
+/// codec must preserve the sign bit.
+fn assert_events_bit_equal(got: &[TraceEvent], want: &[TraceEvent]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        prop_assert_eq!(g.time.to_bits(), w.time.to_bits());
+        prop_assert_eq!((g.source, g.seq, g.kind), (w.source, w.seq, w.kind));
+    }
+    Ok(())
+}
+
+/// Writes `runs` into a fresh spill file and returns the temp handle.
+fn write_spill(
+    runs: &[(Vec<TraceEvent>, u64)],
+    chunk_events: usize,
+) -> (TempFile, hide_obs::SpillIndex) {
+    let file = TempFile(temp_spill_path());
+    let mut writer = SpillWriter::create(&file.0, chunk_events).expect("create spill");
+    for (events, dropped) in runs {
+        writer.write_run(events, *dropped).expect("write run");
+    }
+    let index = writer.finish().expect("finish spill");
+    (file, index)
+}
+
+proptest! {
+    /// Event-level codec: encode then decode is the identity, for any
+    /// batch of arbitrary events in one chunk payload.
+    #[test]
+    fn encode_decode_is_identity(
+        raw in vec((any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..64),
+    ) {
+        let events = events_from(&raw);
+        let mut payload = Vec::new();
+        for e in &events {
+            encode_event(&mut payload, e);
+        }
+        let mut decoded = Vec::new();
+        decode_chunk_events(&payload, events.len() as u32, 0, &mut decoded)
+            .expect("own encoding must decode");
+        assert_events_bit_equal(&decoded, &events)?;
+    }
+
+    /// File-level round trip at any chunk size — 1 (every event its
+    /// own frame) through larger than the input (one frame total) —
+    /// with multiple runs and per-run dropped tallies. Dropped values
+    /// are bounded so the index's plain `sum()` cannot overflow in
+    /// debug builds.
+    #[test]
+    fn spill_file_round_trip(
+        raw in vec(
+            (
+                vec((any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..30),
+                0u64..=u64::from(u32::MAX),
+            ),
+            0..4,
+        ),
+        chunk_events in 1usize..64,
+    ) {
+        let runs: Vec<(Vec<TraceEvent>, u64)> = raw
+            .iter()
+            .map(|(events, dropped)| (events_from(events), *dropped))
+            .collect();
+        let (file, index) = write_spill(&runs, chunk_events);
+        prop_assert_eq!(index.runs.len(), runs.len());
+        prop_assert_eq!(
+            index.total_events(),
+            runs.iter().map(|(e, _)| e.len() as u64).sum::<u64>()
+        );
+        prop_assert_eq!(
+            index.total_dropped(),
+            runs.iter().map(|(_, d)| *d).sum::<u64>()
+        );
+
+        let read_back = read_all_runs(&file.0).expect("validated file reads");
+        prop_assert_eq!(read_back.len(), runs.len());
+        for ((got, got_dropped), (want, want_dropped)) in read_back.iter().zip(&runs) {
+            prop_assert_eq!(got_dropped, want_dropped);
+            assert_events_bit_equal(got, want)?;
+        }
+    }
+
+    /// Every strict prefix of a valid spill file is a structured error:
+    /// a crash part-way through a run can never read as a shorter,
+    /// valid export.
+    #[test]
+    fn any_strict_prefix_is_a_structured_error(
+        raw in vec(
+            (
+                vec((any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..12),
+                0u64..1000,
+            ),
+            1..3,
+        ),
+        chunk_events in 1usize..16,
+        cut_selector in any::<u64>(),
+    ) {
+        let runs: Vec<(Vec<TraceEvent>, u64)> = raw
+            .iter()
+            .map(|(events, dropped)| (events_from(events), *dropped))
+            .collect();
+        let (file, _) = write_spill(&runs, chunk_events);
+
+        let bytes = std::fs::read(&file.0).expect("read spill back");
+        let cut = (cut_selector % bytes.len() as u64) as usize; // 0..len: always strict
+        let truncated = TempFile(temp_spill_path());
+        std::fs::write(&truncated.0, &bytes[..cut]).expect("write prefix");
+
+        let err = SpillIndex::load(&truncated.0).expect_err("prefix must not validate");
+        prop_assert!(matches!(
+            err,
+            SpillError::Truncated { .. } | SpillError::Corrupt { .. } | SpillError::BadMagic { .. }
+        ), "unexpected error shape: {err:?}");
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    /// Every single-byte flip anywhere in the file is a structured
+    /// error — header fields, length fields, payloads, magic, and the
+    /// checksums themselves are all covered.
+    #[test]
+    fn any_single_byte_flip_is_a_structured_error(
+        raw in vec(
+            (
+                vec((any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 0..12),
+                0u64..1000,
+            ),
+            1..3,
+        ),
+        chunk_events in 1usize..16,
+        at_selector in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let runs: Vec<(Vec<TraceEvent>, u64)> = raw
+            .iter()
+            .map(|(events, dropped)| (events_from(events), *dropped))
+            .collect();
+        let (file, _) = write_spill(&runs, chunk_events);
+
+        let mut bytes = std::fs::read(&file.0).expect("read spill back");
+        let at = (at_selector % bytes.len() as u64) as usize;
+        bytes[at] ^= mask;
+        let corrupt = TempFile(temp_spill_path());
+        std::fs::write(&corrupt.0, &bytes).expect("write corrupted copy");
+
+        let err = SpillIndex::load(&corrupt.0)
+            .expect_err("a flipped byte must not validate");
+        prop_assert!(matches!(
+            err,
+            SpillError::Truncated { .. } | SpillError::Corrupt { .. } | SpillError::BadMagic { .. }
+        ), "unexpected error shape: {err:?}");
+    }
+
+    /// KWayMerge over spilled runs == the in-memory tree fold, for any
+    /// lane partitioning and any chunk size — 1, tiny, or larger than
+    /// every run.
+    #[test]
+    fn kway_merge_matches_tree_fold(
+        raw in vec(vec((0u32..500_000, any::<u8>(), any::<u64>(), any::<u64>()), 0..40), 1..6),
+        chunk_selector in any::<u8>(),
+    ) {
+        let chunk_events = match chunk_selector % 3 {
+            0 => 1,
+            1 => 2 + chunk_selector as usize % 6,
+            _ => 10_000,
+        };
+        let lanes = lanes_from(&raw);
+        let expected = tree_fold(&lanes);
+
+        let runs: Vec<(Vec<TraceEvent>, u64)> =
+            lanes.iter().map(|lane| (lane.clone(), 0)).collect();
+        let (_file, index) = write_spill(&runs, chunk_events);
+        let merged = index
+            .merge()
+            .expect("open merge")
+            .collect_all()
+            .expect("merge clean file");
+
+        assert_events_bit_equal(&merged, &expected)?;
+    }
+
+    /// The merge is also correct over in-memory sources: partitioning
+    /// sorted events by source lane and merging recovers the globally
+    /// sorted sequence.
+    #[test]
+    fn kway_merge_of_mem_sources_sorts_globally(
+        raw in vec(vec((0u32..500_000, any::<u8>(), any::<u64>(), any::<u64>()), 0..40), 1..6),
+    ) {
+        let lanes = lanes_from(&raw);
+        let mut expected: Vec<TraceEvent> = lanes.iter().flatten().copied().collect();
+        expected.sort_by(|x, y| {
+            x.time
+                .total_cmp(&y.time)
+                .then(x.source.cmp(&y.source))
+                .then(x.seq.cmp(&y.seq))
+        });
+
+        let sources: Vec<hide_obs::MemSource> = lanes
+            .iter()
+            .map(|lane| hide_obs::MemSource::new(lane.clone()))
+            .collect();
+        let merged = KWayMerge::new(sources)
+            .expect("mem sources never fail to open")
+            .collect_all()
+            .expect("mem sources never fail");
+
+        assert_events_bit_equal(&merged, &expected)?;
+    }
+}
